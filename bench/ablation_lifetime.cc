@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Section 6.3.3 companion + ablation: NVM lifetime.
+ *
+ * The paper argues SCA's reduced write traffic improves NVMM lifetime
+ * by ~6.6% "assuming a uniform wear-leveling technique" [38]. This
+ * harness makes both halves measurable:
+ *
+ *  (a) under the uniform assumption, relative lifetime is inversely
+ *      proportional to total bytes written — reported per design;
+ *  (b) the uniformity assumption itself: the per-line write trace is
+ *      captured from the device and replayed through a Start-Gap
+ *      remapper, showing how rotation flattens the undo log's hot
+ *      lines (wear uniformity = mean/max per-line writes).
+ */
+
+#include "bench/bench_util.hh"
+#include "nvm/wear_leveling.hh"
+
+using namespace cnvm;
+using namespace cnvm::bench;
+
+namespace
+{
+
+struct LifetimeResult
+{
+    double bytesWritten = 0;
+    WearStats rawWear;
+    WearStats leveledWear;
+};
+
+LifetimeResult
+measure(DesignPoint design, WorkloadKind workload)
+{
+    SystemConfig cfg = paperConfig(workload, design, 1, 250);
+    System sys(cfg);
+
+    // Start-Gap over the whole observed address range, per 4 K-line
+    // (256 KB) region like the reference design.
+    WearTracker raw;
+    std::vector<std::unique_ptr<StartGapRemapper>> regions;
+    std::unordered_map<Addr, std::size_t> region_of;
+    WearTracker leveled;
+
+    // The reference design rotates once per ~100 writes over multi-
+    // billion-write lifetimes; this trace is ~10^4 writes, so region
+    // size and gap interval are scaled down proportionally to make the
+    // rotation visible (the mechanism, not the constants, is the
+    // point).
+    constexpr std::uint64_t region_lines = 256;
+    constexpr std::uint64_t region_bytes = region_lines * lineBytes;
+
+    sys.nvm().setWriteTraceHook([&](Addr line, unsigned) {
+        raw.record(line);
+        Addr region_base = line / region_bytes * region_bytes;
+        auto [it, inserted] = region_of.try_emplace(region_base,
+                                                    regions.size());
+        if (inserted) {
+            regions.push_back(std::make_unique<StartGapRemapper>(
+                region_base, region_lines, 2));
+        }
+        leveled.record(regions[it->second]->translateWrite(line));
+    });
+
+    sys.run();
+
+    LifetimeResult out;
+    out.bytesWritten = static_cast<double>(sys.nvmBytesWritten());
+    out.rawWear = raw.stats();
+    out.leveledWear = leveled.stats();
+    return out;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    std::printf("Ablation: NVM lifetime (paper section 6.3.3)\n\n");
+
+    std::printf("(a) relative lifetime under uniform wear leveling "
+                "(inverse of bytes written; SCA = 1.0)\n");
+    printHeader("Workload", {"SCA", "FCA", "Co-loc", "NoEnc"});
+    printRule(4);
+
+    const std::vector<DesignPoint> designs = {
+        DesignPoint::SCA, DesignPoint::FCA, DesignPoint::Colocated,
+        DesignPoint::NoEncryption,
+    };
+
+    std::vector<std::vector<double>> rows;
+    std::map<DesignPoint, LifetimeResult> last;
+    for (WorkloadKind w : allWorkloadKinds()) {
+        std::vector<double> bytes;
+        for (DesignPoint d : designs) {
+            LifetimeResult r = measure(d, w);
+            bytes.push_back(r.bytesWritten);
+            last[d] = r;
+        }
+        std::vector<double> row;
+        for (double b : bytes)
+            row.push_back(bytes[0] / b); // lifetime relative to SCA
+        printRow(workloadKindName(w), row);
+        rows.push_back(row);
+    }
+    printRule(4);
+    std::vector<double> avg = columnAverages(rows);
+    printRow("Average", avg);
+    std::printf("\nSCA lifetime vs FCA: +%.1f%%; vs co-located: "
+                "+%.1f%% (paper: +6.6%% vs the co-located designs)\n",
+                (1.0 / avg[1] - 1.0) * 100.0,
+                (1.0 / avg[2] - 1.0) * 100.0);
+
+    std::printf("\n(b) wear uniformity (mean/max per-line writes, "
+                "higher is better), SCA, last workload\n");
+    const LifetimeResult &sca = last[DesignPoint::SCA];
+    std::printf("%-28s %10.4f (hottest line absorbs %llu of %llu "
+                "writes)\n", "raw trace",
+                sca.rawWear.uniformity(),
+                static_cast<unsigned long long>(sca.rawWear.maxWrites),
+                static_cast<unsigned long long>(sca.rawWear.totalWrites));
+    std::printf("%-28s %10.4f\n", "with Start-Gap leveling",
+                sca.leveledWear.uniformity());
+    std::printf("\nthe undo log's header line dominates raw wear; "
+                "Start-Gap rotation spreads it across its region, "
+                "supporting the paper's uniform-wear assumption.\n");
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction harnesses: run a
+ * configured System, collect metrics, print aligned tables.
+ *
+ * Every harness prints the parameters it actually ran with: the benches
+ * scale operation counts and footprints down from the paper's gem5
+ * testbed (see DESIGN.md section 6) while preserving the ratios that
+ * drive the result shapes.
+ */
+
+#ifndef CNVM_BENCH_BENCH_UTIL_HH
+#define CNVM_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/system.hh"
+
+namespace cnvm::bench
+{
+
+/** Metrics of one simulated run. */
+struct RunMetrics
+{
+    double runtimeNs = 0;
+    double txnPerSec = 0;
+    double bytesWritten = 0;
+    double bytesRead = 0;
+    double ccMissRate = 0;
+    double linesPerTxn = 0;
+};
+
+/** Builds, runs, and measures one configuration. */
+inline RunMetrics
+runOnce(const SystemConfig &cfg)
+{
+    System sys(cfg);
+    sys.run();
+    RunMetrics m;
+    m.runtimeNs = sys.runtimeNs();
+    m.txnPerSec = sys.throughputTxnPerSec();
+    m.bytesWritten = static_cast<double>(sys.nvmBytesWritten());
+    m.bytesRead = static_cast<double>(sys.nvmBytesRead());
+    m.ccMissRate = sys.counterCacheMissRate();
+    std::uint64_t txns = 0, lines = 0;
+    for (unsigned i = 0; i < sys.numCores(); ++i) {
+        txns += sys.workload(i).txnsIssued();
+        lines += sys.workload(i).totalLinesLogged();
+    }
+    m.linesPerTxn = txns ? static_cast<double>(lines) / txns : 0;
+    return m;
+}
+
+/** The paper's evaluation baseline configuration (Table 2, scaled). */
+inline SystemConfig
+paperConfig(WorkloadKind workload, DesignPoint design,
+            unsigned cores = 1, unsigned txns_per_core = 300)
+{
+    SystemConfig cfg;
+    cfg.design = design;
+    cfg.workload = workload;
+    cfg.numCores = cores;
+    cfg.wl.regionBytes = 6ull << 20;  // per-core footprint
+    cfg.wl.txnTarget = txns_per_core;
+    cfg.wl.batch = 1;
+    cfg.wl.computePerTxn = 1000;
+    cfg.wl.setupFill = 0.5;
+    return cfg;
+}
+
+/** Prints one row of right-aligned cells after a left label. */
+inline void
+printRow(const std::string &label, const std::vector<double> &cells,
+         const char *fmt = "%10.3f")
+{
+    std::printf("%-22s", label.c_str());
+    for (double v : cells)
+        std::printf(fmt, v);
+    std::printf("\n");
+}
+
+inline void
+printHeader(const std::string &label,
+            const std::vector<std::string> &columns, int width = 10)
+{
+    std::printf("%-22s", label.c_str());
+    for (const std::string &c : columns)
+        std::printf("%*s", width, c.c_str());
+    std::printf("\n");
+}
+
+inline void
+printRule(std::size_t columns, int width = 10)
+{
+    for (std::size_t i = 0; i < 22 + columns * width; ++i)
+        std::printf("-");
+    std::printf("\n");
+}
+
+/** Arithmetic mean across rows for the Average line. */
+inline std::vector<double>
+columnAverages(const std::vector<std::vector<double>> &rows)
+{
+    std::vector<double> avg;
+    if (rows.empty())
+        return avg;
+    avg.assign(rows[0].size(), 0.0);
+    for (const auto &row : rows)
+        for (std::size_t i = 0; i < row.size(); ++i)
+            avg[i] += row[i];
+    for (double &v : avg)
+        v /= static_cast<double>(rows.size());
+    return avg;
+}
+
+} // namespace cnvm::bench
+
+#endif // CNVM_BENCH_BENCH_UTIL_HH

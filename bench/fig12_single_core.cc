@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 12 — single-core performance comparison.
+ *
+ * Runtime of each design point on the five workloads, normalized to the
+ * no-encryption design (lower is better). The paper reports that SCA is
+ * ~11.7% slower than no encryption, ~6.3% faster than FCA, within ~1%
+ * of the co-located design with a counter cache, and that the plain
+ * co-located design (serialized decryption) is far slower.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace cnvm;
+using namespace cnvm::bench;
+
+int
+main()
+{
+    const std::vector<DesignPoint> designs = {
+        DesignPoint::SCA, DesignPoint::FCA, DesignPoint::Colocated,
+        DesignPoint::ColocatedCC, DesignPoint::Ideal,
+    };
+
+    std::printf("Figure 12: single-core runtime normalized to "
+                "NoEncryption (lower is better)\n");
+    SystemConfig sample = paperConfig(WorkloadKind::ArraySwap,
+                                      DesignPoint::SCA);
+    std::printf("config: %u txns, %llu MB footprint, 1 core\n\n",
+                sample.wl.txnTarget,
+                static_cast<unsigned long long>(
+                    sample.wl.regionBytes >> 20));
+
+    std::vector<std::string> columns;
+    for (DesignPoint d : designs)
+        columns.push_back(designName(d));
+    printHeader("Workload", {"SCA", "FCA", "Co-loc", "Co-loc+C$",
+                             "Ideal"});
+    printRule(designs.size());
+
+    std::vector<std::vector<double>> rows;
+    for (WorkloadKind w : allWorkloadKinds()) {
+        double base =
+            runOnce(paperConfig(w, DesignPoint::NoEncryption)).runtimeNs;
+        std::vector<double> row;
+        for (DesignPoint d : designs)
+            row.push_back(runOnce(paperConfig(w, d)).runtimeNs / base);
+        printRow(workloadKindName(w), row);
+        rows.push_back(row);
+    }
+    printRule(designs.size());
+    printRow("Average", columnAverages(rows));
+
+    std::printf("\npaper shape: SCA ~1.12x, FCA ~1.19x, Co-located ~2x,"
+                " Co-located w/ C-Cache ~1.11x\n");
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Micro-benchmarks for the discrete-event kernel: scheduling and
+ * processing throughput, which bounds how fast the whole simulator can
+ * run.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "sim/eventq.hh"
+#include "sim/one_shot.hh"
+
+using namespace cnvm;
+
+namespace
+{
+
+void
+BM_ScheduleProcess(benchmark::State &state)
+{
+    const int batch = static_cast<int>(state.range(0));
+    std::uint64_t processed = 0;
+    for (auto _ : state) {
+        EventQueue eq;
+        for (int i = 0; i < batch; ++i)
+            scheduleAt(eq, static_cast<Tick>(i) * 10,
+                       [&]() { ++processed; });
+        eq.run();
+    }
+    benchmark::DoNotOptimize(processed);
+    state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_ScheduleProcess)->Arg(16)->Arg(256)->Arg(4096);
+
+void
+BM_MemberEventReschedule(benchmark::State &state)
+{
+    class Tickless : public Event
+    {
+      public:
+        void process() override {}
+    } event;
+
+    EventQueue eq;
+    Tick when = 1;
+    for (auto _ : state) {
+        eq.reschedule(event, when++);
+        eq.step();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemberEventReschedule);
+
+void
+BM_SelfChainingEvent(benchmark::State &state)
+{
+    // The typical model pattern: each event schedules the next.
+    const int chain = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        EventQueue eq;
+        int remaining = chain;
+        std::function<void()> step = [&]() {
+            if (--remaining > 0)
+                scheduleAfter(eq, 250, step);
+        };
+        scheduleAt(eq, 0, step);
+        eq.run();
+    }
+    state.SetItemsProcessed(state.iterations() * chain);
+}
+BENCHMARK(BM_SelfChainingEvent)->Arg(1024);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * FNV-1a hashing, used for log checksums and structure digests.
+ */
+
+#ifndef CNVM_COMMON_HASH_HH
+#define CNVM_COMMON_HASH_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cnvm
+{
+
+constexpr std::uint64_t fnvOffsetBasis = 0xcbf29ce484222325ull;
+constexpr std::uint64_t fnvPrime = 0x100000001b3ull;
+
+/** Incrementally folds @p len bytes into an FNV-1a state. */
+inline std::uint64_t
+fnv1a(const void *data, std::size_t len,
+      std::uint64_t state = fnvOffsetBasis)
+{
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        state ^= bytes[i];
+        state *= fnvPrime;
+    }
+    return state;
+}
+
+/** Folds one 64-bit value into an FNV-1a state. */
+inline std::uint64_t
+fnv1aU64(std::uint64_t value, std::uint64_t state = fnvOffsetBasis)
+{
+    return fnv1a(&value, sizeof(value), state);
+}
+
+} // namespace cnvm
+
+#endif // CNVM_COMMON_HASH_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Small integer-math helpers used throughout the simulator.
+ */
+
+#ifndef CNVM_COMMON_INTMATH_HH
+#define CNVM_COMMON_INTMATH_HH
+
+#include <cstdint>
+
+namespace cnvm
+{
+
+/** Returns true if @p n is a power of two (0 is not). */
+constexpr bool
+isPowerOf2(std::uint64_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+/** Floor of log2(n); n must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t n)
+{
+    unsigned result = 0;
+    while (n >>= 1)
+        ++result;
+    return result;
+}
+
+/** Ceiling of log2(n); n must be non-zero. */
+constexpr unsigned
+ceilLog2(std::uint64_t n)
+{
+    return isPowerOf2(n) ? floorLog2(n) : floorLog2(n) + 1;
+}
+
+/** Integer division rounding up. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Rounds @p n up to the next multiple of @p align (a power of two). */
+constexpr std::uint64_t
+roundUp(std::uint64_t n, std::uint64_t align)
+{
+    return (n + align - 1) & ~(align - 1);
+}
+
+/** Rounds @p n down to the previous multiple of @p align (a power of two). */
+constexpr std::uint64_t
+roundDown(std::uint64_t n, std::uint64_t align)
+{
+    return n & ~(align - 1);
+}
+
+} // namespace cnvm
+
+#endif // CNVM_COMMON_INTMATH_HH

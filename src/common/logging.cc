@@ -1,0 +1,75 @@
+#include "common/logging.hh"
+
+#include <cstdarg>
+#include <cstdint>
+
+namespace cnvm
+{
+
+namespace
+{
+
+std::uint64_t warnCounter = 0;
+bool quietMode = false;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Panic: return "panic";
+      case LogLevel::Fatal: return "fatal";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Inform: return "info";
+    }
+    return "?";
+}
+
+} // anonymous namespace
+
+namespace detail
+{
+
+void
+logMessage(LogLevel level, const char *file, int line, const char *fmt, ...)
+{
+    if (level == LogLevel::Warn)
+        ++warnCounter;
+
+    bool is_error = level == LogLevel::Panic || level == LogLevel::Fatal;
+    if (quietMode && !is_error)
+        return;
+
+    std::FILE *out = is_error ? stderr : stdout;
+    std::fprintf(out, "%s: ", levelName(level));
+
+    std::va_list args;
+    va_start(args, fmt);
+    std::vfprintf(out, fmt, args);
+    va_end(args);
+
+    if (is_error)
+        std::fprintf(out, " @ %s:%d", file, line);
+    std::fprintf(out, "\n");
+    std::fflush(out);
+
+    if (level == LogLevel::Panic)
+        std::abort();
+    if (level == LogLevel::Fatal)
+        std::exit(1);
+}
+
+} // namespace detail
+
+std::uint64_t
+warnCount()
+{
+    return warnCounter;
+}
+
+void
+setQuiet(bool quiet)
+{
+    quietMode = quiet;
+}
+
+} // namespace cnvm

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Error and status reporting, in the spirit of gem5's base/logging.hh.
+ *
+ * panic()  — an internal invariant of the simulator was violated (a bug).
+ * fatal()  — the user asked for something impossible (bad configuration).
+ * warn()   — something is suspicious but the simulation can continue.
+ * inform() — a purely informational status message.
+ */
+
+#ifndef CNVM_COMMON_LOGGING_HH
+#define CNVM_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace cnvm
+{
+
+/** Severity classes used by the logging backend. */
+enum class LogLevel { Panic, Fatal, Warn, Inform };
+
+namespace detail
+{
+
+/**
+ * Formats and emits one log record; terminates the process for
+ * Panic (abort) and Fatal (exit(1)).
+ *
+ * @param level severity class
+ * @param file  source file of the call site
+ * @param line  source line of the call site
+ * @param fmt   printf-style format string
+ */
+[[gnu::format(printf, 4, 5)]]
+void logMessage(LogLevel level, const char *file, int line,
+                const char *fmt, ...);
+
+} // namespace detail
+
+/**
+ * Counts warnings emitted so far; tests use this to assert that a
+ * scenario does or does not warn.
+ */
+std::uint64_t warnCount();
+
+/** Suppresses (true) or re-enables (false) warn/inform output. */
+void setQuiet(bool quiet);
+
+} // namespace cnvm
+
+#define cnvm_panic(...) \
+    ::cnvm::detail::logMessage(::cnvm::LogLevel::Panic, __FILE__, __LINE__, \
+                               __VA_ARGS__)
+
+#define cnvm_fatal(...) \
+    ::cnvm::detail::logMessage(::cnvm::LogLevel::Fatal, __FILE__, __LINE__, \
+                               __VA_ARGS__)
+
+#define cnvm_warn(...) \
+    ::cnvm::detail::logMessage(::cnvm::LogLevel::Warn, __FILE__, __LINE__, \
+                               __VA_ARGS__)
+
+#define cnvm_inform(...) \
+    ::cnvm::detail::logMessage(::cnvm::LogLevel::Inform, __FILE__, __LINE__, \
+                               __VA_ARGS__)
+
+/** Panics when an internal invariant does not hold. */
+#define cnvm_assert(cond)                                               \
+    do {                                                                \
+        if (!(cond))                                                    \
+            cnvm_panic("assertion '%s' failed", #cond);                 \
+    } while (0)
+
+#endif // CNVM_COMMON_LOGGING_HH

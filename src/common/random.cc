@@ -1,0 +1,81 @@
+#include "common/random.hh"
+
+#include "common/logging.hh"
+
+namespace cnvm
+{
+
+namespace
+{
+
+/** splitmix64: expands one seed into the four xoshiro state words. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // anonymous namespace
+
+Random::Random(std::uint64_t seed)
+{
+    if (seed == 0)
+        seed = 0x9e3779b97f4a7c15ull;
+    for (auto &word : s)
+        word = splitmix64(seed);
+}
+
+std::uint64_t
+Random::next()
+{
+    const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+    const std::uint64_t t = s[1] << 17;
+
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Random::below(std::uint64_t bound)
+{
+    cnvm_assert(bound != 0);
+    // Rejection sampling removes modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::uint64_t
+Random::range(std::uint64_t lo, std::uint64_t hi)
+{
+    cnvm_assert(lo <= hi);
+    return lo + below(hi - lo + 1);
+}
+
+bool
+Random::chancePct(unsigned percent)
+{
+    cnvm_assert(percent <= 100);
+    return below(100) < percent;
+}
+
+} // namespace cnvm

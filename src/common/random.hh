@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator.
+ *
+ * The workloads use this instead of std::mt19937 so that a given seed
+ * produces an identical operation stream on every platform, which keeps
+ * the crash-consistency regression tests reproducible.
+ */
+
+#ifndef CNVM_COMMON_RANDOM_HH
+#define CNVM_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace cnvm
+{
+
+/**
+ * xoshiro256** generator (public-domain algorithm by Blackman & Vigna).
+ * Deterministic across platforms for a given seed.
+ */
+class Random
+{
+  public:
+    /** Seeds the generator; a zero seed is remapped to a fixed constant. */
+    explicit Random(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Returns the next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Returns a uniformly distributed value in [0, bound). */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Returns a uniformly distributed value in [lo, hi] inclusive. */
+    std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+    /** Returns true with probability @p percent / 100. */
+    bool chancePct(unsigned percent);
+
+  private:
+    std::uint64_t s[4];
+};
+
+} // namespace cnvm
+
+#endif // CNVM_COMMON_RANDOM_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every cnvm module.
+ *
+ * The simulator measures time in ticks of one picosecond, which lets a
+ * 4 GHz core clock (250 ticks) and DDR-style memory timings expressed in
+ * nanoseconds coexist without rounding.
+ */
+
+#ifndef CNVM_COMMON_TYPES_HH
+#define CNVM_COMMON_TYPES_HH
+
+#include <array>
+#include <cstdint>
+
+namespace cnvm
+{
+
+/** Simulated time, in picoseconds. */
+using Tick = std::uint64_t;
+
+/** A physical address in the simulated machine. */
+using Addr = std::uint64_t;
+
+/** A count of clock cycles in some clock domain. */
+using Cycles = std::uint64_t;
+
+/** An invalid / not-yet-assigned tick. */
+constexpr Tick maxTick = ~Tick(0);
+
+/** One nanosecond worth of ticks. */
+constexpr Tick ticksPerNs = 1000;
+
+/** Converts a (possibly fractional) nanosecond figure to ticks. */
+constexpr Tick
+nsToTicks(double ns)
+{
+    return static_cast<Tick>(ns * static_cast<double>(ticksPerNs));
+}
+
+/** Size of a cache line of data, in bytes (paper: 64 B). */
+constexpr unsigned lineBytes = 64;
+
+/** Size of one encryption counter, in bytes (paper: 8 B). */
+constexpr unsigned counterBytes = 8;
+
+/** Number of counters packed into one counter cache line (64 / 8). */
+constexpr unsigned countersPerLine = lineBytes / counterBytes;
+
+/** One full cache line of bytes. */
+using LineData = std::array<std::uint8_t, lineBytes>;
+
+/** Returns the cache-line-aligned base of an address. */
+constexpr Addr
+lineAlign(Addr addr)
+{
+    return addr & ~Addr(lineBytes - 1);
+}
+
+/** Returns true if the address is cache-line aligned. */
+constexpr bool
+isLineAligned(Addr addr)
+{
+    return (addr & Addr(lineBytes - 1)) == 0;
+}
+
+} // namespace cnvm
+
+#endif // CNVM_COMMON_TYPES_HH

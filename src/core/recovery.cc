@@ -1,0 +1,173 @@
+#include "core/recovery.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace cnvm
+{
+
+RecoveredImage::RecoveredImage(const NvmDevice &nvm,
+                               const MemController &ctl)
+    : nvm(nvm), ctl(ctl)
+{
+}
+
+LineData
+RecoveredImage::decryptLine(Addr line_addr) const
+{
+    const LineData *cipher = nvm.persistedLine(line_addr);
+
+    if (ctl.design() == DesignPoint::NoEncryption)
+        return cipher != nullptr ? *cipher : LineData{};
+
+    // A cell that was never written holds the all-zero plaintext
+    // encrypted at counter 0.
+    LineData cipher_bytes;
+    if (cipher != nullptr) {
+        cipher_bytes = *cipher;
+    } else {
+        cipher_bytes = ctl.engine().encrypt(line_addr, 0, LineData{});
+    }
+
+    std::uint64_t counter =
+        nvm.persistedCounters(ctl.counterLineAddr(line_addr))
+            [ctl.counterSlot(line_addr)];
+
+    // Equation 3: plaintext = OTP(addr, stored counter) xor ciphertext.
+    // If the stored counter does not match the counter the data was
+    // encrypted with, this produces garbage (equation 4).
+    return ctl.engine().decrypt(line_addr, counter, cipher_bytes);
+}
+
+LineData &
+RecoveredImage::cachedLine(Addr line_addr) const
+{
+    auto it = cache.find(line_addr);
+    if (it == cache.end())
+        it = cache.emplace(line_addr, decryptLine(line_addr)).first;
+    return it->second;
+}
+
+void
+RecoveredImage::read(Addr addr, unsigned size, void *out) const
+{
+    auto *dst = static_cast<std::uint8_t *>(out);
+    while (size > 0) {
+        Addr line_addr = lineAlign(addr);
+        unsigned offset = static_cast<unsigned>(addr - line_addr);
+        unsigned chunk = std::min(size, lineBytes - offset);
+        std::memcpy(dst, cachedLine(line_addr).data() + offset, chunk);
+        dst += chunk;
+        addr += chunk;
+        size -= chunk;
+    }
+}
+
+void
+RecoveredImage::write(Addr addr, const void *data, unsigned size)
+{
+    const auto *src = static_cast<const std::uint8_t *>(data);
+    while (size > 0) {
+        Addr line_addr = lineAlign(addr);
+        unsigned offset = static_cast<unsigned>(addr - line_addr);
+        unsigned chunk = std::min(size, lineBytes - offset);
+        std::memcpy(cachedLine(line_addr).data() + offset, src, chunk);
+        src += chunk;
+        addr += chunk;
+        size -= chunk;
+    }
+}
+
+LineData
+RecoveredImage::line(Addr line_addr) const
+{
+    return cachedLine(lineAlign(line_addr));
+}
+
+RecoveryEngine::RecoveryEngine(const NvmDevice &nvm,
+                               const MemController &ctl)
+    : nvm(nvm), ctl(ctl)
+{
+}
+
+RecoveryReport
+RecoveryEngine::recover(const Workload &workload)
+{
+    RecoveryReport report;
+    RecoveredImage image(nvm, ctl);
+    const LogLayout &log = workload.log();
+
+    // --- Step 1: examine the undo log header -------------------------
+    std::uint64_t magic = image.readU64(log.magicAddr());
+    if (magic != LogLayout::kMagic) {
+        report.detail = "log header undecryptable (data/counter "
+                        "out of sync on the header line)";
+        return report;
+    }
+
+    std::uint64_t valid = image.readU64(log.validAddr());
+    if (valid == LogLayout::kValid) {
+        std::uint64_t txn_id = image.readU64(log.txnIdAddr());
+        std::uint64_t count = image.readU64(log.countAddr());
+        std::uint64_t stored_sum = image.readU64(log.checksumAddr());
+
+        if (count <= log.maxLines
+            && logChecksum(image, log, txn_id, count) == stored_sum) {
+            // Complete backup: the transaction may have mutated data in
+            // place; roll every logged line back.
+            for (unsigned i = 0; i < count; ++i) {
+                Addr target = image.readU64(log.descAddr(i));
+                if (!workload.inRegion(target)
+                    || !isLineAligned(target)) {
+                    report.detail = "log descriptor outside the region";
+                    return report;
+                }
+                LineData backup = image.line(log.backupAddr(i));
+                image.write(target, backup.data(), lineBytes);
+            }
+            report.rolledBack = true;
+        }
+        // Checksum mismatch: the prepare stage had not finished, so the
+        // in-place data was never touched; ignore the log.
+    } else if (valid != LogLayout::kInvalid) {
+        report.detail = "log valid flag holds garbage (torn "
+                        "counter-atomic commit write)";
+        return report;
+    }
+
+    // --- Step 2: structural invariants --------------------------------
+    ValidationResult validation = workload.validate(image);
+    if (!validation.ok) {
+        report.detail = "structure invalid after recovery: "
+                      + validation.why;
+        return report;
+    }
+
+    // --- Step 3: committed-prefix check -------------------------------
+    const auto &digests = workload.digests();
+    if (!digests.empty()) {
+        report.digestChecked = true;
+        std::uint64_t recovered_digest = workload.digest(image);
+        bool matched = false;
+        // Search newest-first: the recovered state is usually at or
+        // near the last issued transaction.
+        for (std::size_t k = digests.size(); k-- > 0;) {
+            if (digests[k] == recovered_digest) {
+                report.committedTxns = k;
+                matched = true;
+                break;
+            }
+        }
+        if (!matched) {
+            report.detail =
+                "recovered state matches no committed prefix";
+            return report;
+        }
+    }
+
+    report.consistent = true;
+    return report;
+}
+
+} // namespace cnvm

@@ -1,0 +1,211 @@
+#include "core/system.hh"
+
+#include <sstream>
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace cnvm
+{
+
+namespace
+{
+
+/** Stride between per-core regions, rounded for clean bank mapping. */
+Addr
+regionStride(const WorkloadParams &wl)
+{
+    return roundUp(wl.regionBytes, 1ull << 20);
+}
+
+} // anonymous namespace
+
+System::System(const SystemConfig &cfg_in)
+    : cfg(cfg_in),
+      nvmDev(cfg_in.nvm, &registry)
+{
+    cnvm_assert(cfg.numCores >= 1);
+    build();
+}
+
+System::~System() = default;
+
+void
+System::build()
+{
+    // Table 2: the counter cache is sized per core.
+    MemCtlConfig mc = cfg.memctl;
+    mc.design = cfg.design;
+    mc.counterCacheBytes = cfg.memctl.counterCacheBytes * cfg.numCores;
+    memCtl = std::make_unique<MemController>(eventq, nvmDev, mc,
+                                             &registry);
+
+    ClockDomain cpu_clock(static_cast<Tick>(1000.0 / cfg.cpuGHz));
+
+    for (unsigned i = 0; i < cfg.numCores; ++i) {
+        WorkloadParams wl = cfg.wl;
+        // The stagger keeps different cores' hot lines (log headers,
+        // metadata) off the same NVM banks: a plain power-of-two
+        // stride is a multiple of the bank-interleave period, which
+        // would pile every core's log area onto one bank.
+        Addr bank_stagger = Addr(i) * 33 * lineBytes;
+        wl.regionBase = cfg.dataRegionBase + i * regionStride(cfg.wl)
+                      + bank_stagger;
+        wl.seed = cfg.coreSeed(i);
+        workloads.push_back(makeWorkload(cfg.workload, wl));
+
+        memPaths.push_back(std::make_unique<CoreMemPath>(
+            eventq, cpu_clock, *memCtl, cfg.cache, i, &registry));
+        cores.push_back(std::make_unique<Core>(
+            eventq, cpu_clock, *memPaths.back(), *workloads.back(), i,
+            &registry));
+        cores.back()->setOnFinished([this]() {
+            ++finishedCores;
+            if (finishedCores == cfg.numCores) {
+                if (crashEvent && crashEvent->scheduled())
+                    eventq.deschedule(*crashEvent);
+                eventq.requestStop();
+            }
+        });
+    }
+
+    // Install each workload's initial state consistently: live view,
+    // encrypted image and counters, as a freshly booted system.
+    for (auto &wl : workloads) {
+        wl->setup([this](Addr a, const void *d, unsigned s) {
+            nvmDev.livePlainStore(
+                a, s, static_cast<const std::uint8_t *>(d));
+        });
+        wl->shadowMem().forEachLine(
+            [this](Addr addr, const LineData &data) {
+                memCtl->initLine(addr, data);
+            });
+    }
+    if (cfg.warmCounterCache) {
+        // Separate pass: warming during installation would capture
+        // counter lines whose neighbouring slots are not yet
+        // initialized, and a later flush of that stale (clean) copy
+        // would regress the persisted counters.
+        for (auto &wl : workloads) {
+            wl->shadowMem().forEachLine(
+                [this](Addr addr, const LineData &) {
+                    memCtl->warmCounterLine(addr);
+                });
+        }
+    }
+}
+
+RunResult
+System::runInternal()
+{
+    for (auto &core : cores)
+        core->start();
+
+    eventq.run();
+
+    RunResult result;
+    result.crashed = lastResult.crashed;
+    if (result.crashed) {
+        result.endTick = lastResult.endTick;
+    } else {
+        Tick latest = 0;
+        for (auto &core : cores)
+            latest = std::max(latest, core->finishedAt());
+        result.endTick = latest;
+        // Let outstanding queue drains settle for accurate traffic
+        // accounting.
+        eventq.run();
+    }
+    for (auto &wl : workloads)
+        result.txnsIssued += wl->txnsIssued();
+    lastResult = result;
+    return result;
+}
+
+RunResult
+System::run()
+{
+    return runInternal();
+}
+
+void
+System::doCrash()
+{
+    lastResult.crashed = true;
+    lastResult.endTick = eventq.curTick();
+    for (auto &core : cores)
+        core->halt();
+    for (auto &path : memPaths)
+        path->dropAll();
+    memCtl->crash();
+    eventq.requestStop();
+}
+
+RunResult
+System::runWithCrashAt(Tick crash_tick)
+{
+    // The crash runs at maximum priority so it observes (and discards)
+    // the state before any same-tick model activity.
+    crashEvent = std::make_unique<EventFunctionWrapper>(
+        [this]() { doCrash(); }, "power-failure", Event::MinPriority);
+    eventq.schedule(*crashEvent, crash_tick);
+    return runInternal();
+}
+
+std::vector<RecoveryReport>
+System::recoverAll()
+{
+    RecoveryEngine engine(nvmDev, *memCtl);
+    std::vector<RecoveryReport> reports;
+    reports.reserve(workloads.size());
+    for (auto &wl : workloads)
+        reports.push_back(engine.recover(*wl));
+    return reports;
+}
+
+bool
+System::recoveredConsistently(std::string *first_failure)
+{
+    for (const RecoveryReport &report : recoverAll()) {
+        if (!report.consistent) {
+            if (first_failure != nullptr)
+                *first_failure = report.detail;
+            return false;
+        }
+    }
+    return true;
+}
+
+double
+System::throughputTxnPerSec() const
+{
+    if (lastResult.endTick == 0)
+        return 0.0;
+    double seconds = static_cast<double>(lastResult.endTick) * 1e-12;
+    return static_cast<double>(lastResult.txnsIssued) / seconds;
+}
+
+double
+System::counterCacheMissRate() const
+{
+    const stats::Stat *hits = registry.find("ctrcache.read_hits");
+    const stats::Stat *misses = registry.find("ctrcache.read_misses");
+    if (hits == nullptr || misses == nullptr)
+        return 0.0;
+    double total = hits->value() + misses->value();
+    return total == 0.0 ? 0.0 : misses->value() / total;
+}
+
+std::string
+System::describe() const
+{
+    std::ostringstream os;
+    os << designName(cfg.design) << ", " << cfg.numCores << " core(s), "
+       << workloadKindName(cfg.workload) << ", "
+       << (cfg.memctl.counterCacheBytes >> 10) << "KB counter cache/core, "
+       << cfg.memctl.dataWqEntries << "/" << cfg.memctl.ctrWqEntries
+       << " data/counter WQ entries";
+    return os.str();
+}
+
+} // namespace cnvm

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Top-level system: wires cores, caches, the memory controller and the
+ * NVM device for one design point, runs workloads, injects crashes, and
+ * drives recovery.
+ *
+ * This is the library's primary entry point:
+ *
+ *   SystemConfig cfg;
+ *   cfg.design = DesignPoint::SCA;
+ *   cfg.workload = WorkloadKind::BTree;
+ *   System sys(cfg);
+ *   sys.run();
+ *   std::cout << sys.runtimeNs() << " ns\n";
+ */
+
+#ifndef CNVM_CORE_SYSTEM_HH
+#define CNVM_CORE_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/recovery.hh"
+#include "cpu/core.hh"
+#include "mem/core_mem_path.hh"
+#include "memctl/mem_controller.hh"
+#include "nvm/nvm_device.hh"
+#include "sim/eventq.hh"
+#include "stats/stats.hh"
+
+namespace cnvm
+{
+
+/** Outcome of a simulation run. */
+struct RunResult
+{
+    /** Last tick of interest: crash tick, or the latest core finish. */
+    Tick endTick = 0;
+
+    /** Whether the run was terminated by an injected power failure. */
+    bool crashed = false;
+
+    /** Transactions issued across all cores by the end of the run. */
+    std::uint64_t txnsIssued = 0;
+};
+
+class System
+{
+  public:
+    explicit System(const SystemConfig &cfg);
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /** Runs every core's workload to completion. */
+    RunResult run();
+
+    /**
+     * Runs until @p crash_tick, then models a power failure: cores
+     * halt, caches and unready queue entries are lost, ADR drains the
+     * ready entries. If all cores finish first, no crash happens.
+     */
+    RunResult runWithCrashAt(Tick crash_tick);
+
+    /** Recovers and verifies every core's region after a crash. */
+    std::vector<RecoveryReport> recoverAll();
+
+    /** Aggregate: true iff every region recovered consistently. */
+    bool recoveredConsistently(std::string *first_failure = nullptr);
+
+    // ------------------------------------------------------------------
+    // Metrics
+    // ------------------------------------------------------------------
+
+    /** Wall time of the run: latest core finish (or crash) tick. */
+    Tick runtimeTicks() const { return lastResult.endTick; }
+    double runtimeNs() const
+    { return static_cast<double>(lastResult.endTick) / ticksPerNs; }
+
+    /** Committed transactions per second of simulated time. */
+    double throughputTxnPerSec() const;
+
+    std::uint64_t nvmBytesWritten() const { return nvmDev.bytesWritten(); }
+    std::uint64_t nvmBytesRead() const { return nvmDev.bytesRead(); }
+
+    /** Counter cache read miss rate (0 for designs without one). */
+    double counterCacheMissRate() const;
+
+    stats::StatRegistry &statsRegistry() { return registry; }
+    MemController &controller() { return *memCtl; }
+    NvmDevice &nvm() { return nvmDev; }
+    Workload &workload(unsigned core) { return *workloads.at(core); }
+    unsigned numCores() const { return cfg.numCores; }
+    const SystemConfig &config() const { return cfg; }
+    EventQueue &eventQueue() { return eventq; }
+
+    /** One-line description of the configured design point. */
+    std::string describe() const;
+
+  private:
+    SystemConfig cfg;
+    EventQueue eventq;
+    stats::StatRegistry registry;
+    NvmDevice nvmDev;
+    std::unique_ptr<MemController> memCtl;
+    std::vector<std::unique_ptr<Workload>> workloads;
+    std::vector<std::unique_ptr<CoreMemPath>> memPaths;
+    std::vector<std::unique_ptr<Core>> cores;
+
+    unsigned finishedCores = 0;
+    RunResult lastResult;
+    std::unique_ptr<EventFunctionWrapper> crashEvent;
+
+    void build();
+    void doCrash();
+    RunResult runInternal();
+};
+
+} // namespace cnvm
+
+#endif // CNVM_CORE_SYSTEM_HH

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The operation stream a simulated core executes.
+ *
+ * Workloads are trace-driven with functional payloads: the data
+ * structure logic runs host-side and emits a stream of memory
+ * operations (with real store bytes) that the timing model executes.
+ */
+
+#ifndef CNVM_CPU_OP_HH
+#define CNVM_CPU_OP_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace cnvm
+{
+
+/** Kinds of operations a core can execute. */
+enum class OpType
+{
+    Load,     //!< blocking line read
+    Store,    //!< write-allocate store of 1..64 bytes within a line
+    Clwb,     //!< cache-line writeback (no invalidate), non-blocking
+    CtrWb,    //!< counter_cache_writeback() for the covering counter line
+    Fence,    //!< sfence: wait for outstanding Clwb/CtrWb acceptance
+    Compute,  //!< spend N core cycles
+};
+
+/** One operation. */
+struct Op
+{
+    OpType type = OpType::Compute;
+    Addr addr = 0;
+    unsigned size = 0;
+    bool counterAtomic = false;
+    Cycles cycles = 0;
+    std::array<std::uint8_t, lineBytes> bytes{};
+
+    static Op
+    load(Addr addr)
+    {
+        Op op;
+        op.type = OpType::Load;
+        op.addr = addr;
+        return op;
+    }
+
+    static Op
+    store(Addr addr, const void *data, unsigned size, bool ca = false)
+    {
+        cnvm_assert(size > 0 && size <= lineBytes);
+        cnvm_assert(lineAlign(addr) == lineAlign(addr + size - 1));
+        Op op;
+        op.type = OpType::Store;
+        op.addr = addr;
+        op.size = size;
+        op.counterAtomic = ca;
+        std::memcpy(op.bytes.data(), data, size);
+        return op;
+    }
+
+    static Op
+    clwb(Addr addr)
+    {
+        Op op;
+        op.type = OpType::Clwb;
+        op.addr = addr;
+        return op;
+    }
+
+    static Op
+    ctrwb(Addr addr)
+    {
+        Op op;
+        op.type = OpType::CtrWb;
+        op.addr = addr;
+        return op;
+    }
+
+    static Op
+    fence()
+    {
+        Op op;
+        op.type = OpType::Fence;
+        return op;
+    }
+
+    static Op
+    compute(Cycles cycles)
+    {
+        Op op;
+        op.type = OpType::Compute;
+        op.cycles = cycles;
+        return op;
+    }
+};
+
+/**
+ * Produces the operation stream for one core, one batch (typically one
+ * transaction) at a time.
+ */
+class OpSource
+{
+  public:
+    virtual ~OpSource() = default;
+
+    /**
+     * Appends the next batch of operations to @p out.
+     * @return false when the stream is exhausted (nothing appended).
+     */
+    virtual bool next(std::vector<Op> &out) = 0;
+};
+
+} // namespace cnvm
+
+#endif // CNVM_CPU_OP_HH

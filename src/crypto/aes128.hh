@@ -1,0 +1,51 @@
+/**
+ * @file
+ * AES-128 block cipher (FIPS-197), encryption direction only.
+ *
+ * Counter-mode encryption never decrypts with the block cipher — both
+ * directions XOR the same one-time pad — so only the forward cipher is
+ * implemented. This is a straightforward byte-oriented implementation;
+ * the simulator models the engine's 40 ns latency separately, so cipher
+ * throughput here only affects host-side simulation speed.
+ */
+
+#ifndef CNVM_CRYPTO_AES128_HH
+#define CNVM_CRYPTO_AES128_HH
+
+#include <array>
+#include <cstdint>
+
+namespace cnvm::crypto
+{
+
+/** AES-128: 128-bit key, 128-bit block, 10 rounds. */
+class Aes128
+{
+  public:
+    static constexpr unsigned blockBytes = 16;
+    static constexpr unsigned keyBytes = 16;
+    static constexpr unsigned rounds = 10;
+
+    /** Constructs with the all-zero key (still a valid cipher). */
+    Aes128();
+
+    /** Constructs and expands the given 16-byte key. */
+    explicit Aes128(const std::uint8_t key[keyBytes]);
+
+    /** Replaces the key and recomputes the key schedule. */
+    void setKey(const std::uint8_t key[keyBytes]);
+
+    /** Encrypts one 16-byte block; @p in and @p out may alias. */
+    void encryptBlock(const std::uint8_t in[blockBytes],
+                      std::uint8_t out[blockBytes]) const;
+
+  private:
+    /** Expanded key schedule: (rounds + 1) 16-byte round keys. */
+    std::array<std::uint8_t, (rounds + 1) * blockBytes> roundKeys;
+
+    void expandKey(const std::uint8_t key[keyBytes]);
+};
+
+} // namespace cnvm::crypto
+
+#endif // CNVM_CRYPTO_AES128_HH

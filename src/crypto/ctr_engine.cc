@@ -1,0 +1,47 @@
+#include "crypto/ctr_engine.hh"
+
+#include "common/logging.hh"
+
+namespace cnvm::crypto
+{
+
+LineData
+CtrEngine::makePad(Addr addr, std::uint64_t counter) const
+{
+    cnvm_assert(isLineAligned(addr));
+
+    LineData pad;
+    for (unsigned block = 0; block < lineBytes / Aes128::blockBytes;
+         ++block) {
+        // Tweak block: little-endian (address of this 16 B sub-block,
+        // per-line write counter).
+        std::uint8_t input[Aes128::blockBytes];
+        std::uint64_t tweak_addr = addr + block * Aes128::blockBytes;
+        for (unsigned i = 0; i < 8; ++i) {
+            input[i] = static_cast<std::uint8_t>(tweak_addr >> (8 * i));
+            input[8 + i] = static_cast<std::uint8_t>(counter >> (8 * i));
+        }
+        cipher.encryptBlock(input, &pad[block * Aes128::blockBytes]);
+    }
+    return pad;
+}
+
+LineData
+CtrEngine::encrypt(Addr addr, std::uint64_t counter,
+                   const LineData &plaintext) const
+{
+    LineData out = makePad(addr, counter);
+    for (unsigned i = 0; i < lineBytes; ++i)
+        out[i] ^= plaintext[i];
+    return out;
+}
+
+LineData
+CtrEngine::decrypt(Addr addr, std::uint64_t counter,
+                   const LineData &ciphertext) const
+{
+    // XOR with the same pad; identical to encrypt by construction.
+    return encrypt(addr, counter, ciphertext);
+}
+
+} // namespace cnvm::crypto

@@ -1,0 +1,128 @@
+#include "mem/cache.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace cnvm
+{
+
+Cache::Cache(std::string name, std::uint64_t size_bytes, unsigned assoc)
+    : cacheName(std::move(name)), ways(assoc)
+{
+    cnvm_assert(assoc > 0);
+    cnvm_assert(size_bytes % (static_cast<std::uint64_t>(assoc) * lineBytes)
+                == 0);
+    numSets = size_bytes / (static_cast<std::uint64_t>(assoc) * lineBytes);
+    if (!isPowerOf2(numSets))
+        cnvm_fatal("cache '%s': set count %llu is not a power of two",
+                   cacheName.c_str(),
+                   static_cast<unsigned long long>(numSets));
+    lines.resize(numSets * ways);
+}
+
+std::uint64_t
+Cache::setIndex(Addr addr) const
+{
+    return (addr / lineBytes) & (numSets - 1);
+}
+
+CacheLine *
+Cache::setBase(std::uint64_t set)
+{
+    return &lines[set * ways];
+}
+
+CacheLine *
+Cache::peek(Addr addr)
+{
+    addr = lineAlign(addr);
+    CacheLine *base = setBase(setIndex(addr));
+    for (unsigned w = 0; w < ways; ++w) {
+        if (base[w].valid && base[w].addr == addr)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const CacheLine *
+Cache::peek(Addr addr) const
+{
+    return const_cast<Cache *>(this)->peek(addr);
+}
+
+CacheLine *
+Cache::access(Addr addr)
+{
+    CacheLine *line = peek(addr);
+    if (line != nullptr)
+        line->lruStamp = nextStamp++;
+    return line;
+}
+
+std::optional<Eviction>
+Cache::allocate(Addr addr, const LineData &fill)
+{
+    addr = lineAlign(addr);
+    cnvm_assert(peek(addr) == nullptr);
+
+    CacheLine *base = setBase(setIndex(addr));
+    CacheLine *victim = nullptr;
+    for (unsigned w = 0; w < ways; ++w) {
+        CacheLine &cand = base[w];
+        if (!cand.valid) {
+            victim = &cand;
+            break;
+        }
+        if (victim == nullptr || cand.lruStamp < victim->lruStamp)
+            victim = &cand;
+    }
+
+    std::optional<Eviction> evicted;
+    if (victim->valid) {
+        evicted = Eviction{victim->addr, victim->dirty,
+                           victim->counterAtomic, victim->data};
+    }
+
+    victim->addr = addr;
+    victim->valid = true;
+    victim->dirty = false;
+    victim->counterAtomic = false;
+    victim->lruStamp = nextStamp++;
+    victim->data = fill;
+    return evicted;
+}
+
+std::optional<Eviction>
+Cache::invalidate(Addr addr)
+{
+    CacheLine *line = peek(addr);
+    if (line == nullptr)
+        return std::nullopt;
+    Eviction out{line->addr, line->dirty, line->counterAtomic, line->data};
+    line->valid = false;
+    line->dirty = false;
+    line->counterAtomic = false;
+    return out;
+}
+
+std::uint64_t
+Cache::validCount() const
+{
+    std::uint64_t n = 0;
+    for (const CacheLine &line : lines)
+        n += line.valid ? 1 : 0;
+    return n;
+}
+
+void
+Cache::reset()
+{
+    for (CacheLine &line : lines) {
+        line.valid = false;
+        line.dirty = false;
+        line.counterAtomic = false;
+    }
+    nextStamp = 1;
+}
+
+} // namespace cnvm

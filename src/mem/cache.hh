@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Set-associative writeback cache with the line state needed for
+ * persistent-memory semantics: a dirty bit, and a counter-atomic bit
+ * recording that the line's pending update carries the CounterAtomic
+ * annotation (paper section 4.3) so that its eventual writeback is
+ * enforced as counter-atomic by the memory controller.
+ *
+ * This class is purely structural (tags, data, LRU); all timing lives in
+ * the CoreMemPath orchestration layer.
+ */
+
+#ifndef CNVM_MEM_CACHE_HH
+#define CNVM_MEM_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "crypto/ctr_engine.hh"
+
+namespace cnvm
+{
+
+/** One resident cache line. */
+struct CacheLine
+{
+    Addr addr = 0;          //!< line-aligned address (tag + index)
+    bool valid = false;
+    bool dirty = false;
+    /** Pending update must be written back counter-atomically. */
+    bool counterAtomic = false;
+    std::uint64_t lruStamp = 0;
+    LineData data{};
+};
+
+/** A victim line removed to make room for an allocation. */
+struct Eviction
+{
+    Addr addr = 0;
+    bool dirty = false;
+    bool counterAtomic = false;
+    LineData data{};
+};
+
+/**
+ * Structural set-associative cache, LRU replacement, 64 B lines.
+ */
+class Cache
+{
+  public:
+    /**
+     * @param name        diagnostic name
+     * @param size_bytes  total capacity; must be a multiple of
+     *                    assoc * lineBytes and index count a power of two
+     * @param assoc       number of ways
+     */
+    Cache(std::string name, std::uint64_t size_bytes, unsigned assoc);
+
+    /** Looks a line up without touching LRU state. */
+    CacheLine *peek(Addr addr);
+    const CacheLine *peek(Addr addr) const;
+
+    /** Looks a line up and, on hit, makes it most recently used. */
+    CacheLine *access(Addr addr);
+
+    /**
+     * Allocates a frame for @p addr (which must not be resident),
+     * evicting the LRU victim of the set if every way is valid.
+     *
+     * @return the victim, when one had to be displaced.
+     */
+    std::optional<Eviction> allocate(Addr addr, const LineData &fill);
+
+    /** Invalidates a line if present; returns its prior content. */
+    std::optional<Eviction> invalidate(Addr addr);
+
+    /** Number of valid lines currently resident. */
+    std::uint64_t validCount() const;
+
+    std::uint64_t sizeBytes() const { return numSets * ways * lineBytes; }
+    unsigned associativity() const { return ways; }
+    std::uint64_t sets() const { return numSets; }
+    const std::string &name() const { return cacheName; }
+
+    /** Drops every line (used when modelling a power failure). */
+    void reset();
+
+  private:
+    std::string cacheName;
+    std::uint64_t numSets;
+    unsigned ways;
+    std::uint64_t nextStamp = 1;
+    std::vector<CacheLine> lines;   //!< numSets * ways, set-major
+
+    std::uint64_t setIndex(Addr addr) const;
+    CacheLine *setBase(std::uint64_t set);
+};
+
+} // namespace cnvm
+
+#endif // CNVM_MEM_CACHE_HH

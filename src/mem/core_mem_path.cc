@@ -1,0 +1,310 @@
+#include "mem/core_mem_path.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+#include "sim/one_shot.hh"
+
+namespace cnvm
+{
+
+namespace
+{
+
+std::string
+statName(unsigned core, const char *leaf)
+{
+    return "core" + std::to_string(core) + ".mem." + leaf;
+}
+
+} // anonymous namespace
+
+CoreMemPath::CoreMemPath(EventQueue &eq, ClockDomain cpu_clock,
+                         MemBackend &backend, const CachePathConfig &cfg,
+                         unsigned core_id, stats::StatRegistry *registry)
+    : Clocked(eq, cpu_clock),
+      backend(backend),
+      l1("core" + std::to_string(core_id) + ".l1", cfg.l1Bytes, cfg.l1Assoc),
+      l2("core" + std::to_string(core_id) + ".l2", cfg.l2Bytes, cfg.l2Assoc),
+      cfg(cfg),
+      id(core_id),
+      l1Hits(statName(core_id, "l1_hits"), "L1 hits"),
+      l1Misses(statName(core_id, "l1_misses"), "L1 misses"),
+      l2Hits(statName(core_id, "l2_hits"), "L2 hits"),
+      l2Misses(statName(core_id, "l2_misses"), "L2 misses"),
+      writebacks(statName(core_id, "writebacks"),
+                 "clwb-induced writebacks sent to the controller"),
+      evictions(statName(core_id, "evictions"),
+                "dirty evictions sent to the controller"),
+      loadTicks(statName(core_id, "load_ticks"),
+                "load completion latency (ticks)", nsToTicks(10), 100)
+{
+    if (registry != nullptr) {
+        registry->registerStat(l1Hits);
+        registry->registerStat(l1Misses);
+        registry->registerStat(l2Hits);
+        registry->registerStat(l2Misses);
+        registry->registerStat(writebacks);
+        registry->registerStat(evictions);
+        registry->registerStat(loadTicks);
+    }
+}
+
+void
+CoreMemPath::after(Cycles cycles, std::function<void()> fn)
+{
+    scheduleAfter(eventq, cyclesToTicks(cycles), std::move(fn));
+}
+
+void
+CoreMemPath::load(Addr addr, std::function<void()> done)
+{
+    addr = lineAlign(addr);
+    Tick start = curTick();
+    done = [this, start, done = std::move(done)]() {
+        loadTicks.sample(curTick() - start);
+        done();
+    };
+    after(cfg.l1Cycles, [this, addr, done = std::move(done)]() mutable {
+        if (l1.access(addr) != nullptr) {
+            ++l1Hits;
+            done();
+            return;
+        }
+        ++l1Misses;
+        after(cfg.l2Cycles, [this, addr, done = std::move(done)]() mutable {
+            CacheLine *line = l2.access(addr);
+            if (line != nullptr) {
+                ++l2Hits;
+                fillL1(addr, line->data);
+                done();
+                return;
+            }
+            ++l2Misses;
+            missToMemory(addr, std::move(done));
+        });
+    });
+}
+
+void
+CoreMemPath::missToMemory(Addr addr, std::function<void()> done)
+{
+    backend.issueRead(addr, id,
+        [this, addr, done = std::move(done)]() mutable {
+            LineData data = backend.functionalRead(addr);
+            fillBoth(addr, data, std::move(done));
+        });
+}
+
+void
+CoreMemPath::store(Addr addr, unsigned size, const std::uint8_t *bytes,
+                   bool counter_atomic, std::function<void()> done)
+{
+    Addr line_addr = lineAlign(addr);
+    cnvm_assert(size > 0 && size <= lineBytes);
+    cnvm_assert(addr + size <= line_addr + lineBytes);
+
+    // Capture the payload by value; the caller's buffer may not outlive
+    // the cache latency.
+    LineData payload{};
+    std::memcpy(payload.data(), bytes, size);
+    unsigned offset = static_cast<unsigned>(addr - line_addr);
+
+    auto apply = [this, line_addr, offset, size, payload, counter_atomic,
+                  done = std::move(done)]() mutable {
+        CacheLine *line = l1.access(line_addr);
+        cnvm_assert(line != nullptr);
+        std::memcpy(line->data.data() + offset, payload.data(), size);
+        line->dirty = true;
+        line->counterAtomic |= counter_atomic;
+        backend.functionalStore(line_addr + offset, size, payload.data());
+        done();
+    };
+
+    after(cfg.l1Cycles, [this, line_addr, apply = std::move(apply)]() mutable {
+        if (l1.access(line_addr) != nullptr) {
+            ++l1Hits;
+            apply();
+            return;
+        }
+        ++l1Misses;
+        // Write-allocate: fetch the line, then apply the merge.
+        after(cfg.l2Cycles,
+              [this, line_addr, apply = std::move(apply)]() mutable {
+            CacheLine *line = l2.access(line_addr);
+            if (line != nullptr) {
+                ++l2Hits;
+                fillL1(line_addr, line->data);
+                apply();
+                return;
+            }
+            ++l2Misses;
+            missToMemory(line_addr, std::move(apply));
+        });
+    });
+}
+
+void
+CoreMemPath::clwb(Addr addr, std::function<void()> done)
+{
+    Addr line_addr = lineAlign(addr);
+    after(cfg.l1Cycles, [this, line_addr, done = std::move(done)]() mutable {
+        // Push any newer L1 data down into L2 (clwb does not invalidate).
+        CacheLine *l1_line = l1.peek(line_addr);
+        if (l1_line != nullptr && l1_line->dirty) {
+            CacheLine *l2_line = l2.access(line_addr);
+            // Inclusive hierarchy: the L2 copy must exist.
+            cnvm_assert(l2_line != nullptr);
+            l2_line->data = l1_line->data;
+            l2_line->dirty = true;
+            l2_line->counterAtomic |= l1_line->counterAtomic;
+            l1_line->dirty = false;
+            l1_line->counterAtomic = false;
+        }
+
+        after(cfg.l2Cycles,
+              [this, line_addr, done = std::move(done)]() mutable {
+            CacheLine *l2_line = l2.peek(line_addr);
+            if (l2_line == nullptr || !l2_line->dirty) {
+                // Clean (or already evicted, i.e. already written back):
+                // nothing to persist.
+                done();
+                return;
+            }
+            ++writebacks;
+            LineData data = l2_line->data;
+            bool ca = l2_line->counterAtomic;
+            l2_line->dirty = false;
+            l2_line->counterAtomic = false;
+            writebackToMem(line_addr, data, ca, std::move(done));
+        });
+    });
+}
+
+void
+CoreMemPath::ctrwb(Addr addr, std::function<void()> done)
+{
+    Addr line_addr = lineAlign(addr);
+    // The request travels the same pipeline as writebacks so that a
+    // counter_cache_writeback() issued after a clwb in program order
+    // reaches the controller after that clwb's write and flushes the
+    // freshly updated counters, not stale ones.
+    after(cfg.l1Cycles + cfg.l2Cycles,
+          [this, line_addr, done = std::move(done)]() mutable {
+        auto attempt = [this, line_addr, done]() {
+            return backend.tryCtrWriteback(line_addr, done);
+        };
+        if (!stalled.empty() || !attempt())
+            pushStalled(attempt);
+    });
+}
+
+void
+CoreMemPath::writebackToMem(Addr addr, const LineData &data, bool ca,
+                            std::function<void()> accepted)
+{
+    WriteReq req;
+    req.addr = addr;
+    req.data = data;
+    req.counterAtomic = ca;
+    req.coreId = id;
+    req.accepted = std::move(accepted);
+
+    auto attempt = [this, req]() { return backend.tryWrite(req); };
+    if (!stalled.empty() || !attempt())
+        pushStalled(attempt);
+}
+
+void
+CoreMemPath::pushStalled(std::function<bool()> attempt)
+{
+    stalled.push_back(std::move(attempt));
+    if (!retryRegistered) {
+        retryRegistered = true;
+        backend.registerRetry([this]() {
+            retryRegistered = false;
+            drainStalled();
+        });
+    }
+}
+
+void
+CoreMemPath::drainStalled()
+{
+    while (!stalled.empty()) {
+        if (!stalled.front()()) {
+            // Still no space; wait for the next notification.
+            if (!retryRegistered) {
+                retryRegistered = true;
+                backend.registerRetry([this]() {
+                    retryRegistered = false;
+                    drainStalled();
+                });
+            }
+            return;
+        }
+        stalled.pop_front();
+    }
+}
+
+void
+CoreMemPath::fillL1(Addr addr, const LineData &fill)
+{
+    if (l1.peek(addr) != nullptr)
+        return;
+    auto victim = l1.allocate(addr, fill);
+    if (victim && victim->dirty) {
+        // Merge newer L1 data into the (inclusive) L2 copy.
+        CacheLine *l2_line = l2.access(victim->addr);
+        cnvm_assert(l2_line != nullptr);
+        l2_line->data = victim->data;
+        l2_line->dirty = true;
+        l2_line->counterAtomic |= victim->counterAtomic;
+    }
+}
+
+void
+CoreMemPath::fillBoth(Addr addr, const LineData &fill,
+                      std::function<void()> done)
+{
+    if (l2.peek(addr) == nullptr) {
+        auto victim = l2.allocate(addr, fill);
+        if (victim) {
+            // Maintain inclusion: pull any newer L1 copy into the victim.
+            auto l1_copy = l1.invalidate(victim->addr);
+            if (l1_copy && l1_copy->dirty) {
+                victim->data = l1_copy->data;
+                victim->dirty = true;
+                victim->counterAtomic |= l1_copy->counterAtomic;
+            }
+            if (victim->dirty) {
+                ++evictions;
+                writebackToMem(victim->addr, victim->data,
+                               victim->counterAtomic, nullptr);
+            }
+        }
+    }
+    fillL1(addr, fill);
+    done();
+}
+
+void
+CoreMemPath::dropAll()
+{
+    l1.reset();
+    l2.reset();
+    stalled.clear();
+}
+
+LineData
+CoreMemPath::functionalRead(Addr addr) const
+{
+    addr = lineAlign(addr);
+    if (const CacheLine *line = l1.peek(addr))
+        return line->data;
+    if (const CacheLine *line = l2.peek(addr))
+        return line->data;
+    return backend.functionalRead(addr);
+}
+
+} // namespace cnvm

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Per-core memory path: a private L1 + L2 pair in front of the shared
+ * memory controller, with the timing orchestration for loads, stores,
+ * clwb-style writebacks and counter_cache_writeback() requests.
+ *
+ * The evaluated workloads operate on disjoint per-core data (paper
+ * section 6.3.2: "each thread performs the same operations on different
+ * cores"), so no coherence protocol is modelled; contention is captured
+ * where the paper's effects live — in the shared memory controller and
+ * the NVM device.
+ */
+
+#ifndef CNVM_MEM_CORE_MEM_PATH_HH
+#define CNVM_MEM_CORE_MEM_PATH_HH
+
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "mem/cache.hh"
+#include "mem/mem_backend.hh"
+#include "sim/clocked.hh"
+#include "stats/stats.hh"
+
+namespace cnvm
+{
+
+/** Geometry and latency of the private cache levels. */
+struct CachePathConfig
+{
+    std::uint64_t l1Bytes = 64 * 1024;
+    unsigned l1Assoc = 8;
+    Cycles l1Cycles = 4;
+
+    std::uint64_t l2Bytes = 2 * 1024 * 1024;
+    unsigned l2Assoc = 8;
+    Cycles l2Cycles = 20;
+};
+
+/**
+ * The L1/L2 pair of one core. Inclusive hierarchy (L1 subset of L2);
+ * L2 evictions back-invalidate L1, merging any newer L1 data first.
+ */
+class CoreMemPath : public Clocked
+{
+  public:
+    CoreMemPath(EventQueue &eq, ClockDomain cpu_clock,
+                MemBackend &backend, const CachePathConfig &cfg,
+                unsigned core_id, stats::StatRegistry *registry);
+
+    /** Line-granularity load; @p done fires when data is usable. */
+    void load(Addr addr, std::function<void()> done);
+
+    /**
+     * Store of @p size bytes at @p addr (must not cross a line).
+     * Write-allocate: a miss fetches the line first.
+     *
+     * @param counter_atomic the store carries the CounterAtomic
+     *        annotation; the line's eventual writeback must pair data
+     *        and counter persistence.
+     */
+    void store(Addr addr, unsigned size, const std::uint8_t *bytes,
+               bool counter_atomic, std::function<void()> done);
+
+    /**
+     * clwb: writes the line back without invalidating; @p done fires
+     * when the write is accepted into the persistence domain (or at
+     * once if the line is clean everywhere).
+     */
+    void clwb(Addr addr, std::function<void()> done);
+
+    /**
+     * counter_cache_writeback() for the counter line covering
+     * @p addr; @p done fires on ADR acceptance.
+     */
+    void ctrwb(Addr addr, std::function<void()> done);
+
+    /** Models power failure: every volatile line is lost. */
+    void dropAll();
+
+    /** Reads current plaintext as the core would see it (functional). */
+    LineData functionalRead(Addr addr) const;
+
+    /** Writes waiting for controller space (retry queue depth). */
+    std::size_t stalledDepth() const { return stalled.size(); }
+
+    unsigned coreId() const { return id; }
+
+  private:
+    MemBackend &backend;
+    Cache l1;
+    Cache l2;
+    CachePathConfig cfg;
+    unsigned id;
+
+    /** Deferred writes waiting for controller space, retried in order. */
+    std::deque<std::function<bool()>> stalled;
+    bool retryRegistered = false;
+
+    stats::Scalar l1Hits;
+    stats::Scalar l1Misses;
+    stats::Scalar l2Hits;
+    stats::Scalar l2Misses;
+    stats::Scalar writebacks;
+    stats::Scalar evictions;
+    stats::Histogram loadTicks;
+
+    /** Runs @p fn after @p cycles core cycles. */
+    void after(Cycles cycles, std::function<void()> fn);
+
+    /**
+     * Brings @p addr into L2 and L1 (data from @p fill), handling the
+     * eviction chain, then runs @p done. Either level may already hold
+     * the line.
+     */
+    void fillBoth(Addr addr, const LineData &fill,
+                  std::function<void()> done);
+
+    /** Installs into L1 only, handling an L1 victim (merge into L2). */
+    void fillL1(Addr addr, const LineData &fill);
+
+    /**
+     * Sends a dirty line to the controller, queueing behind earlier
+     * stalled writes if the controller is full; @p then (optional) runs
+     * once the write has been handed over.
+     */
+    void writebackToMem(Addr addr, const LineData &data, bool ca,
+                        std::function<void()> accepted);
+
+    /** Attempts the stalled queue front-to-back; re-arms the retry. */
+    void drainStalled();
+
+    /** Pushes one deferred attempt and arms the controller retry. */
+    void pushStalled(std::function<bool()> attempt);
+
+    void missToMemory(Addr addr, std::function<void()> done);
+};
+
+} // namespace cnvm
+
+#endif // CNVM_MEM_CORE_MEM_PATH_HH

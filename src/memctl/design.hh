@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The evaluated design points (paper section 6.1).
+ */
+
+#ifndef CNVM_MEMCTL_DESIGN_HH
+#define CNVM_MEMCTL_DESIGN_HH
+
+#include <string>
+
+namespace cnvm
+{
+
+/**
+ * Memory-system design points evaluated by the paper, plus an extra
+ * negative control (Unsafe) used to demonstrate the Figure-4
+ * inconsistency.
+ */
+enum class DesignPoint
+{
+    /** Plaintext NVMM; no counters, no encryption engine. */
+    NoEncryption,
+
+    /**
+     * Counter-mode encryption whose counter persistence is free: no
+     * counter write traffic, no atomicity stalls, yet always crash
+     * consistent. Upper bound (paper "Ideal").
+     */
+    Ideal,
+
+    /**
+     * Data and counter co-located in a 72 B line over a 72-bit bus; no
+     * counter cache, so decryption is serialized after every read
+     * (paper section 3.2.1, Figure 5a).
+     */
+    Colocated,
+
+    /**
+     * Co-located design plus a counter cache, so decryption overlaps
+     * the read on a counter hit (paper Figure 5b).
+     */
+    ColocatedCC,
+
+    /**
+     * Full counter-atomicity: separate counter address space on the
+     * stock 64-bit bus; every write pairs a data and a counter-line
+     * write via the ready-bit protocol, and the write queues drain
+     * strictly in order (paper section 3.2.2).
+     */
+    FCA,
+
+    /**
+     * Selective counter-atomicity (the proposal): only
+     * CounterAtomic-annotated writes pair; all other counter updates
+     * stay dirty in the counter cache until counter_cache_writeback()
+     * or eviction (paper section 4).
+     */
+    SCA,
+
+    /**
+     * Counter-mode encryption with no counter-atomicity at all:
+     * annotations ignored. Crash-unsafe by construction; recovers
+     * inconsistently when a counter-atomic window is torn.
+     */
+    Unsafe,
+};
+
+/** Short display name, matching the paper's figure legends. */
+inline const char *
+designName(DesignPoint d)
+{
+    switch (d) {
+      case DesignPoint::NoEncryption: return "NoEncryption";
+      case DesignPoint::Ideal: return "Ideal";
+      case DesignPoint::Colocated: return "Co-located";
+      case DesignPoint::ColocatedCC: return "Co-located w/ C-Cache";
+      case DesignPoint::FCA: return "FCA";
+      case DesignPoint::SCA: return "SCA";
+      case DesignPoint::Unsafe: return "Unsafe";
+    }
+    return "?";
+}
+
+/** True for designs that encrypt memory at all. */
+inline bool
+designEncrypts(DesignPoint d)
+{
+    return d != DesignPoint::NoEncryption;
+}
+
+/** True for designs that keep counters in a separate address space. */
+inline bool
+designSeparateCounters(DesignPoint d)
+{
+    switch (d) {
+      case DesignPoint::Ideal:
+      case DesignPoint::FCA:
+      case DesignPoint::SCA:
+      case DesignPoint::Unsafe:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** True for designs with an on-chip counter cache. */
+inline bool
+designHasCounterCache(DesignPoint d)
+{
+    return designSeparateCounters(d) || d == DesignPoint::ColocatedCC;
+}
+
+/** True for designs guaranteed to recover consistently after a crash. */
+inline bool
+designCrashConsistent(DesignPoint d)
+{
+    return d != DesignPoint::Unsafe;
+}
+
+} // namespace cnvm
+
+#endif // CNVM_MEMCTL_DESIGN_HH

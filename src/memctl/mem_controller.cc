@@ -1,0 +1,935 @@
+#include "memctl/mem_controller.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.hh"
+#include "sim/one_shot.hh"
+
+namespace cnvm
+{
+
+MemController::MemController(EventQueue &eq, NvmDevice &nvm,
+                             const MemCtlConfig &cfg,
+                             stats::StatRegistry *registry)
+    : dataInserts("memctl.data_inserts", "data write-queue insertions"),
+      ctrInserts("memctl.ctr_inserts", "counter write-queue insertions"),
+      ctrCoalesces("memctl.ctr_coalesces",
+                   "counter writes merged into pending entries"),
+      dataCoalesces("memctl.data_coalesces",
+                    "data writes merged into pending entries"),
+      writeRejects("memctl.write_rejects",
+                   "writes refused for lack of queue space"),
+      readForwards("memctl.read_forwards",
+                   "reads served from the data write queue"),
+      atomicPairs("memctl.atomic_pairs",
+                  "counter-atomic data/counter pairs enforced"),
+      pairBlocks("memctl.pair_blocks",
+                 "writes blocked behind an incomplete pair on the same "
+                 "counter line (Figure 7a serialization)"),
+      ccFillReads("memctl.cc_fill_reads",
+                  "NVM reads issued to fill the counter cache"),
+      crashDroppedData("memctl.crash_dropped_data",
+                       "unready data entries dropped at power failure"),
+      crashDroppedCtr("memctl.crash_dropped_ctr",
+                      "unready counter entries dropped at power failure"),
+      ctrwbNoops("memctl.ctrwb_noops",
+                 "counter_cache_writeback calls that had nothing to do"),
+      eventq(eq),
+      nvm(nvm),
+      cfg(cfg),
+      ctrEngine(cfg.key.data()),
+      maxInflightWrites(nvm.timing().numBanks)
+{
+    if (designHasCounterCache(cfg.design)) {
+        counterCache = std::make_unique<CounterCache>(
+            cfg.counterCacheBytes, cfg.counterCacheAssoc, registry);
+    }
+    if (registry != nullptr) {
+        registry->registerStat(dataInserts);
+        registry->registerStat(ctrInserts);
+        registry->registerStat(ctrCoalesces);
+        registry->registerStat(dataCoalesces);
+        registry->registerStat(writeRejects);
+        registry->registerStat(readForwards);
+        registry->registerStat(atomicPairs);
+        registry->registerStat(pairBlocks);
+        registry->registerStat(ccFillReads);
+        registry->registerStat(crashDroppedData);
+        registry->registerStat(crashDroppedCtr);
+        registry->registerStat(ctrwbNoops);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Address-space helpers
+// ----------------------------------------------------------------------
+
+Addr
+MemController::counterLineAddr(Addr data_line_addr) const
+{
+    std::uint64_t line_index = data_line_addr / lineBytes;
+    return cfg.counterRegionBase + (line_index / countersPerLine) * lineBytes;
+}
+
+unsigned
+MemController::counterSlot(Addr data_line_addr) const
+{
+    return static_cast<unsigned>((data_line_addr / lineBytes)
+                                 % countersPerLine);
+}
+
+// ----------------------------------------------------------------------
+// Functional views
+// ----------------------------------------------------------------------
+
+LineData
+MemController::functionalRead(Addr addr) const
+{
+    return nvm.livePlainRead(lineAlign(addr));
+}
+
+void
+MemController::functionalStore(Addr addr, unsigned size,
+                               const std::uint8_t *bytes)
+{
+    nvm.livePlainStore(addr, size, bytes);
+}
+
+CounterLine
+MemController::memoryViewCounters(Addr ctr_addr) const
+{
+    CounterLine values = nvm.persistedCounters(ctr_addr);
+    // Pending counter-queue entries and not-yet-queued evictions are
+    // newer than the image; counters only grow, so merging by max
+    // yields the youngest value per slot.
+    for (const CtrEntry &entry : ctrQ) {
+        if (entry.addr != ctr_addr)
+            continue;
+        for (unsigned s = 0; s < countersPerLine; ++s)
+            values[s] = std::max(values[s], entry.values[s]);
+    }
+    for (const CounterEviction &ev : pendingCcEvictions) {
+        if (ev.addr != ctr_addr)
+            continue;
+        for (unsigned s = 0; s < countersPerLine; ++s)
+            values[s] = std::max(values[s], ev.values[s]);
+    }
+    return values;
+}
+
+CounterLine
+MemController::visibleCounters(Addr ctr_addr)
+{
+    if (counterCache != nullptr) {
+        if (CounterCacheLine *line = counterCache->peek(ctr_addr))
+            return line->values;
+    }
+    return memoryViewCounters(ctr_addr);
+}
+
+CounterLine
+MemController::currentCounters(Addr ctr_addr) const
+{
+    CounterLine values{};
+    std::uint64_t first_line =
+        (ctr_addr - cfg.counterRegionBase) / lineBytes * countersPerLine;
+    for (unsigned s = 0; s < countersPerLine; ++s) {
+        Addr data_addr = first_line * lineBytes
+                       + static_cast<Addr>(s) * lineBytes;
+        auto it = currentCounter.find(data_addr);
+        values[s] = it == currentCounter.end() ? 0 : it->second;
+    }
+    return values;
+}
+
+// ----------------------------------------------------------------------
+// Read path
+// ----------------------------------------------------------------------
+
+void
+MemController::finishRead(Tick when, ReadCallback done)
+{
+    ++outstandingReads;
+    scheduleAt(eventq, when, [this, done = std::move(done)]() {
+        --outstandingReads;
+        done();
+        kickDrain();
+    });
+}
+
+void
+MemController::issueRead(Addr addr, unsigned core_id, ReadCallback done)
+{
+    (void)core_id;
+    addr = lineAlign(addr);
+    Tick now = eventq.curTick();
+
+    // Forward from the newest matching data write-queue entry.
+    for (auto it = dataQ.rbegin(); it != dataQ.rend(); ++it) {
+        if (it->addr == addr) {
+            ++readForwards;
+            finishRead(now + cfg.forwardLatency, std::move(done));
+            return;
+        }
+    }
+
+    Tick data_arrival = nvm.scheduleRead(addr, now);
+
+    switch (cfg.design) {
+      case DesignPoint::NoEncryption:
+        finishRead(data_arrival, std::move(done));
+        return;
+
+      case DesignPoint::Colocated:
+        // No counter cache: the counter arrives with the data and
+        // decryption is serialized behind the read (Figure 6a).
+        finishRead(data_arrival + cfg.encLatency, std::move(done));
+        return;
+
+      case DesignPoint::ColocatedCC: {
+        Addr ctr_addr = counterLineAddr(addr);
+        if (counterCache->access(ctr_addr) != nullptr) {
+            ++counterCache->readHits;
+            // OTP generation overlaps the read (Figure 6b).
+            finishRead(std::max(data_arrival, now + cfg.encLatency),
+                       std::move(done));
+        } else {
+            ++counterCache->readMisses;
+            // The counter rides with the data: decryption waits for
+            // arrival, then the counter line is installed.
+            Tick ready = data_arrival + cfg.encLatency;
+            finishRead(ready, std::move(done));
+            scheduleAt(eventq, ready, [this, ctr_addr]() {
+                if (counterCache->peek(ctr_addr) == nullptr) {
+                    auto victim = counterCache->install(
+                        ctr_addr, currentCounters(ctr_addr), false);
+                    if (victim)
+                        handleCcEviction(*victim);
+                }
+            });
+        }
+        return;
+      }
+
+      default: {
+        // Separate-counter designs: overlap OTP generation with the
+        // data read on a counter hit; a miss fetches the counter line
+        // from NVMM first (section 5.2.1, "Counter Cache Miss").
+        Addr ctr_addr = counterLineAddr(addr);
+        if (counterCache->access(ctr_addr) != nullptr) {
+            ++counterCache->readHits;
+            finishRead(std::max(data_arrival, now + cfg.encLatency),
+                       std::move(done));
+        } else {
+            ++counterCache->readMisses;
+            ++ccFillReads;
+            Tick ctr_arrival = nvm.scheduleRead(ctr_addr, now);
+            Tick ready = std::max(data_arrival,
+                                  ctr_arrival + cfg.encLatency);
+            finishRead(ready, std::move(done));
+            CounterLine values = memoryViewCounters(ctr_addr);
+            scheduleAt(eventq, ctr_arrival, [this, ctr_addr, values]() {
+                if (counterCache->peek(ctr_addr) == nullptr) {
+                    auto victim =
+                        counterCache->install(ctr_addr, values, false);
+                    if (victim)
+                        handleCcEviction(*victim);
+                }
+            });
+        }
+        return;
+      }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Write path
+// ----------------------------------------------------------------------
+
+bool
+MemController::haveDataSlot() const
+{
+    return dataQ.size() < cfg.dataWqEntries;
+}
+
+bool
+MemController::haveCtrSlot() const
+{
+    return ctrQ.size() < cfg.ctrWqEntries;
+}
+
+unsigned
+MemController::dataQueueOccupancy() const
+{
+    return static_cast<unsigned>(dataQ.size());
+}
+
+unsigned
+MemController::ctrQueueOccupancy() const
+{
+    return static_cast<unsigned>(ctrQ.size());
+}
+
+bool
+MemController::writesIdle() const
+{
+    return dataQ.empty() && ctrQ.empty() && landingQ.empty()
+        && pipelineWrites == 0 && inflightWrites == 0
+        && pendingCcEvictions.empty();
+}
+
+MemController::CtrEntry *
+MemController::findUnissuedCtr(Addr ctr_addr)
+{
+    for (CtrEntry &entry : ctrQ) {
+        if (!entry.issued && entry.addr == ctr_addr)
+            return &entry;
+    }
+    return nullptr;
+}
+
+MemController::DataEntry *
+MemController::findUnissuedData(Addr addr)
+{
+    for (DataEntry &entry : dataQ) {
+        if (!entry.issued && entry.addr == addr)
+            return &entry;
+    }
+    return nullptr;
+}
+
+bool
+MemController::tryWrite(const WriteReq &req)
+{
+    cnvm_assert(isLineAligned(req.addr));
+
+    // Does this write require the data/counter ready-bit pairing?
+    bool pair = false;
+    switch (cfg.design) {
+      case DesignPoint::FCA:
+        pair = true;                  // every write is counter-atomic
+        break;
+      case DesignPoint::SCA:
+        pair = req.counterAtomic;     // only annotated writes
+        break;
+      default:
+        pair = false;                 // no separate pairing
+        break;
+    }
+
+    // Dependent-write blocking (Figure 7a): a counter-atomic write
+    // whose counter line is being written to the device right now must
+    // wait until that write completes — an in-flight transfer cannot
+    // absorb new values. (A still-queued entry is no obstacle: the new
+    // counter merges into it in the same atomic pairing action.)
+    if (pair) {
+        for (const CtrEntry &e : ctrQ) {
+            if (e.issued && e.addr == counterLineAddr(req.addr)) {
+                ++pairBlocks;
+                return false;
+            }
+        }
+    }
+
+    // The controller input buffer in front of the encryption pipeline
+    // is finite; refusal here is rare and only under severe backlog.
+    if (landingQ.size() >= landingCapacity) {
+        ++writeRejects;
+        return false;
+    }
+
+    Tick now = eventq.curTick();
+    std::uint64_t epoch = pipelineEpoch;
+    std::uint64_t counter = 0;
+
+    if (cfg.design != DesignPoint::NoEncryption) {
+        // Assign a fresh counter from the global counter at engine
+        // entry (section 5.2.1, write accesses); the ciphertext and
+        // queue entries appear at pipeline exit.
+        counter = ++globalCounter;
+        currentCounter[req.addr] = counter;
+        if (pair)
+            ++atomicPairs;
+    }
+
+    Tick lat = cfg.design == DesignPoint::NoEncryption
+        ? cfg.acceptLatency : cfg.encLatency;
+    ++pipelineWrites;
+    scheduleAt(eventq, now + lat, [this, epoch, req, counter, pair]() {
+        if (epoch != pipelineEpoch)
+            return;
+        --pipelineWrites;
+        landingQ.push_back([this, req, counter, pair]() {
+            return landDataWrite(req, counter, pair);
+        });
+        processLandings();
+    });
+    return true;
+}
+
+void
+MemController::processLandings()
+{
+    while (!landingQ.empty()) {
+        if (!landingQ.front()())
+            return; // head cannot claim a slot yet
+        landingQ.pop_front();
+    }
+}
+
+void
+MemController::scheduleDrainKick()
+{
+    // Deferring the kick to the end of the current tick lets every
+    // same-tick arrival land (and coalesce) before any entry issues.
+    if (kickScheduled)
+        return;
+    kickScheduled = true;
+    scheduleAt(eventq, eventq.curTick(), [this]() {
+        kickScheduled = false;
+        kickDrain();
+    }, Event::MaxPriority);
+}
+
+bool
+MemController::landDataWrite(const WriteReq &req, std::uint64_t counter,
+                             bool pair)
+{
+    bool encrypted = cfg.design != DesignPoint::NoEncryption;
+    bool colocated = encrypted && !designSeparateCounters(cfg.design);
+    Addr ctr_addr = counterLineAddr(req.addr);
+    unsigned slot = counterSlot(req.addr);
+
+    // Claim the queue slots this write needs. Entering the write queue
+    // is the ADR acceptance point the upstream fence waits on.
+    DataEntry *entry =
+        cfg.writeCombining ? findUnissuedData(req.addr) : nullptr;
+    if (entry == nullptr && !haveDataSlot())
+        return false;
+    bool ctr_mergeable =
+        cfg.writeCombining && findUnissuedCtr(ctr_addr) != nullptr;
+    if (pair && !ctr_mergeable && !haveCtrSlot())
+        return false;
+
+    LineData cipher = encrypted
+        ? ctrEngine.encrypt(req.addr, counter, req.data)
+        : req.data;
+
+    if (entry != nullptr) {
+        // Write combining: a newer write to a still-queued line
+        // replaces its ciphertext (and counter) in place.
+        entry->cipher = cipher;
+        entry->counter = counter;
+        entry->counterAtomic |= pair;
+        ++dataCoalesces;
+    } else {
+        dataQ.push_back(DataEntry{});
+        entry = &dataQ.back();
+        entry->seq = nextSeq++;
+        entry->addr = req.addr;
+        entry->cipher = cipher;
+        entry->counter = counter;
+        entry->counterAtomic = pair;
+        entry->ready = true;
+        entry->issued = false;
+        entry->coreId = req.coreId;
+        entry->busBytes =
+            colocated ? lineBytes + counterBytes : lineBytes;
+        ++dataInserts;
+    }
+
+    if (pair) {
+        // Atomic pairing action: the counter-line values (currently
+        // visible values plus this write's counter) enter the counter
+        // queue in the same step that the data entry becomes ready, so
+        // neither side can persist without the other (section 5.2.2).
+        CounterLine values = visibleCounters(ctr_addr);
+        values[slot] = counter;
+        // FCA writes the counter back at cache-line granularity, which
+        // "unnecessarily increases the write traffic" (section 4.1);
+        // SCA's enforcement hardware knows the dirty mask from the
+        // counter cache and writes only the touched counters.
+        std::uint8_t mask;
+        if (cfg.design == DesignPoint::FCA) {
+            mask = 0xff;
+        } else {
+            mask = static_cast<std::uint8_t>(1u << slot);
+            if (counterCache != nullptr) {
+                if (CounterCacheLine *line = counterCache->peek(ctr_addr))
+                    mask |= line->dirtyMask;
+            }
+        }
+        enqueueCtrValues(ctr_addr, values, mask);
+        // Write-through: the counter cache copy is now clean — every
+        // deferred value on the line just entered the counter queue.
+        applyCounterToCache(req.addr, counter, false, true);
+        if (counterCache != nullptr) {
+            if (CounterCacheLine *line = counterCache->peek(ctr_addr)) {
+                line->dirty = false;
+                line->dirtyMask = 0;
+            }
+        }
+    } else if (encrypted && counterCache != nullptr) {
+        // Deferred counter persistence: the update is only dirty in
+        // the counter cache (SCA/Unsafe), or persistence is free
+        // (Ideal), or the counter rides with the data (ColocatedCC).
+        bool dirty = cfg.design == DesignPoint::SCA
+                  || cfg.design == DesignPoint::Unsafe;
+        applyCounterToCache(req.addr, counter, dirty, true);
+    }
+
+    if (req.accepted) {
+        if (pair) {
+            // The ready-bit pairing handshake delays completion
+            // (section 5.2.2 steps 5-7): the write is "complete" only
+            // once both queues have cross-checked their entries.
+            scheduleAfter(eventq, cfg.pairLatency, req.accepted);
+        } else {
+            req.accepted();
+        }
+    }
+    scheduleDrainKick();
+    return true;
+}
+
+void
+MemController::enqueueCtrValues(Addr ctr_addr, const CounterLine &values,
+                                std::uint8_t dirty_mask)
+{
+    CtrEntry *existing =
+        cfg.writeCombining ? findUnissuedCtr(ctr_addr) : nullptr;
+    if (existing != nullptr) {
+        for (unsigned s = 0; s < countersPerLine; ++s)
+            existing->values[s] = std::max(existing->values[s], values[s]);
+        existing->dirtyMask |= dirty_mask;
+        ++ctrCoalesces;
+        return;
+    }
+
+    CtrEntry entry;
+    entry.seq = nextSeq++;
+    entry.addr = ctr_addr;
+    entry.values = values;
+    entry.ready = true;
+    entry.issued = false;
+    entry.pendingPartners = 0;
+    entry.dirtyMask = dirty_mask;
+    ctrQ.push_back(entry);
+    ++ctrInserts;
+}
+
+void
+MemController::applyCounterToCache(Addr data_line_addr,
+                                   std::uint64_t counter, bool make_dirty,
+                                   bool charge_fill_on_miss)
+{
+    if (counterCache == nullptr)
+        return;
+
+    Addr ctr_addr = counterLineAddr(data_line_addr);
+    unsigned slot = counterSlot(data_line_addr);
+
+    if (CounterCacheLine *line = counterCache->access(ctr_addr)) {
+        ++counterCache->writeHits;
+        line->values[slot] = std::max(line->values[slot], counter);
+        line->dirty |= make_dirty;
+        if (make_dirty)
+            line->dirtyMask |= static_cast<std::uint8_t>(1u << slot);
+        return;
+    }
+
+    ++counterCache->writeMisses;
+    // A write miss does not stall (section 5.2.1): the line is fetched
+    // in the background. The fill read is charged for bus/bank
+    // occupancy; the install happens immediately for simplicity.
+    if (charge_fill_on_miss && designSeparateCounters(cfg.design)) {
+        ++ccFillReads;
+        nvm.scheduleRead(ctr_addr, eventq.curTick());
+    }
+    CounterLine values = designSeparateCounters(cfg.design)
+        ? memoryViewCounters(ctr_addr)
+        : currentCounters(ctr_addr);
+    values[slot] = std::max(values[slot], counter);
+    auto victim = counterCache->install(ctr_addr, values, make_dirty);
+    if (CounterCacheLine *line = counterCache->peek(ctr_addr))
+        line->dirtyMask = make_dirty
+            ? static_cast<std::uint8_t>(1u << slot) : 0;
+    if (victim)
+        handleCcEviction(*victim);
+}
+
+void
+MemController::handleCcEviction(const CounterEviction &ev)
+{
+    switch (cfg.design) {
+      case DesignPoint::Ideal:
+        // Counter persistence is free in the ideal design.
+        nvm.drainCounters(ev.addr, ev.values);
+        return;
+      case DesignPoint::ColocatedCC:
+        // Counters live with their data lines; the cache copy is just a
+        // performance structure and needs no writeback of its own.
+        return;
+      default:
+        break;
+    }
+
+    if (haveCtrSlot()) {
+        enqueueCtrValues(ev.addr, ev.values, ev.dirtyMask);
+        kickDrain();
+    } else {
+        pendingCcEvictions.push_back(ev);
+    }
+}
+
+void
+MemController::drainPendingCcEvictions()
+{
+    while (!pendingCcEvictions.empty() && haveCtrSlot()) {
+        enqueueCtrValues(pendingCcEvictions.front().addr,
+                         pendingCcEvictions.front().values,
+                         pendingCcEvictions.front().dirtyMask);
+        pendingCcEvictions.pop_front();
+    }
+}
+
+bool
+MemController::tryCtrWriteback(Addr data_line_addr,
+                               std::function<void()> accepted)
+{
+    Tick now = eventq.curTick();
+
+    auto accept_now = [this, now, accepted]() {
+        if (accepted)
+            scheduleAt(eventq, now + cfg.acceptLatency, accepted);
+    };
+
+    switch (cfg.design) {
+      case DesignPoint::NoEncryption:
+      case DesignPoint::Colocated:
+      case DesignPoint::ColocatedCC:
+      case DesignPoint::FCA:
+        // Nothing deferred in these designs: counters are either
+        // absent, co-located with data, or written through per write.
+        ++ctrwbNoops;
+        accept_now();
+        return true;
+
+      case DesignPoint::Ideal: {
+        Addr ctr_addr = counterLineAddr(data_line_addr);
+        if (CounterCacheLine *line = counterCache->peek(ctr_addr)) {
+            nvm.drainCounters(ctr_addr, line->values);
+            line->dirty = false;
+        }
+        accept_now();
+        return true;
+      }
+
+      case DesignPoint::SCA:
+      case DesignPoint::Unsafe: {
+        // The request flows through the controller pipeline and
+        // snapshots the counter cache at landing, after any write that
+        // preceded it in program order has updated its counters.
+        if (landingQ.size() >= landingCapacity) {
+            ++writeRejects;
+            return false;
+        }
+        Addr ctr_addr = counterLineAddr(data_line_addr);
+        std::uint64_t epoch = pipelineEpoch;
+        scheduleAt(eventq, now + cfg.encLatency,
+                   [this, epoch, ctr_addr,
+                    accepted = std::move(accepted)]() {
+            if (epoch != pipelineEpoch)
+                return;
+            landingQ.push_back([this, ctr_addr, accepted]() {
+                CounterCacheLine *line = counterCache->peek(ctr_addr);
+                if (line == nullptr || !line->dirty) {
+                    // Clean or absent: the values are already
+                    // persistent or in flight; nothing to write back.
+                    ++ctrwbNoops;
+                } else {
+                    if (findUnissuedCtr(ctr_addr) == nullptr
+                        && !haveCtrSlot())
+                        return false;
+                    enqueueCtrValues(ctr_addr, line->values,
+                                     line->dirtyMask);
+                    line->dirty = false;
+                    line->dirtyMask = 0;
+                }
+                if (accepted)
+                    accepted();
+                scheduleDrainKick();
+                return true;
+            });
+            processLandings();
+        });
+        return true;
+      }
+    }
+    return false;
+}
+
+void
+MemController::registerRetry(std::function<void()> retry)
+{
+    retryCallbacks.push_back(std::move(retry));
+}
+
+void
+MemController::notifyRetries()
+{
+    if (retryCallbacks.empty())
+        return;
+    std::vector<std::function<void()>> pending;
+    pending.swap(retryCallbacks);
+    Tick now = eventq.curTick();
+    for (auto &cb : pending)
+        scheduleAt(eventq, now, std::move(cb));
+}
+
+// ----------------------------------------------------------------------
+// Drain engine
+// ----------------------------------------------------------------------
+
+bool
+MemController::drainAllowed() const
+{
+    // Writes drain opportunistically: the bank-free issue gate plus
+    // PCM write pausing keep them off the read critical path, so there
+    // is no reason to hold the queues back.
+    return !(dataQ.empty() && ctrQ.empty());
+}
+
+void
+MemController::kickDrain()
+{
+    while (inflightWrites < maxInflightWrites && drainAllowed()) {
+        if (!issueOneWrite())
+            break;
+    }
+}
+
+bool
+MemController::issueOneWrite()
+{
+    Tick now = eventq.curTick();
+
+    DataEntry *data_pick = nullptr;
+    CtrEntry *ctr_pick = nullptr;
+
+    // Writes are only handed to the device once their bank is free —
+    // reserving a busy bank would park the shared bus in the future
+    // and block later reads. When every candidate's bank is busy, a
+    // drain kick is scheduled for the earliest bank-free tick.
+    //
+    // All designs share the bank-aware scheduler: the oldest ready,
+    // unpinned entry whose bank is free, from whichever queue is
+    // fuller relative to its capacity. FCA's penalties are the
+    // ready-bit pairing, the per-write counter traffic and the
+    // counter-queue occupancy it induces (sections 3.2.2 and 4.1), not
+    // an artificial drain order.
+    Tick earliest_busy = maxTick;
+
+    for (DataEntry &e : dataQ) {
+        if (e.issued || !e.ready)
+            continue;
+        if (nvm.bankFree(e.addr, now)) {
+            data_pick = &e;
+            break;
+        }
+        earliest_busy = std::min(earliest_busy, nvm.bankFreeTick(e.addr));
+    }
+    for (CtrEntry &e : ctrQ) {
+        if (e.issued || !e.ready || e.pendingPartners != 0)
+            continue;
+        if (nvm.bankFree(e.addr, now)) {
+            ctr_pick = &e;
+            break;
+        }
+        earliest_busy = std::min(earliest_busy, nvm.bankFreeTick(e.addr));
+    }
+    if (data_pick != nullptr && ctr_pick != nullptr) {
+        double data_fill = static_cast<double>(dataQ.size())
+                         / cfg.dataWqEntries;
+        double ctr_fill = static_cast<double>(ctrQ.size())
+                        / cfg.ctrWqEntries;
+        if (ctr_fill > data_fill)
+            data_pick = nullptr;
+        else
+            ctr_pick = nullptr;
+    }
+
+    if (data_pick == nullptr && ctr_pick == nullptr
+        && earliest_busy != maxTick && !drainKickPending) {
+        drainKickPending = true;
+        scheduleAt(eventq, std::max(earliest_busy, now + 1), [this]() {
+            drainKickPending = false;
+            kickDrain();
+        });
+    }
+
+    if (data_pick != nullptr) {
+        data_pick->issued = true;
+        ++inflightWrites;
+        Tick done = nvm.scheduleWrite(data_pick->addr, now,
+                                      data_pick->busBytes);
+        std::uint64_t seq = data_pick->seq;
+        scheduleAt(eventq, done, [this, seq]() { completeDataDrain(seq); });
+        return true;
+    }
+    if (ctr_pick != nullptr) {
+        ctr_pick->issued = true;
+        ++inflightWrites;
+        unsigned touched = std::popcount(ctr_pick->dirtyMask);
+        if (touched == 0)
+            touched = 1;
+        Tick done = nvm.scheduleWrite(ctr_pick->addr, now,
+                                      touched * counterBytes);
+        std::uint64_t seq = ctr_pick->seq;
+        scheduleAt(eventq, done, [this, seq]() { completeCtrDrain(seq); });
+        return true;
+    }
+    // Nothing eligible right now; a later completion or insertion will
+    // kick the drain again.
+    return false;
+}
+
+void
+MemController::persistDataEntry(const DataEntry &entry)
+{
+    nvm.drainData(entry.addr, entry.cipher);
+
+    // Designs whose counter persistence accompanies the data write.
+    switch (cfg.design) {
+      case DesignPoint::Colocated:
+      case DesignPoint::ColocatedCC: {
+        Addr ctr_addr = counterLineAddr(entry.addr);
+        CounterLine values = nvm.persistedCounters(ctr_addr);
+        values[counterSlot(entry.addr)] = entry.counter;
+        nvm.drainCounters(ctr_addr, values);
+        break;
+      }
+      case DesignPoint::Ideal: {
+        Addr ctr_addr = counterLineAddr(entry.addr);
+        CounterLine values = nvm.persistedCounters(ctr_addr);
+        values[counterSlot(entry.addr)] =
+            std::max(values[counterSlot(entry.addr)], entry.counter);
+        nvm.drainCounters(ctr_addr, values);
+        break;
+      }
+      default:
+        break;
+    }
+}
+
+void
+MemController::completeDataDrain(std::uint64_t seq)
+{
+    for (auto it = dataQ.begin(); it != dataQ.end(); ++it) {
+        if (it->seq == seq) {
+            persistDataEntry(*it);
+            dataQ.erase(it);
+            break;
+        }
+    }
+    --inflightWrites;
+    drainPendingCcEvictions();
+    processLandings();
+    notifyRetries();
+    kickDrain();
+}
+
+void
+MemController::completeCtrDrain(std::uint64_t seq)
+{
+    for (auto it = ctrQ.begin(); it != ctrQ.end(); ++it) {
+        if (it->seq == seq) {
+            nvm.drainCounters(it->addr, it->values);
+            ctrQ.erase(it);
+            break;
+        }
+    }
+    --inflightWrites;
+    drainPendingCcEvictions();
+    processLandings();
+    notifyRetries();
+    kickDrain();
+}
+
+void
+MemController::initLine(Addr line_addr, const LineData &plaintext)
+{
+    cnvm_assert(isLineAligned(line_addr));
+
+    if (cfg.design == DesignPoint::NoEncryption) {
+        nvm.drainData(line_addr, plaintext);
+        return;
+    }
+
+    std::uint64_t counter = ++globalCounter;
+    currentCounter[line_addr] = counter;
+    nvm.drainData(line_addr, ctrEngine.encrypt(line_addr, counter,
+                                               plaintext));
+
+    Addr ctr_addr = counterLineAddr(line_addr);
+    CounterLine values = nvm.persistedCounters(ctr_addr);
+    values[counterSlot(line_addr)] = counter;
+    nvm.drainCounters(ctr_addr, values);
+}
+
+void
+MemController::warmCounterLine(Addr data_line_addr)
+{
+    if (counterCache == nullptr)
+        return;
+    Addr ctr_addr = counterLineAddr(data_line_addr);
+    if (counterCache->peek(ctr_addr) != nullptr)
+        return;
+    CounterLine values = designSeparateCounters(cfg.design)
+        ? memoryViewCounters(ctr_addr)
+        : currentCounters(ctr_addr);
+    auto victim = counterCache->install(ctr_addr, values, false);
+    // Warming installs clean lines only; victims are clean too.
+    cnvm_assert(!victim.has_value());
+}
+
+// ----------------------------------------------------------------------
+// Crash
+// ----------------------------------------------------------------------
+
+void
+MemController::crash()
+{
+    // ADR: drain exactly the ready entries (section 5.2.2, steps 4-5).
+    for (const DataEntry &entry : dataQ) {
+        if (entry.ready)
+            persistDataEntry(entry);
+        else
+            ++crashDroppedData;
+    }
+    for (const CtrEntry &entry : ctrQ) {
+        if (entry.ready && entry.pendingPartners == 0)
+            nvm.drainCounters(entry.addr, entry.values);
+        else
+            ++crashDroppedCtr;
+    }
+
+    // In the ideal design every counter is persisted alongside its data
+    // at drain time, so nothing in the counter cache can be lost; no
+    // extra work is needed here.
+
+    ++pipelineEpoch; // in-flight pipeline events become no-ops
+    pipelineWrites = 0;
+    landingQ.clear();
+    dataQ.clear();
+    ctrQ.clear();
+    inflightWrites = 0;
+    outstandingReads = 0;
+    pendingCcEvictions.clear();
+    retryCallbacks.clear();
+    if (counterCache != nullptr)
+        counterCache->reset();
+}
+
+} // namespace cnvm

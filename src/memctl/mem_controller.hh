@@ -1,0 +1,296 @@
+/**
+ * @file
+ * The encrypted-NVMM memory controller (paper section 5).
+ *
+ * Hosts the encryption engine, the counter cache, the read path, and the
+ * two ADR-protected write queues (data and counter) with the ready-bit
+ * pairing protocol that enforces counter-atomicity. One controller
+ * instance implements all evaluated design points; the DesignPoint
+ * selects the policy at each decision site.
+ *
+ * Key invariant (crash safety): a counter value may become eligible for
+ * persistence (visible in the counter cache, or resident in a ready
+ * counter-queue entry) only once the matching ciphertext is itself
+ * ADR-protected, or in the same atomic ready-pairing action. The unsafe
+ * direction — counter persisted ahead of its data — is exactly the
+ * Figure-4 failure, and only the Unsafe design permits it.
+ */
+
+#ifndef CNVM_MEMCTL_MEM_CONTROLLER_HH
+#define CNVM_MEMCTL_MEM_CONTROLLER_HH
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/ctr_engine.hh"
+#include "mem/mem_backend.hh"
+#include "memctl/counter_cache.hh"
+#include "memctl/design.hh"
+#include "nvm/nvm_device.hh"
+#include "sim/eventq.hh"
+#include "stats/stats.hh"
+
+namespace cnvm
+{
+
+/** Controller geometry and latencies (paper Table 2 defaults). */
+struct MemCtlConfig
+{
+    DesignPoint design = DesignPoint::SCA;
+
+    unsigned dataWqEntries = 64;
+    unsigned ctrWqEntries = 16;
+
+    std::uint64_t counterCacheBytes = 1ull << 20;
+    unsigned counterCacheAssoc = 16;
+
+    /** AES engine latency for OTP generation (Table 2: 40 ns). */
+    Tick encLatency = nsToTicks(40);
+
+    /** Controller pipeline overhead for unencrypted acceptance. */
+    Tick acceptLatency = nsToTicks(5);
+
+    /**
+     * Extra acceptance latency of a counter-atomic write: the NVM
+     * coordinator and encryption engine cross-check both write queues
+     * and set the ready bits (section 5.2.2, steps 5-7).
+     */
+    Tick pairLatency = nsToTicks(15);
+
+    /** Latency of servicing a read from a matching write-queue entry. */
+    Tick forwardLatency = nsToTicks(20);
+
+    /** Base of the separate counter address space (above 8 GB data). */
+    Addr counterRegionBase = Addr(1) << 33;
+
+    /** Write-queue occupancy (percent) beyond which writes drain even
+     *  while reads are outstanding. */
+    unsigned hiWatermarkPct = 75;
+
+    /**
+     * Address-match write combining in the write queues. On by
+     * default (standard controller behaviour); the ablation harness
+     * turns it off to show why the paper's hot undo-log lines depend
+     * on it.
+     */
+    bool writeCombining = true;
+
+    /** AES-128 key used by the encryption engine. */
+    std::array<std::uint8_t, 16> key{
+        0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+        0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+};
+
+class MemController : public MemBackend
+{
+  public:
+    MemController(EventQueue &eq, NvmDevice &nvm, const MemCtlConfig &cfg,
+                  stats::StatRegistry *registry);
+
+    // ------------------------------------------------------------------
+    // MemBackend interface (cache-side)
+    // ------------------------------------------------------------------
+    void issueRead(Addr addr, unsigned core_id, ReadCallback done) override;
+    bool tryWrite(const WriteReq &req) override;
+    bool tryCtrWriteback(Addr data_line_addr,
+                         std::function<void()> accepted) override;
+    void registerRetry(std::function<void()> retry) override;
+    LineData functionalRead(Addr addr) const override;
+    void functionalStore(Addr addr, unsigned size,
+                         const std::uint8_t *bytes) override;
+
+    // ------------------------------------------------------------------
+    // Crash machinery
+    // ------------------------------------------------------------------
+
+    /**
+     * Models a power failure: the ADR logic drains exactly the
+     * ready-marked queue entries into the NVM image, then all volatile
+     * controller state (counter cache, queues, pipeline) is lost
+     * (paper section 5.2.2, "Steps During a System Failure").
+     */
+    void crash();
+
+    /**
+     * Zero-time setup helper: installs a line into the persisted image
+     * (encrypted, with its counter persisted alongside), as a freshly
+     * initialized system would hold it. Not part of the timing model.
+     */
+    void initLine(Addr line_addr, const LineData &plaintext);
+
+    /**
+     * Zero-time setup helper: pre-warms the counter cache with the
+     * (clean) counter line covering @p data_line_addr, modelling a
+     * steady-state region of interest rather than a cold machine.
+     */
+    void warmCounterLine(Addr data_line_addr);
+
+    // ------------------------------------------------------------------
+    // Address-space helpers (shared with the recovery engine)
+    // ------------------------------------------------------------------
+
+    /** Counter-line address covering @p data_line_addr. */
+    Addr counterLineAddr(Addr data_line_addr) const;
+
+    /** Slot of @p data_line_addr within its counter line. */
+    unsigned counterSlot(Addr data_line_addr) const;
+
+    const crypto::CtrEngine &engine() const { return ctrEngine; }
+    DesignPoint design() const { return cfg.design; }
+    const MemCtlConfig &config() const { return cfg; }
+
+    /** Current occupancy of the data write queue (entries + reserved). */
+    unsigned dataQueueOccupancy() const;
+    /** Current occupancy of the counter write queue. */
+    unsigned ctrQueueOccupancy() const;
+
+    /** True when no write-queue entry or reservation is outstanding. */
+    bool writesIdle() const;
+
+    /** Writes parked behind the queues waiting for slots. */
+    std::size_t landingDepth() const { return landingQ.size(); }
+
+    /** Writes inside the encryption pipeline. */
+    unsigned pipelineDepth() const { return pipelineWrites; }
+
+    /** Writes handed to the device whose burst has not completed. */
+    unsigned inflightDepth() const { return inflightWrites; }
+
+    // Exposed counters for tests and benches.
+    stats::Scalar dataInserts;
+    stats::Scalar ctrInserts;
+    stats::Scalar ctrCoalesces;
+    stats::Scalar dataCoalesces;
+    stats::Scalar writeRejects;
+    stats::Scalar readForwards;
+    stats::Scalar atomicPairs;
+    stats::Scalar pairBlocks;
+    stats::Scalar ccFillReads;
+    stats::Scalar crashDroppedData;
+    stats::Scalar crashDroppedCtr;
+    stats::Scalar ctrwbNoops;
+
+  private:
+    struct DataEntry
+    {
+        std::uint64_t seq;
+        Addr addr;
+        LineData cipher;
+        std::uint64_t counter;
+        bool counterAtomic;
+        bool ready;
+        bool issued;
+        unsigned coreId;
+        unsigned busBytes;
+    };
+
+    struct CtrEntry
+    {
+        std::uint64_t seq;
+        Addr addr;              //!< counter-line address
+        CounterLine values;
+        bool ready;
+        bool issued;
+        /** Counter-atomic partners not yet queued (ready when zero). */
+        unsigned pendingPartners;
+        /** Which of the eight counters this write actually updates;
+         *  the device is charged 8 B per touched counter. */
+        std::uint8_t dirtyMask = 0xff;
+    };
+
+    EventQueue &eventq;
+    NvmDevice &nvm;
+    MemCtlConfig cfg;
+    crypto::CtrEngine ctrEngine;
+    std::unique_ptr<CounterCache> counterCache;
+
+    std::list<DataEntry> dataQ;
+    std::list<CtrEntry> ctrQ;
+    std::uint64_t nextSeq = 1;
+
+    /**
+     * Writes that have left the encryption pipeline but found their
+     * target queue full: they claim slots in FIFO order as drains free
+     * space. Acceptance (the ADR point fences wait on) happens at the
+     * actual landing.
+     */
+    std::deque<std::function<bool()>> landingQ;
+    static constexpr std::size_t landingCapacity = 256;
+
+    /** Writes inside the encryption pipeline (pre-landing). */
+    unsigned pipelineWrites = 0;
+
+    /** Writes scheduled on the device but whose burst has not ended. */
+    unsigned inflightWrites = 0;
+    unsigned maxInflightWrites;
+
+    /** A wake-up for bank-busy drain candidates is already scheduled. */
+    bool drainKickPending = false;
+
+    /** An end-of-tick drain kick is already scheduled. */
+    bool kickScheduled = false;
+
+    /** Bumped at crash(): in-flight pipeline events from before the
+     *  failure compare epochs and become no-ops. */
+    std::uint64_t pipelineEpoch = 0;
+
+    unsigned outstandingReads = 0;
+
+    /** Monotonic counter source (paper section 5.2.1). */
+    std::uint64_t globalCounter = 0;
+
+    /** Engine's record of the counter each line was last encrypted with. */
+    std::unordered_map<Addr, std::uint64_t> currentCounter;
+
+    std::vector<std::function<void()>> retryCallbacks;
+
+    /** Dirty counter-cache victims waiting for counter-queue space. */
+    std::deque<CounterEviction> pendingCcEvictions;
+
+    // --- write path helpers ---
+    bool haveDataSlot() const;
+    bool haveCtrSlot() const;
+    bool landDataWrite(const WriteReq &req, std::uint64_t counter,
+                       bool pair);
+    void processLandings();
+    void scheduleDrainKick();
+    CtrEntry *findUnissuedCtr(Addr ctr_addr);
+    DataEntry *findUnissuedData(Addr addr);
+    void enqueueCtrValues(Addr ctr_addr, const CounterLine &values,
+                          std::uint8_t dirty_mask);
+    void applyCounterToCache(Addr data_line_addr, std::uint64_t counter,
+                             bool make_dirty, bool charge_fill_on_miss);
+    void handleCcEviction(const CounterEviction &ev);
+    void drainPendingCcEvictions();
+
+    /** Safe-to-persist counter values: persisted image overlaid with
+     *  pending counter-queue entries in age order. */
+    CounterLine memoryViewCounters(Addr ctr_addr) const;
+
+    /** Counter values currently visible to a flush (cache else memory). */
+    CounterLine visibleCounters(Addr ctr_addr);
+
+    /** Engine-recorded current counters (co-located cache fills). */
+    CounterLine currentCounters(Addr ctr_addr) const;
+
+    // --- drain engine ---
+    void kickDrain();
+    bool drainAllowed() const;
+    bool issueOneWrite();
+    void completeDataDrain(std::uint64_t seq);
+    void completeCtrDrain(std::uint64_t seq);
+    void persistDataEntry(const DataEntry &entry);
+    void notifyRetries();
+
+    // --- read path ---
+    void finishRead(Tick when, ReadCallback done);
+};
+
+} // namespace cnvm
+
+#endif // CNVM_MEMCTL_MEM_CONTROLLER_HH

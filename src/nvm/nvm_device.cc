@@ -1,0 +1,156 @@
+#include "nvm/nvm_device.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace cnvm
+{
+
+NvmDevice::NvmDevice(NvmTiming timing, stats::StatRegistry *registry)
+    : params(timing),
+      bankFreeAt(timing.numBanks, 0),
+      pausableFrom(timing.numBanks, 0),
+      readBytes("nvm.bytes_read", "bytes read from NVMM"),
+      writeBytes("nvm.bytes_written", "bytes written to NVMM"),
+      readsIssued("nvm.reads", "line reads issued to NVMM"),
+      writesIssued("nvm.writes", "line writes issued to NVMM")
+{
+    cnvm_assert(timing.numBanks > 0);
+    if (registry != nullptr) {
+        registry->registerStat(readBytes);
+        registry->registerStat(writeBytes);
+        registry->registerStat(readsIssued);
+        registry->registerStat(writesIssued);
+    }
+}
+
+unsigned
+NvmDevice::bankOf(Addr addr) const
+{
+    return static_cast<unsigned>((addr / lineBytes) % params.numBanks);
+}
+
+Tick
+NvmDevice::scheduleRead(Addr addr, Tick now)
+{
+    unsigned bank = bankOf(addr);
+
+    // A bank busy with write recovery may be paused after tPause; the
+    // suspended programming resumes once the read completes.
+    Tick bank_avail = bankFreeAt[bank];
+    bool paused = false;
+    if (params.writePause && bank_avail > now) {
+        Tick pause_entry =
+            std::max(now, pausableFrom[bank]) + params.tPause;
+        if (pause_entry < bank_avail) {
+            bank_avail = pause_entry;
+            paused = true;
+        }
+    }
+
+    Tick start = std::max(now, bank_avail);
+    Tick data_ready = start + params.tRCD + params.tCL;
+    // Write-to-read turnaround penalty on the shared bus.
+    Tick bus_earliest = busFreeAt + (lastWasWrite ? params.tWTR : 0);
+    Tick burst_start = std::max(data_ready, bus_earliest);
+    Tick done = burst_start + params.tBurst;
+
+    busFreeAt = done;
+    if (paused) {
+        // The interrupted recovery still owes its remaining time.
+        bankFreeAt[bank] += done - start;
+    } else {
+        bankFreeAt[bank] = done;
+        pausableFrom[bank] = done;
+    }
+    lastWasWrite = false;
+
+    ++readsIssued;
+    readBytes += lineBytes;
+    return done;
+}
+
+Tick
+NvmDevice::scheduleWrite(Addr addr, Tick now, unsigned bytes)
+{
+    unsigned bank = bankOf(addr);
+
+    Tick start = std::max(now, bankFreeAt[bank]);
+    Tick burst_start = std::max(start + params.tCWD, busFreeAt);
+    // DDR bursts are fixed-length (BL8): even a partial counter-line
+    // write occupies a full burst frame on the bus, although only the
+    // touched bytes count as traffic and programming effort.
+    Tick burst_end = burst_start + params.tBurst;
+
+    busFreeAt = burst_end;
+    // The PCM cell programming keeps the bank busy well past the
+    // burst; that recovery window is pausable by reads. Programming
+    // time scales with the payload: PCM writes proceed in
+    // power-budget-limited chunks, so a partial counter-line write
+    // programs fewer cells.
+    Tick recovery = std::max<Tick>(params.tWR * bytes / lineBytes,
+                                   params.tWR / 8);
+    bankFreeAt[bank] = burst_end + recovery;
+    pausableFrom[bank] = burst_end;
+    lastWasWrite = true;
+
+    ++writesIssued;
+    writeBytes += bytes;
+    if (writeTraceHook)
+        writeTraceHook(lineAlign(addr), bytes);
+    return burst_end;
+}
+
+LineData
+NvmDevice::livePlainRead(Addr line_addr) const
+{
+    cnvm_assert(isLineAligned(line_addr));
+    auto it = livePlain.find(line_addr);
+    if (it == livePlain.end())
+        return LineData{};
+    return it->second;
+}
+
+void
+NvmDevice::livePlainStore(Addr byte_addr, unsigned size,
+                          const std::uint8_t *bytes)
+{
+    Addr line_addr = lineAlign(byte_addr);
+    cnvm_assert(byte_addr + size <= line_addr + lineBytes);
+    LineData &line = livePlain[line_addr];
+    std::memcpy(line.data() + (byte_addr - line_addr), bytes, size);
+}
+
+void
+NvmDevice::drainData(Addr line_addr, const LineData &ciphertext)
+{
+    cnvm_assert(isLineAligned(line_addr));
+    cipherImage[line_addr] = ciphertext;
+}
+
+void
+NvmDevice::drainCounters(Addr ctr_line_addr, const CounterLine &values)
+{
+    cnvm_assert(isLineAligned(ctr_line_addr));
+    counterStore[ctr_line_addr] = values;
+}
+
+const LineData *
+NvmDevice::persistedLine(Addr line_addr) const
+{
+    auto it = cipherImage.find(line_addr);
+    return it == cipherImage.end() ? nullptr : &it->second;
+}
+
+CounterLine
+NvmDevice::persistedCounters(Addr ctr_line_addr) const
+{
+    auto it = counterStore.find(ctr_line_addr);
+    if (it == counterStore.end())
+        return CounterLine{};
+    return it->second;
+}
+
+} // namespace cnvm

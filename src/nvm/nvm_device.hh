@@ -1,0 +1,174 @@
+/**
+ * @file
+ * The non-volatile main memory device.
+ *
+ * Two concerns live here:
+ *
+ *  1. Timing — a banked PCM behind a DDR3-style channel. The memory
+ *     controller asks the device to schedule individual line transfers;
+ *     the device serializes them over the shared data bus and the
+ *     per-bank busy windows and returns completion ticks.
+ *
+ *  2. Function — three views of memory contents:
+ *       - the live plaintext view (program-order state used for fills),
+ *       - the persisted ciphertext image, updated only when writes drain
+ *         from the controller's queues, and
+ *       - the persisted counter store, updated when counter-line writes
+ *         drain.
+ *     After a simulated power failure, only the latter two survive, and
+ *     recovery must decrypt the image with the stored counters
+ *     (paper section 2.2.2).
+ */
+
+#ifndef CNVM_NVM_NVM_DEVICE_HH
+#define CNVM_NVM_NVM_DEVICE_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "crypto/ctr_engine.hh"
+#include "nvm/nvm_timing.hh"
+#include "stats/stats.hh"
+
+namespace cnvm
+{
+
+/** Values of one persisted counter line (8 counters of 8 B). */
+using CounterLine = std::array<std::uint64_t, countersPerLine>;
+
+class NvmDevice
+{
+  public:
+    /**
+     * @param timing   channel/bank timing
+     * @param registry stat registry (may be null in unit tests)
+     */
+    explicit NvmDevice(NvmTiming timing,
+                       stats::StatRegistry *registry = nullptr);
+
+    // ------------------------------------------------------------------
+    // Timing path
+    // ------------------------------------------------------------------
+
+    /**
+     * Schedules a line read beginning no earlier than @p now.
+     * @return the tick at which read data is available on-chip.
+     */
+    Tick scheduleRead(Addr addr, Tick now);
+
+    /**
+     * Schedules a line write beginning no earlier than @p now.
+     * @param bytes payload size on the bus (64, or 72 for the
+     *              co-located wide-bus designs)
+     * @return the tick at which the burst completes (the drain point:
+     *         the write-queue entry may be freed; the bank stays busy
+     *         for tWR beyond this).
+     */
+    Tick scheduleWrite(Addr addr, Tick now, unsigned bytes);
+
+    // ------------------------------------------------------------------
+    // Functional: live plaintext view
+    // ------------------------------------------------------------------
+
+    /** Current program-order plaintext of a line (zeros if untouched). */
+    LineData livePlainRead(Addr line_addr) const;
+
+    /** Program-order plaintext update. */
+    void livePlainStore(Addr byte_addr, unsigned size,
+                        const std::uint8_t *bytes);
+
+    // ------------------------------------------------------------------
+    // Functional: persisted state
+    // ------------------------------------------------------------------
+
+    /** Applies a drained data write to the persisted ciphertext image. */
+    void drainData(Addr line_addr, const LineData &ciphertext);
+
+    /** Applies a drained counter-line write to the counter store. */
+    void drainCounters(Addr ctr_line_addr, const CounterLine &values);
+
+    /**
+     * Persisted ciphertext of a line, or nullptr if never written
+     * (never-written lines decrypt as all-zero plaintext at counter 0).
+     */
+    const LineData *persistedLine(Addr line_addr) const;
+
+    /** Persisted counter-line values (zeros if never written). */
+    CounterLine persistedCounters(Addr ctr_line_addr) const;
+
+    /** Number of distinct lines present in the persisted image. */
+    std::size_t persistedLineCount() const { return cipherImage.size(); }
+
+    /** True if the bank serving @p addr can start a new access now. */
+    bool
+    bankFree(Addr addr, Tick now) const
+    {
+        return bankFreeAt[bankOf(addr)] <= now;
+    }
+
+    /** Tick at which the bank serving @p addr becomes free. */
+    Tick
+    bankFreeTick(Addr addr) const
+    {
+        return bankFreeAt[bankOf(addr)];
+    }
+
+    const NvmTiming &timing() const { return params; }
+
+    /**
+     * Optional observer invoked for every line write the device
+     * services (address, payload bytes). Used by the wear-leveling
+     * study to capture write traces without perturbing timing.
+     */
+    void
+    setWriteTraceHook(std::function<void(Addr, unsigned)> hook)
+    {
+        writeTraceHook = std::move(hook);
+    }
+
+    /** Total bytes moved, for the figure-14 write-traffic experiment. */
+    std::uint64_t bytesWritten() const
+    { return static_cast<std::uint64_t>(writeBytes.value()); }
+    std::uint64_t bytesRead() const
+    { return static_cast<std::uint64_t>(readBytes.value()); }
+
+  private:
+    NvmTiming params;
+
+    /** Next tick each bank is free to start a new column access. */
+    std::vector<Tick> bankFreeAt;
+
+    /**
+     * Start of each bank's pausable write-recovery window: the busy
+     * interval [pausableFrom, bankFreeAt) may be preempted by a read
+     * when write pausing is enabled.
+     */
+    std::vector<Tick> pausableFrom;
+
+    /** Next tick the shared data bus is free. */
+    Tick busFreeAt = 0;
+
+    /** Whether the last bus transfer was a write (for tWTR). */
+    bool lastWasWrite = false;
+
+    std::unordered_map<Addr, LineData> livePlain;
+    std::unordered_map<Addr, LineData> cipherImage;
+    std::unordered_map<Addr, CounterLine> counterStore;
+
+    stats::Scalar readBytes;
+    stats::Scalar writeBytes;
+    stats::Scalar readsIssued;
+    stats::Scalar writesIssued;
+
+    std::function<void(Addr, unsigned)> writeTraceHook;
+
+    unsigned bankOf(Addr addr) const;
+};
+
+} // namespace cnvm
+
+#endif // CNVM_NVM_NVM_DEVICE_HH

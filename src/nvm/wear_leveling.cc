@@ -1,0 +1,77 @@
+#include "nvm/wear_leveling.hh"
+
+#include "common/logging.hh"
+
+namespace cnvm
+{
+
+WearStats
+WearTracker::stats() const
+{
+    WearStats s;
+    s.linesTouched = writes.size();
+    for (const auto &[addr, count] : writes) {
+        s.totalWrites += count;
+        s.maxWrites = std::max(s.maxWrites, count);
+    }
+    s.meanWrites = s.linesTouched == 0
+        ? 0.0
+        : static_cast<double>(s.totalWrites)
+              / static_cast<double>(s.linesTouched);
+    return s;
+}
+
+StartGapRemapper::StartGapRemapper(Addr region_base,
+                                   std::uint64_t num_lines,
+                                   unsigned gap_interval)
+    : base(region_base), lines(num_lines), interval(gap_interval),
+      gap(num_lines) // the gap starts past the last logical line
+{
+    cnvm_assert(isLineAligned(region_base));
+    cnvm_assert(num_lines > 0);
+    cnvm_assert(gap_interval > 0);
+}
+
+Addr
+StartGapRemapper::translate(Addr logical_line) const
+{
+    Addr aligned = lineAlign(logical_line);
+    cnvm_assert(aligned >= base);
+    std::uint64_t logical = (aligned - base) / lineBytes;
+    cnvm_assert(logical < lines);
+
+    std::uint64_t frames = lines + 1;
+    std::uint64_t physical = (logical + start) % frames;
+    // Frames at or past the gap are shifted by one: the gap is empty.
+    if (physical >= gap)
+        physical = (physical + 1) % frames;
+    return base + physical * lineBytes;
+}
+
+Addr
+StartGapRemapper::translateWrite(Addr logical_line)
+{
+    Addr physical = translate(logical_line);
+    maybeMoveGap();
+    return physical;
+}
+
+void
+StartGapRemapper::maybeMoveGap()
+{
+    if (++writesSinceMove < interval)
+        return;
+    writesSinceMove = 0;
+
+    // The gap walks downward one frame; after visiting every frame the
+    // whole mapping has rotated by one line.
+    if (gap == 0) {
+        gap = lines;
+        start = (start + 1) % (lines + 1);
+        ++fullRotations;
+    } else {
+        --gap;
+    }
+}
+
+} // namespace cnvm

@@ -1,0 +1,89 @@
+#include "sim/eventq.hh"
+
+#include "common/logging.hh"
+
+namespace cnvm
+{
+
+Event::Event(std::string name, int priority)
+    : _name(std::move(name)), _priority(priority)
+{
+}
+
+Event::~Event()
+{
+    if (queue != nullptr)
+        queue->deschedule(*this);
+}
+
+EventQueue::~EventQueue()
+{
+    // Orphan any still-scheduled events so their destructors do not
+    // touch a dead queue.
+    for (Event *event : events)
+        event->queue = nullptr;
+}
+
+void
+EventQueue::schedule(Event &event, Tick when)
+{
+    cnvm_assert(event.queue == nullptr);
+    if (when < _curTick) {
+        cnvm_panic("scheduling event '%s' in the past (%llu < %llu)",
+                   event.name().c_str(),
+                   static_cast<unsigned long long>(when),
+                   static_cast<unsigned long long>(_curTick));
+    }
+    event._when = when;
+    event._seq = nextSeq++;
+    event.queue = this;
+    events.insert(&event);
+}
+
+void
+EventQueue::deschedule(Event &event)
+{
+    cnvm_assert(event.queue == this);
+    events.erase(&event);
+    event.queue = nullptr;
+}
+
+void
+EventQueue::reschedule(Event &event, Tick when)
+{
+    if (event.queue != nullptr)
+        deschedule(event);
+    schedule(event, when);
+}
+
+bool
+EventQueue::step()
+{
+    if (events.empty())
+        return false;
+
+    auto it = events.begin();
+    Event *event = *it;
+    events.erase(it);
+    event->queue = nullptr;
+
+    _curTick = event->_when;
+    ++processed;
+    event->process();
+    return true;
+}
+
+Tick
+EventQueue::run(Tick limit)
+{
+    stopRequested = false;
+    while (!events.empty() && !stopRequested) {
+        Event *head = *events.begin();
+        if (head->_when > limit)
+            break;
+        step();
+    }
+    return _curTick;
+}
+
+} // namespace cnvm

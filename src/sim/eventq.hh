@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * An EventQueue orders Event objects by (tick, priority, insertion
+ * sequence) and processes them in order. Events are owned by their
+ * creators (typically as member objects of model classes); the queue only
+ * references them, mirroring gem5's design.
+ */
+
+#ifndef CNVM_SIM_EVENTQ_HH
+#define CNVM_SIM_EVENTQ_HH
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+
+#include "common/types.hh"
+
+namespace cnvm
+{
+
+class EventQueue;
+
+/**
+ * Base class for all schedulable work. Derived classes implement
+ * process(), which runs when simulated time reaches the scheduled tick.
+ */
+class Event
+{
+  public:
+    /**
+     * Priorities break ties between events scheduled for the same tick;
+     * lower values run first.
+     */
+    enum Priority : int
+    {
+        /** Drain/maintenance activity that should observe a settled state. */
+        MaxPriority = 100,
+        /** Normal model activity. */
+        DefaultPriority = 50,
+        /** Clock-edge style activity that should run before models react. */
+        MinPriority = 0,
+    };
+
+    explicit Event(std::string name = "event",
+                   int priority = DefaultPriority);
+    virtual ~Event();
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+
+    /** Invoked by the event queue when the event's tick arrives. */
+    virtual void process() = 0;
+
+    /** True while the event sits in an event queue. */
+    bool scheduled() const { return queue != nullptr; }
+
+    /** The tick this event is (or was last) scheduled for. */
+    Tick when() const { return _when; }
+
+    /** Human-readable name for diagnostics. */
+    const std::string &name() const { return _name; }
+
+    int priority() const { return _priority; }
+
+  private:
+    friend class EventQueue;
+
+    std::string _name;
+    int _priority;
+    Tick _when = 0;
+    std::uint64_t _seq = 0;
+    EventQueue *queue = nullptr;
+};
+
+/**
+ * Convenience event that runs a std::function; the idiomatic way for a
+ * model to define its callbacks without one subclass per action.
+ */
+class EventFunctionWrapper : public Event
+{
+  public:
+    EventFunctionWrapper(std::function<void()> callback,
+                         std::string name = "event",
+                         int priority = DefaultPriority)
+        : Event(std::move(name), priority), callback(std::move(callback))
+    {}
+
+    void process() override { callback(); }
+
+  private:
+    std::function<void()> callback;
+};
+
+/**
+ * The event queue: a total order over pending events and the simulated
+ * clock. One queue drives one simulated system (no cross-queue sync).
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    ~EventQueue();
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick curTick() const { return _curTick; }
+
+    /**
+     * Schedules @p event at absolute tick @p when (>= curTick()).
+     * The event must not already be scheduled.
+     */
+    void schedule(Event &event, Tick when);
+
+    /** Removes a scheduled event from the queue. */
+    void deschedule(Event &event);
+
+    /** Deschedules (if needed) and schedules at the new tick. */
+    void reschedule(Event &event, Tick when);
+
+    /** Number of pending events. */
+    std::size_t size() const { return events.size(); }
+
+    bool empty() const { return events.empty(); }
+
+    /** Processes a single event; returns false if the queue was empty. */
+    bool step();
+
+    /**
+     * Runs until the queue empties or curTick() would exceed @p limit.
+     * @return the tick of the last processed event.
+     */
+    Tick run(Tick limit = maxTick);
+
+    /** Asks a running run() loop to return after the current event. */
+    void requestStop() { stopRequested = true; }
+
+    /** Total number of events processed since construction. */
+    std::uint64_t processedCount() const { return processed; }
+
+  private:
+    struct Compare
+    {
+        bool
+        operator()(const Event *a, const Event *b) const
+        {
+            if (a->_when != b->_when)
+                return a->_when < b->_when;
+            if (a->_priority != b->_priority)
+                return a->_priority < b->_priority;
+            return a->_seq < b->_seq;
+        }
+    };
+
+    Tick _curTick = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t processed = 0;
+    bool stopRequested = false;
+    std::set<Event *, Compare> events;
+};
+
+} // namespace cnvm
+
+#endif // CNVM_SIM_EVENTQ_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fire-and-forget event scheduling.
+ */
+
+#ifndef CNVM_SIM_ONE_SHOT_HH
+#define CNVM_SIM_ONE_SHOT_HH
+
+#include <functional>
+#include <utility>
+
+#include "sim/eventq.hh"
+
+namespace cnvm
+{
+
+/**
+ * Schedules @p fn to run at absolute tick @p when; the underlying event
+ * owns itself and is destroyed after running. Use for callback chains
+ * where allocating a named member event per step would be noise.
+ */
+inline void
+scheduleAt(EventQueue &eq, Tick when, std::function<void()> fn,
+           int priority = Event::DefaultPriority)
+{
+    class SelfDeletingEvent : public Event
+    {
+      public:
+        SelfDeletingEvent(std::function<void()> fn, int priority)
+            : Event("one-shot", priority), fn(std::move(fn))
+        {}
+
+        void
+        process() override
+        {
+            auto f = std::move(fn);
+            delete this;
+            f();
+        }
+
+      private:
+        std::function<void()> fn;
+    };
+
+    auto *event = new SelfDeletingEvent(std::move(fn), priority);
+    eq.schedule(*event, when);
+}
+
+/** Schedules @p fn @p delta ticks from now. */
+inline void
+scheduleAfter(EventQueue &eq, Tick delta, std::function<void()> fn,
+              int priority = Event::DefaultPriority)
+{
+    scheduleAt(eq, eq.curTick() + delta, std::move(fn), priority);
+}
+
+} // namespace cnvm
+
+#endif // CNVM_SIM_ONE_SHOT_HH

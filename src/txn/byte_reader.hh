@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Abstract byte-addressable view of persistent memory.
+ *
+ * Implemented by ShadowMem (the live program-order state used while
+ * generating transactions) and by RecoveredImage (the decrypted
+ * post-crash state), so that a workload's digest and invariant-checking
+ * code runs identically against both.
+ */
+
+#ifndef CNVM_TXN_BYTE_READER_HH
+#define CNVM_TXN_BYTE_READER_HH
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/types.hh"
+
+namespace cnvm
+{
+
+class ByteReader
+{
+  public:
+    virtual ~ByteReader() = default;
+
+    /** Copies @p size bytes at @p addr into @p out; may cross lines. */
+    virtual void read(Addr addr, unsigned size, void *out) const = 0;
+
+    /** Convenience: one little-endian 64-bit value. */
+    std::uint64_t
+    readU64(Addr addr) const
+    {
+        std::uint64_t v = 0;
+        read(addr, sizeof(v), &v);
+        return v;
+    }
+};
+
+} // namespace cnvm
+
+#endif // CNVM_TXN_BYTE_READER_HH

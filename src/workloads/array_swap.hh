@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Array Swap workload: swaps random items in a persistent array
+ * (paper section 6.2).
+ */
+
+#ifndef CNVM_WORKLOADS_ARRAY_SWAP_HH
+#define CNVM_WORKLOADS_ARRAY_SWAP_HH
+
+#include "workloads/workload.hh"
+
+namespace cnvm
+{
+
+class ArraySwapWorkload : public Workload
+{
+  public:
+    explicit ArraySwapWorkload(const WorkloadParams &params);
+
+    const char *name() const override { return "Array"; }
+
+    std::uint64_t digest(const ByteReader &reader) const override;
+    ValidationResult validate(const ByteReader &reader) const override;
+
+    std::uint64_t numItems() const { return items; }
+    Addr itemAddr(std::uint64_t i) const
+    { return arrayBase + i * itemBytes; }
+
+  protected:
+    void doSetup() override;
+    void buildTxn(UndoTx &tx) override;
+
+  private:
+    unsigned itemBytes = 0;
+    std::uint64_t items = 0;
+    Addr arrayBase = 0;
+};
+
+} // namespace cnvm
+
+#endif // CNVM_WORKLOADS_ARRAY_SWAP_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * B-Tree workload: inserts random keys into a persistent B-tree
+ * (paper section 6.2).
+ *
+ * Minimum degree 4 (up to 7 keys / 8 children per node); each node
+ * occupies two cache lines:
+ *
+ *   node + 0   meta word: n | (leaf ? 1<<32 : 0)
+ *   node + 8   keys[7]
+ *   node + 64  children[8]
+ *
+ * Inserts use preemptive splitting (full children split on the way
+ * down), so a single downward pass suffices.
+ */
+
+#ifndef CNVM_WORKLOADS_BTREE_HH
+#define CNVM_WORKLOADS_BTREE_HH
+
+#include <memory>
+
+#include "workloads/workload.hh"
+
+namespace cnvm
+{
+
+class BTreeWorkload : public Workload
+{
+  public:
+    explicit BTreeWorkload(const WorkloadParams &params);
+
+    const char *name() const override { return "B-Tree"; }
+
+    std::uint64_t digest(const ByteReader &reader) const override;
+    ValidationResult validate(const ByteReader &reader) const override;
+
+    /** Number of keys stored (walks the tree through @p reader). */
+    std::uint64_t keyCount(const ByteReader &reader) const;
+
+    static constexpr unsigned minDegree = 4;
+    static constexpr unsigned maxKeys = 2 * minDegree - 1;
+    static constexpr unsigned nodeBytes = 2 * lineBytes;
+
+  protected:
+    void doSetup() override;
+    void buildTxn(UndoTx &tx) override;
+
+  private:
+    Addr metaAddr = 0;
+    std::unique_ptr<PersistentAllocator> alloc;
+    bool poolLow = false;
+
+    Addr rootPtrAddr() const { return metaAddr; }
+    Addr cursorAddr() const { return metaAddr + 8; }
+
+    static Addr nodeMeta(Addr node) { return node; }
+    static Addr nodeKey(Addr node, unsigned i) { return node + 8 + 8 * i; }
+    static Addr nodeChild(Addr node, unsigned i)
+    { return node + lineBytes + 8 * i; }
+
+    static std::uint64_t packMeta(bool leaf, unsigned n)
+    { return (leaf ? (std::uint64_t(1) << 32) : 0) | n; }
+    static bool metaLeaf(std::uint64_t m) { return (m >> 32) & 1; }
+    static unsigned metaN(std::uint64_t m)
+    { return static_cast<unsigned>(m & 0xffffffffu); }
+
+    void insert(MemIo &io, std::uint64_t key);
+    void searchOnly(MemIo &io, std::uint64_t key);
+    Addr newNode(MemIo &io, bool leaf);
+    void splitChild(MemIo &io, Addr parent, unsigned index);
+
+    bool nodeAddrValid(Addr node, Addr cursor) const;
+
+    struct WalkStats
+    {
+        std::uint64_t nodes = 0;
+        bool corrupted = false;
+    };
+    std::uint64_t foldInOrder(const ByteReader &reader, Addr node,
+                              std::uint64_t state, std::uint64_t &budget,
+                              Addr cursor) const;
+};
+
+} // namespace cnvm
+
+#endif // CNVM_WORKLOADS_BTREE_HH

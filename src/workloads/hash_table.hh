@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Hash Table workload: inserts random keys into a persistent chained
+ * hash table (paper section 6.2).
+ */
+
+#ifndef CNVM_WORKLOADS_HASH_TABLE_HH
+#define CNVM_WORKLOADS_HASH_TABLE_HH
+
+#include <memory>
+
+#include "workloads/workload.hh"
+
+namespace cnvm
+{
+
+class HashTableWorkload : public Workload
+{
+  public:
+    explicit HashTableWorkload(const WorkloadParams &params);
+
+    const char *name() const override { return "Hash"; }
+
+    std::uint64_t digest(const ByteReader &reader) const override;
+    ValidationResult validate(const ByteReader &reader) const override;
+
+    std::uint64_t bucketCount() const { return buckets; }
+
+  protected:
+    void doSetup() override;
+    void buildTxn(UndoTx &tx) override;
+
+  private:
+    std::uint64_t buckets = 0;
+    Addr metaAddr = 0;
+    Addr bucketsBase = 0;
+    std::unique_ptr<PersistentAllocator> alloc;
+
+    Addr bucketAddr(std::uint64_t b) const { return bucketsBase + b * 8; }
+    std::uint64_t bucketOf(std::uint64_t key) const;
+
+    /** Node layout within one line: key(8) | next(8). */
+    static Addr keyAddr(Addr node) { return node; }
+    static Addr nextAddr(Addr node) { return node + 8; }
+
+    bool nodeAddrValid(Addr node, Addr cursor) const;
+};
+
+} // namespace cnvm
+
+#endif // CNVM_WORKLOADS_HASH_TABLE_HH

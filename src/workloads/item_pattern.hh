@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Deterministic item payloads for the array and queue workloads.
+ *
+ * An item's entire byte content is derived from a single 64-bit value,
+ * so that (a) validation can detect any torn or garbled byte, and
+ * (b) digests need to fold only the value.
+ */
+
+#ifndef CNVM_WORKLOADS_ITEM_PATTERN_HH
+#define CNVM_WORKLOADS_ITEM_PATTERN_HH
+
+#include <cstring>
+#include <vector>
+
+#include "common/hash.hh"
+#include "common/types.hh"
+
+namespace cnvm
+{
+
+/**
+ * Fills @p item_bytes bytes: word 0 is the value itself, word i > 0 is
+ * a hash chain seeded by the value.
+ */
+inline void
+fillItemPattern(std::uint64_t value, unsigned item_bytes, std::uint8_t *out)
+{
+    std::memcpy(out, &value, sizeof(value));
+    std::uint64_t state = fnv1aU64(value);
+    for (unsigned off = 8; off + 8 <= item_bytes; off += 8) {
+        state = fnv1aU64(state);
+        std::memcpy(out + off, &state, sizeof(state));
+    }
+}
+
+/** Checks that @p bytes is exactly fillItemPattern(value). */
+inline bool
+checkItemPattern(std::uint64_t value, unsigned item_bytes,
+                 const std::uint8_t *bytes)
+{
+    std::vector<std::uint8_t> expect(item_bytes);
+    fillItemPattern(value, item_bytes, expect.data());
+    return std::memcmp(bytes, expect.data(), item_bytes) == 0;
+}
+
+} // namespace cnvm
+
+#endif // CNVM_WORKLOADS_ITEM_PATTERN_HH

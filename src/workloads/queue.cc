@@ -1,0 +1,137 @@
+#include "workloads/queue.hh"
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "workloads/item_pattern.hh"
+
+namespace cnvm
+{
+
+QueueWorkload::QueueWorkload(const WorkloadParams &params)
+    : Workload(params)
+{
+}
+
+void
+QueueWorkload::doSetup()
+{
+    itemBytes = params.itemLines * lineBytes;
+    metaAddr = allocStatic(lineBytes);
+
+    std::uint64_t avail = regionEnd() - allocStatic(0);
+    slots = avail / itemBytes;
+    if (slots < 2)
+        cnvm_fatal("Queue: region too small for two slots");
+    slotsBase = allocStatic(slots * itemBytes);
+
+    // Pre-fill so dequeues stream through a large resident region
+    // rather than ping-ponging over a handful of cached lines.
+    std::uint64_t fill = static_cast<std::uint64_t>(
+        slots * params.setupFill);
+    std::vector<std::uint8_t> buf(itemBytes);
+    for (std::uint64_t i = 0; i < fill; ++i) {
+        fillItemPattern(i, itemBytes, buf.data());
+        initWrite(slotAddr(i), buf.data(), itemBytes);
+    }
+    initWriteU64(headAddr(), 0);
+    initWriteU64(tailAddr(), fill % slots);
+    initWriteU64(countAddr(), fill);
+    initWriteU64(nextValAddr(), fill);
+}
+
+void
+QueueWorkload::enqueue(UndoTx &tx)
+{
+    std::uint64_t tail = tx.readU64(tailAddr());
+    std::uint64_t count = tx.readU64(countAddr());
+    std::uint64_t next_val = tx.readU64(nextValAddr());
+    cnvm_assert(count < slots);
+
+    std::vector<std::uint8_t> buf(itemBytes);
+    fillItemPattern(next_val, itemBytes, buf.data());
+    tx.write(slotAddr(tail), buf.data(), itemBytes);
+    tx.writeU64(tailAddr(), (tail + 1) % slots);
+    tx.writeU64(countAddr(), count + 1);
+    tx.writeU64(nextValAddr(), next_val + 1);
+}
+
+void
+QueueWorkload::dequeue(UndoTx &tx)
+{
+    std::uint64_t head = tx.readU64(headAddr());
+    std::uint64_t count = tx.readU64(countAddr());
+    cnvm_assert(count > 0);
+
+    // The consumer reads the departing item.
+    std::vector<std::uint8_t> buf(itemBytes);
+    tx.read(slotAddr(head), itemBytes, buf.data());
+
+    tx.writeU64(headAddr(), (head + 1) % slots);
+    tx.writeU64(countAddr(), count - 1);
+}
+
+void
+QueueWorkload::buildTxn(UndoTx &tx)
+{
+    for (unsigned k = 0; k < params.batch; ++k) {
+        std::uint64_t count = tx.readU64(countAddr());
+        if (count == 0)
+            enqueue(tx);
+        else if (count == slots)
+            dequeue(tx);
+        else if (rng.chancePct(50))
+            enqueue(tx);
+        else
+            dequeue(tx);
+    }
+}
+
+std::uint64_t
+QueueWorkload::digest(const ByteReader &reader) const
+{
+    std::uint64_t head = reader.readU64(headAddr());
+    std::uint64_t count = reader.readU64(countAddr());
+    std::uint64_t state = fnv1aU64(count);
+    if (head >= slots || count > slots)
+        return fnv1aU64(state, 0xdead); // corrupted meta: distinct digest
+    for (std::uint64_t k = 0; k < count; ++k) {
+        std::uint64_t s = (head + k) % slots;
+        state = fnv1aU64(reader.readU64(slotAddr(s)), state);
+    }
+    return state;
+}
+
+ValidationResult
+QueueWorkload::validate(const ByteReader &reader) const
+{
+    std::uint64_t head = reader.readU64(headAddr());
+    std::uint64_t tail = reader.readU64(tailAddr());
+    std::uint64_t count = reader.readU64(countAddr());
+    std::uint64_t next_val = reader.readU64(nextValAddr());
+
+    if (head >= slots || tail >= slots)
+        return ValidationResult::fail("head/tail index out of range");
+    if (count > slots)
+        return ValidationResult::fail("count exceeds capacity");
+    if ((head + count) % slots != tail)
+        return ValidationResult::fail("head/tail/count disagree");
+    if (next_val < count)
+        return ValidationResult::fail("value counter behind queue size");
+
+    // Queue contents must be the last `count` enqueued values, FIFO.
+    std::vector<std::uint8_t> buf(itemBytes);
+    for (std::uint64_t k = 0; k < count; ++k) {
+        std::uint64_t s = (head + k) % slots;
+        reader.read(slotAddr(s), itemBytes, buf.data());
+        std::uint64_t v;
+        std::memcpy(&v, buf.data(), sizeof(v));
+        if (v != next_val - count + k)
+            return ValidationResult::fail("queue item value out of order");
+        if (!checkItemPattern(v, itemBytes, buf.data()))
+            return ValidationResult::fail("queue item payload mismatch");
+    }
+    return ValidationResult::pass();
+}
+
+} // namespace cnvm

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Queue workload: random enqueue/dequeue on a persistent circular
+ * buffer (paper section 6.2).
+ */
+
+#ifndef CNVM_WORKLOADS_QUEUE_HH
+#define CNVM_WORKLOADS_QUEUE_HH
+
+#include "workloads/workload.hh"
+
+namespace cnvm
+{
+
+class QueueWorkload : public Workload
+{
+  public:
+    explicit QueueWorkload(const WorkloadParams &params);
+
+    const char *name() const override { return "Queue"; }
+
+    std::uint64_t digest(const ByteReader &reader) const override;
+    ValidationResult validate(const ByteReader &reader) const override;
+
+    std::uint64_t capacity() const { return slots; }
+
+  protected:
+    void doSetup() override;
+    void buildTxn(UndoTx &tx) override;
+
+  private:
+    unsigned itemBytes = 0;
+    std::uint64_t slots = 0;
+    Addr metaAddr = 0;
+    Addr slotsBase = 0;
+
+    Addr headAddr() const { return metaAddr; }
+    Addr tailAddr() const { return metaAddr + 8; }
+    Addr countAddr() const { return metaAddr + 16; }
+    Addr nextValAddr() const { return metaAddr + 24; }
+    Addr slotAddr(std::uint64_t s) const
+    { return slotsBase + s * itemBytes; }
+
+    void enqueue(UndoTx &tx);
+    void dequeue(UndoTx &tx);
+};
+
+} // namespace cnvm
+
+#endif // CNVM_WORKLOADS_QUEUE_HH

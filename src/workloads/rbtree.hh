@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Red-Black Tree workload: inserts random keys into a persistent
+ * red-black tree (paper section 6.2).
+ *
+ * Node layout (one cache line):
+ *   node + 0   key
+ *   node + 8   left child (0 = nil)
+ *   node + 16  right child
+ *   node + 24  parent (0 for root)
+ *   node + 32  color (1 = red, 0 = black)
+ */
+
+#ifndef CNVM_WORKLOADS_RBTREE_HH
+#define CNVM_WORKLOADS_RBTREE_HH
+
+#include <memory>
+
+#include "workloads/workload.hh"
+
+namespace cnvm
+{
+
+class RbTreeWorkload : public Workload
+{
+  public:
+    explicit RbTreeWorkload(const WorkloadParams &params);
+
+    const char *name() const override { return "RB-Tree"; }
+
+    std::uint64_t digest(const ByteReader &reader) const override;
+    ValidationResult validate(const ByteReader &reader) const override;
+
+  protected:
+    void doSetup() override;
+    void buildTxn(UndoTx &tx) override;
+
+  private:
+    Addr metaAddr = 0;
+    std::unique_ptr<PersistentAllocator> alloc;
+    bool poolLow = false;
+
+    Addr rootPtrAddr() const { return metaAddr; }
+    Addr cursorAddr() const { return metaAddr + 8; }
+
+    static Addr fKey(Addr n) { return n; }
+    static Addr fLeft(Addr n) { return n + 8; }
+    static Addr fRight(Addr n) { return n + 16; }
+    static Addr fParent(Addr n) { return n + 24; }
+    static Addr fColor(Addr n) { return n + 32; }
+
+    static constexpr std::uint64_t red = 1;
+    static constexpr std::uint64_t black = 0;
+
+    void insert(MemIo &io, std::uint64_t key);
+    void searchOnly(MemIo &io, std::uint64_t key);
+    void rotateLeft(MemIo &io, Addr x);
+    void rotateRight(MemIo &io, Addr x);
+    void fixup(MemIo &io, Addr z);
+
+    bool nodeAddrValid(Addr node, Addr cursor) const;
+};
+
+} // namespace cnvm
+
+#endif // CNVM_WORKLOADS_RBTREE_HH

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Unit tests for the common utilities: integer math, hashing, the
+ * deterministic RNG, logging counters, and address helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/hash.hh"
+#include "common/intmath.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/types.hh"
+
+namespace cnvm
+{
+namespace
+{
+
+TEST(IntMath, IsPowerOf2)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(1ull << 40));
+    EXPECT_FALSE(isPowerOf2((1ull << 40) + 1));
+    EXPECT_TRUE(isPowerOf2(1ull << 63));
+}
+
+TEST(IntMath, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4), 2u);
+    EXPECT_EQ(floorLog2(1023), 9u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(floorLog2(~0ull), 63u);
+}
+
+TEST(IntMath, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(4), 2u);
+    EXPECT_EQ(ceilLog2(5), 3u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+}
+
+TEST(IntMath, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 4), 0u);
+    EXPECT_EQ(divCeil(1, 4), 1u);
+    EXPECT_EQ(divCeil(4, 4), 1u);
+    EXPECT_EQ(divCeil(5, 4), 2u);
+    EXPECT_EQ(divCeil(100, 7), 15u);
+}
+
+TEST(IntMath, RoundUpDown)
+{
+    EXPECT_EQ(roundUp(0, 64), 0u);
+    EXPECT_EQ(roundUp(1, 64), 64u);
+    EXPECT_EQ(roundUp(64, 64), 64u);
+    EXPECT_EQ(roundUp(65, 64), 128u);
+    EXPECT_EQ(roundDown(63, 64), 0u);
+    EXPECT_EQ(roundDown(64, 64), 64u);
+    EXPECT_EQ(roundDown(127, 64), 64u);
+}
+
+TEST(Types, LineAlign)
+{
+    EXPECT_EQ(lineAlign(0), 0u);
+    EXPECT_EQ(lineAlign(63), 0u);
+    EXPECT_EQ(lineAlign(64), 64u);
+    EXPECT_EQ(lineAlign(0x12345), 0x12340u);
+    EXPECT_TRUE(isLineAligned(0));
+    EXPECT_TRUE(isLineAligned(128));
+    EXPECT_FALSE(isLineAligned(129));
+}
+
+TEST(Types, NsToTicks)
+{
+    EXPECT_EQ(nsToTicks(1), 1000u);
+    EXPECT_EQ(nsToTicks(7.5), 7500u);
+    EXPECT_EQ(nsToTicks(0.25), 250u);
+    EXPECT_EQ(nsToTicks(300), 300000u);
+}
+
+TEST(Types, LineConstants)
+{
+    EXPECT_EQ(lineBytes, 64u);
+    EXPECT_EQ(counterBytes, 8u);
+    EXPECT_EQ(countersPerLine, 8u);
+}
+
+TEST(Hash, Fnv1aKnownValues)
+{
+    // FNV-1a of the empty string is the offset basis.
+    EXPECT_EQ(fnv1a(nullptr, 0), fnvOffsetBasis);
+    // "a" (0x61): one round.
+    std::uint64_t expect = (fnvOffsetBasis ^ 0x61) * fnvPrime;
+    EXPECT_EQ(fnv1a("a", 1), expect);
+}
+
+TEST(Hash, Fnv1aOrderSensitive)
+{
+    EXPECT_NE(fnv1a("ab", 2), fnv1a("ba", 2));
+}
+
+TEST(Hash, Fnv1aChained)
+{
+    std::uint64_t one_shot = fnv1a("abcd", 4);
+    std::uint64_t chained = fnv1a("cd", 2, fnv1a("ab", 2));
+    EXPECT_EQ(one_shot, chained);
+}
+
+TEST(Hash, Fnv1aU64MatchesBytes)
+{
+    std::uint64_t v = 0x1122334455667788ull;
+    EXPECT_EQ(fnv1aU64(v), fnv1a(&v, sizeof(v)));
+}
+
+TEST(Random, Deterministic)
+{
+    Random a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    Random a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Random, ZeroSeedWorks)
+{
+    Random r(0);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 100; ++i)
+        seen.insert(r.next());
+    EXPECT_GT(seen.size(), 95u);
+}
+
+TEST(Random, BelowStaysInRange)
+{
+    Random r(7);
+    for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+        for (int i = 0; i < 200; ++i)
+            ASSERT_LT(r.below(bound), bound);
+    }
+}
+
+TEST(Random, BelowOneIsAlwaysZero)
+{
+    Random r(9);
+    for (int i = 0; i < 50; ++i)
+        ASSERT_EQ(r.below(1), 0u);
+}
+
+TEST(Random, RangeInclusive)
+{
+    Random r(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        std::uint64_t v = r.range(5, 8);
+        ASSERT_GE(v, 5u);
+        ASSERT_LE(v, 8u);
+        saw_lo |= v == 5;
+        saw_hi |= v == 8;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Random, RoughlyUniform)
+{
+    Random r(13);
+    std::map<std::uint64_t, int> counts;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i)
+        ++counts[r.below(10)];
+    for (const auto &[bucket, count] : counts) {
+        EXPECT_GT(count, n / 10 / 2) << "bucket " << bucket;
+        EXPECT_LT(count, n / 10 * 2) << "bucket " << bucket;
+    }
+}
+
+TEST(Random, ChancePctExtremes)
+{
+    Random r(17);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chancePct(0));
+        EXPECT_TRUE(r.chancePct(100));
+    }
+}
+
+TEST(Logging, WarnIncrementsCounter)
+{
+    setQuiet(true);
+    std::uint64_t before = warnCount();
+    cnvm_warn("test warning %d", 1);
+    EXPECT_EQ(warnCount(), before + 1);
+    setQuiet(false);
+}
+
+TEST(Logging, InformDoesNotCount)
+{
+    setQuiet(true);
+    std::uint64_t before = warnCount();
+    cnvm_inform("info message");
+    EXPECT_EQ(warnCount(), before);
+    setQuiet(false);
+}
+
+} // anonymous namespace
+} // namespace cnvm

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel: ordering, priorities,
+ * rescheduling, run limits, and the clock/one-shot helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/clocked.hh"
+#include "sim/eventq.hh"
+#include "sim/one_shot.hh"
+
+namespace cnvm
+{
+namespace
+{
+
+class RecordingEvent : public Event
+{
+  public:
+    RecordingEvent(std::vector<std::string> &log, std::string tag,
+                   int priority = DefaultPriority)
+        : Event(tag, priority), log(log), tag(std::move(tag))
+    {}
+
+    void process() override { log.push_back(tag); }
+
+  private:
+    std::vector<std::string> &log;
+    std::string tag;
+};
+
+TEST(EventQueue, StartsAtTickZeroEmpty)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.curTick(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, ProcessesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<std::string> log;
+    RecordingEvent a(log, "a"), b(log, "b"), c(log, "c");
+    eq.schedule(c, 300);
+    eq.schedule(a, 100);
+    eq.schedule(b, 200);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(eq.curTick(), 300u);
+}
+
+TEST(EventQueue, SameTickFifoByInsertion)
+{
+    EventQueue eq;
+    std::vector<std::string> log;
+    RecordingEvent a(log, "a"), b(log, "b"), c(log, "c");
+    eq.schedule(a, 50);
+    eq.schedule(b, 50);
+    eq.schedule(c, 50);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(EventQueue, PriorityBreaksTies)
+{
+    EventQueue eq;
+    std::vector<std::string> log;
+    RecordingEvent low(log, "low", Event::MaxPriority);
+    RecordingEvent high(log, "high", Event::MinPriority);
+    eq.schedule(low, 10);
+    eq.schedule(high, 10);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<std::string>{"high", "low"}));
+}
+
+TEST(EventQueue, ScheduledFlagTracksState)
+{
+    EventQueue eq;
+    std::vector<std::string> log;
+    RecordingEvent a(log, "a");
+    EXPECT_FALSE(a.scheduled());
+    eq.schedule(a, 5);
+    EXPECT_TRUE(a.scheduled());
+    EXPECT_EQ(a.when(), 5u);
+    eq.run();
+    EXPECT_FALSE(a.scheduled());
+}
+
+TEST(EventQueue, Deschedule)
+{
+    EventQueue eq;
+    std::vector<std::string> log;
+    RecordingEvent a(log, "a"), b(log, "b");
+    eq.schedule(a, 10);
+    eq.schedule(b, 20);
+    eq.deschedule(a);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<std::string>{"b"}));
+}
+
+TEST(EventQueue, Reschedule)
+{
+    EventQueue eq;
+    std::vector<std::string> log;
+    RecordingEvent a(log, "a"), b(log, "b");
+    eq.schedule(a, 10);
+    eq.schedule(b, 20);
+    eq.reschedule(a, 30); // moves a after b
+    eq.run();
+    EXPECT_EQ(log, (std::vector<std::string>{"b", "a"}));
+}
+
+TEST(EventQueue, RescheduleUnscheduledSchedules)
+{
+    EventQueue eq;
+    std::vector<std::string> log;
+    RecordingEvent a(log, "a");
+    eq.reschedule(a, 15);
+    eq.run();
+    EXPECT_EQ(log.size(), 1u);
+}
+
+TEST(EventQueue, RunLimitStopsBeforeLaterEvents)
+{
+    EventQueue eq;
+    std::vector<std::string> log;
+    RecordingEvent a(log, "a"), b(log, "b");
+    eq.schedule(a, 100);
+    eq.schedule(b, 200);
+    eq.run(150);
+    EXPECT_EQ(log, (std::vector<std::string>{"a"}));
+    EXPECT_TRUE(b.scheduled());
+    eq.run();
+    EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(EventQueue, EventsScheduledDuringProcessing)
+{
+    EventQueue eq;
+    std::vector<Tick> ticks;
+    scheduleAt(eq, 10, [&]() {
+        ticks.push_back(eq.curTick());
+        scheduleAt(eq, 25, [&]() { ticks.push_back(eq.curTick()); });
+    });
+    eq.run();
+    EXPECT_EQ(ticks, (std::vector<Tick>{10, 25}));
+}
+
+TEST(EventQueue, SameTickFollowupRunsAfterCurrent)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    scheduleAt(eq, 10, [&]() {
+        order.push_back(1);
+        scheduleAt(eq, 10, [&]() { order.push_back(3); });
+        order.push_back(2);
+    });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, RequestStopEndsRun)
+{
+    EventQueue eq;
+    int ran = 0;
+    scheduleAt(eq, 10, [&]() {
+        ++ran;
+        eq.requestStop();
+    });
+    scheduleAt(eq, 20, [&]() { ++ran; });
+    eq.run();
+    EXPECT_EQ(ran, 1);
+    eq.run(); // resumes
+    EXPECT_EQ(ran, 2);
+}
+
+TEST(EventQueue, ProcessedCount)
+{
+    EventQueue eq;
+    for (int i = 0; i < 5; ++i)
+        scheduleAt(eq, 10 * (i + 1), []() {});
+    eq.run();
+    EXPECT_EQ(eq.processedCount(), 5u);
+}
+
+TEST(EventQueue, DestructorDeschedulesEvent)
+{
+    EventQueue eq;
+    std::vector<std::string> log;
+    {
+        RecordingEvent a(log, "a");
+        eq.schedule(a, 10);
+        // a destroyed while scheduled: must not be processed.
+    }
+    eq.run();
+    EXPECT_TRUE(log.empty());
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTick)
+{
+    EventQueue eq;
+    Tick observed = 0;
+    scheduleAt(eq, 100, [&]() {
+        scheduleAfter(eq, 50, [&]() { observed = eq.curTick(); });
+    });
+    eq.run();
+    EXPECT_EQ(observed, 150u);
+}
+
+TEST(ClockDomain, Conversions)
+{
+    ClockDomain cpu(250); // 4 GHz
+    EXPECT_EQ(cpu.periodTicks(), 250u);
+    EXPECT_EQ(cpu.cyclesToTicks(4), 1000u);
+    EXPECT_EQ(cpu.ticksToCycles(1000), 4u);
+    EXPECT_EQ(cpu.ticksToCycles(1001), 5u); // rounds up
+}
+
+TEST(ClockDomain, FromMHz)
+{
+    ClockDomain mem = ClockDomain::fromMHz(1000);
+    EXPECT_EQ(mem.periodTicks(), 1000u);
+}
+
+TEST(Clocked, ClockEdgeAligned)
+{
+    EventQueue eq;
+    Clocked clocked(eq, ClockDomain(250));
+    EXPECT_EQ(clocked.clockEdge(), 0u);
+    EXPECT_EQ(clocked.clockEdge(2), 500u);
+
+    Tick edge = 0;
+    scheduleAt(eq, 130, [&]() { edge = clocked.clockEdge(); });
+    eq.run();
+    EXPECT_EQ(edge, 250u); // next edge after tick 130
+}
+
+} // anonymous namespace
+} // namespace cnvm

@@ -1,0 +1,420 @@
+/**
+ * @file
+ * Unit tests for the memory controller: per-design read paths, write
+ * acceptance and coalescing, the counter-atomic pairing protocol, the
+ * counter_cache_writeback() primitive, ADR crash draining, and the
+ * decryptability of the persisted image afterwards.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "memctl/mem_controller.hh"
+#include "sim/one_shot.hh"
+
+namespace cnvm
+{
+namespace
+{
+
+LineData
+lineOf(std::uint8_t v)
+{
+    LineData d;
+    d.fill(v);
+    return d;
+}
+
+class MemCtlTest : public ::testing::Test
+{
+  protected:
+    void
+    build(DesignPoint design)
+    {
+        MemCtlConfig cfg;
+        cfg.design = design;
+        nvm = std::make_unique<NvmDevice>(NvmTiming::pcm(), nullptr);
+        ctl = std::make_unique<MemController>(eq, *nvm, cfg, nullptr);
+    }
+
+    /** Issues a read and returns its latency. */
+    Tick
+    readLatency(Addr addr)
+    {
+        Tick start = eq.curTick();
+        Tick done = 0;
+        ctl->issueRead(addr, 0, [&]() { done = eq.curTick(); });
+        eq.run();
+        return done - start;
+    }
+
+    /** Issues a write, runs to quiescence, returns acceptance tick. */
+    Tick
+    writeAndDrain(Addr addr, const LineData &data, bool ca = false)
+    {
+        Tick accepted_at = 0;
+        WriteReq req;
+        req.addr = addr;
+        req.data = data;
+        req.counterAtomic = ca;
+        req.accepted = [&]() { accepted_at = eq.curTick(); };
+        EXPECT_TRUE(ctl->tryWrite(req));
+        eq.run();
+        return accepted_at;
+    }
+
+    /** Decrypts the persisted image for a line with the stored counter. */
+    LineData
+    recoverLine(Addr addr)
+    {
+        const LineData *cipher = nvm->persistedLine(addr);
+        if (ctl->design() == DesignPoint::NoEncryption)
+            return cipher != nullptr ? *cipher : LineData{};
+        LineData bytes = cipher != nullptr
+            ? *cipher
+            : ctl->engine().encrypt(addr, 0, LineData{});
+        std::uint64_t counter =
+            nvm->persistedCounters(ctl->counterLineAddr(addr))
+                [ctl->counterSlot(addr)];
+        return ctl->engine().decrypt(addr, counter, bytes);
+    }
+
+    EventQueue eq;
+    std::unique_ptr<NvmDevice> nvm;
+    std::unique_ptr<MemController> ctl;
+};
+
+// --- address-space helpers ----------------------------------------------
+
+TEST_F(MemCtlTest, CounterLineMapping)
+{
+    build(DesignPoint::SCA);
+    Addr base = ctl->config().counterRegionBase;
+    EXPECT_EQ(ctl->counterLineAddr(0x0), base);
+    EXPECT_EQ(ctl->counterLineAddr(0x1c0), base); // line 7, same group
+    EXPECT_EQ(ctl->counterLineAddr(0x200), base + 64); // line 8
+    EXPECT_EQ(ctl->counterSlot(0x0), 0u);
+    EXPECT_EQ(ctl->counterSlot(0x1c0), 7u);
+    EXPECT_EQ(ctl->counterSlot(0x200), 0u);
+}
+
+// --- read path latencies (paper Figures 2 and 6) -------------------------
+
+TEST_F(MemCtlTest, NoEncryptionReadIsRawDeviceLatency)
+{
+    build(DesignPoint::NoEncryption);
+    EXPECT_EQ(readLatency(0x40000), nsToTicks(70.5));
+}
+
+TEST_F(MemCtlTest, ColocatedSerializesDecryption)
+{
+    // Figure 6a: read + 40 ns decryption, every time.
+    build(DesignPoint::Colocated);
+    EXPECT_EQ(readLatency(0x40000), nsToTicks(70.5 + 40));
+    EXPECT_EQ(readLatency(0x80000), nsToTicks(70.5 + 40));
+}
+
+TEST_F(MemCtlTest, ColocatedCCOverlapsOnHit)
+{
+    // Figure 6b: first access misses the counter cache (serialized),
+    // the next hit overlaps OTP generation with the read.
+    build(DesignPoint::ColocatedCC);
+    EXPECT_EQ(readLatency(0x40000), nsToTicks(70.5 + 40));
+    EXPECT_EQ(readLatency(0x40040), nsToTicks(70.5)); // same ctr line
+}
+
+TEST_F(MemCtlTest, SeparateCounterMissFetchesCounterLine)
+{
+    // Section 5.2.1: a counter miss stalls and fetches the counter
+    // line from NVMM; the next access to the same group hits.
+    build(DesignPoint::SCA);
+    Tick cold = readLatency(0x40000);
+    EXPECT_GT(cold, nsToTicks(70.5 + 40)); // counter fetch serialized
+    EXPECT_EQ(readLatency(0x40040), nsToTicks(70.5)); // warm hit
+}
+
+TEST_F(MemCtlTest, WarmCounterLineAvoidsColdMiss)
+{
+    build(DesignPoint::SCA);
+    ctl->warmCounterLine(0x40000);
+    EXPECT_EQ(readLatency(0x40000), nsToTicks(70.5));
+}
+
+TEST_F(MemCtlTest, ReadForwardsFromWriteQueue)
+{
+    build(DesignPoint::SCA);
+    WriteReq req;
+    req.addr = 0x40000;
+    req.data = lineOf(1);
+    ASSERT_TRUE(ctl->tryWrite(req));
+    // While the write sits in the pipeline/queue, a read to the same
+    // line is served by forwarding, far faster than the device.
+    scheduleAfter(eq, ctl->config().encLatency, [&]() {
+        Tick start = eq.curTick();
+        ctl->issueRead(0x40000, 0, [&, start]() {
+            EXPECT_EQ(eq.curTick() - start, ctl->config().forwardLatency);
+        });
+    });
+    eq.run();
+    EXPECT_EQ(ctl->readForwards.value(), 1.0);
+}
+
+// --- write path -----------------------------------------------------------
+
+TEST_F(MemCtlTest, AcceptanceWaitsForEncryptionPipeline)
+{
+    build(DesignPoint::SCA);
+    Tick accepted = writeAndDrain(0x40000, lineOf(1));
+    EXPECT_EQ(accepted, ctl->config().encLatency);
+}
+
+TEST_F(MemCtlTest, NoEncryptionAcceptanceIsFast)
+{
+    build(DesignPoint::NoEncryption);
+    Tick accepted = writeAndDrain(0x40000, lineOf(1));
+    EXPECT_EQ(accepted, ctl->config().acceptLatency);
+}
+
+TEST_F(MemCtlTest, DrainedWriteReachesImage)
+{
+    // SCA is excluded on purpose: its plain writes defer the counter
+    // to the counter cache, so the persisted image alone is not
+    // decryptable until a counter_cache_writeback() — see
+    // CtrWritebackMakesDeferredWriteDurable.
+    for (DesignPoint d : {DesignPoint::NoEncryption, DesignPoint::Ideal,
+                          DesignPoint::Colocated, DesignPoint::ColocatedCC,
+                          DesignPoint::FCA}) {
+        build(d);
+        writeAndDrain(0x40000, lineOf(0x3c));
+        EXPECT_TRUE(ctl->writesIdle()) << designName(d);
+        EXPECT_EQ(recoverLine(0x40000), lineOf(0x3c)) << designName(d);
+    }
+}
+
+TEST_F(MemCtlTest, EncryptedImageIsNotPlaintext)
+{
+    build(DesignPoint::SCA);
+    writeAndDrain(0x40000, lineOf(0x3c));
+    ASSERT_NE(nvm->persistedLine(0x40000), nullptr);
+    EXPECT_NE(*nvm->persistedLine(0x40000), lineOf(0x3c));
+}
+
+TEST_F(MemCtlTest, WriteCombiningCoalesces)
+{
+    // FCA persists counters with every write, so the coalesced result
+    // is directly decryptable from the image.
+    build(DesignPoint::FCA);
+    WriteReq req;
+    req.addr = 0x40000;
+    req.data = lineOf(1);
+    ASSERT_TRUE(ctl->tryWrite(req));
+    req.data = lineOf(2);
+    ASSERT_TRUE(ctl->tryWrite(req));
+    eq.run();
+    EXPECT_GE(ctl->dataCoalesces.value(), 1.0);
+    EXPECT_EQ(recoverLine(0x40000), lineOf(2)); // newest wins
+}
+
+TEST_F(MemCtlTest, CounterMonotonicallyIncreasesAcrossWrites)
+{
+    build(DesignPoint::SCA);
+    writeAndDrain(0x40000, lineOf(1));
+    CounterLine after_first =
+        nvm->persistedCounters(ctl->counterLineAddr(0x40000));
+    writeAndDrain(0x40000, lineOf(2), /*ca=*/true); // pair persists ctr
+    eq.run();
+    CounterLine after_second =
+        nvm->persistedCounters(ctl->counterLineAddr(0x40000));
+    EXPECT_GT(after_second[0], after_first[0]);
+}
+
+// --- counter-atomicity (paper sections 3 and 5.2.2) -----------------------
+
+TEST_F(MemCtlTest, UnsafeLosesDeferredCounterAtCrash)
+{
+    // The Figure 3/4 failure: data drains, the counter stays dirty in
+    // the (volatile) counter cache, the crash loses it, and the line
+    // no longer decrypts.
+    build(DesignPoint::Unsafe);
+    writeAndDrain(0x40000, lineOf(0x7e), /*ca=*/true); // annotation ignored
+    ctl->crash();
+    EXPECT_NE(recoverLine(0x40000), lineOf(0x7e));
+}
+
+TEST_F(MemCtlTest, ScaCounterAtomicWriteSurvivesCrash)
+{
+    // Same scenario, SCA: the CounterAtomic annotation pairs the data
+    // and counter writes, so the crash preserves both.
+    build(DesignPoint::SCA);
+    writeAndDrain(0x40000, lineOf(0x7e), /*ca=*/true);
+    ctl->crash();
+    EXPECT_EQ(recoverLine(0x40000), lineOf(0x7e));
+}
+
+TEST_F(MemCtlTest, ScaNonAtomicWriteIsTornWithoutWriteback)
+{
+    // A non-annotated SCA write defers its counter: crash before any
+    // counter_cache_writeback() and the line is torn (by design: the
+    // recovery path rolls such lines back from the undo log).
+    build(DesignPoint::SCA);
+    writeAndDrain(0x40000, lineOf(0x11), /*ca=*/false);
+    ctl->crash();
+    EXPECT_NE(recoverLine(0x40000), lineOf(0x11));
+}
+
+TEST_F(MemCtlTest, CtrWritebackMakesDeferredWriteDurable)
+{
+    // The paper's counter_cache_writeback() primitive: after it is
+    // accepted, the deferred counter is in the ADR domain and the
+    // earlier plain write survives a crash.
+    build(DesignPoint::SCA);
+    writeAndDrain(0x40000, lineOf(0x11), /*ca=*/false);
+    bool accepted = false;
+    ASSERT_TRUE(ctl->tryCtrWriteback(0x40000, [&]() { accepted = true; }));
+    eq.run();
+    EXPECT_TRUE(accepted);
+    ctl->crash();
+    EXPECT_EQ(recoverLine(0x40000), lineOf(0x11));
+}
+
+TEST_F(MemCtlTest, CtrWritebackIsNoopWhenClean)
+{
+    build(DesignPoint::SCA);
+    writeAndDrain(0x40000, lineOf(1), /*ca=*/true); // written through
+    double noops_before = ctl->ctrwbNoops.value();
+    ASSERT_TRUE(ctl->tryCtrWriteback(0x40000, nullptr));
+    eq.run();
+    EXPECT_EQ(ctl->ctrwbNoops.value(), noops_before + 1);
+}
+
+TEST_F(MemCtlTest, FcaTreatsEveryWriteAsAtomic)
+{
+    build(DesignPoint::FCA);
+    writeAndDrain(0x40000, lineOf(0x22), /*ca=*/false);
+    ctl->crash();
+    EXPECT_EQ(recoverLine(0x40000), lineOf(0x22));
+    EXPECT_GE(ctl->atomicPairs.value(), 1.0);
+}
+
+TEST_F(MemCtlTest, FcaCtrWritebackIsNoop)
+{
+    build(DesignPoint::FCA);
+    double noops = ctl->ctrwbNoops.value();
+    ASSERT_TRUE(ctl->tryCtrWriteback(0x40000, nullptr));
+    eq.run();
+    EXPECT_EQ(ctl->ctrwbNoops.value(), noops + 1);
+}
+
+TEST_F(MemCtlTest, IdealCounterPersistenceIsFree)
+{
+    build(DesignPoint::Ideal);
+    writeAndDrain(0x40000, lineOf(0x33), /*ca=*/false);
+    ctl->crash();
+    EXPECT_EQ(recoverLine(0x40000), lineOf(0x33));
+    EXPECT_EQ(ctl->ctrInserts.value(), 0.0); // no counter write traffic
+}
+
+TEST_F(MemCtlTest, ColocatedAlwaysAtomic)
+{
+    for (DesignPoint d : {DesignPoint::Colocated,
+                          DesignPoint::ColocatedCC}) {
+        build(d);
+        writeAndDrain(0x40000, lineOf(0x44), /*ca=*/false);
+        ctl->crash();
+        EXPECT_EQ(recoverLine(0x40000), lineOf(0x44)) << designName(d);
+        EXPECT_EQ(ctl->ctrInserts.value(), 0.0) << designName(d);
+    }
+}
+
+TEST_F(MemCtlTest, CrashBeforeLandingLosesWriteEntirely)
+{
+    // A write still in the encryption pipeline at the failure is not
+    // in the ADR domain: neither data nor counter may persist.
+    build(DesignPoint::SCA);
+    WriteReq req;
+    req.addr = 0x40000;
+    req.data = lineOf(0x55);
+    req.counterAtomic = true;
+    ASSERT_TRUE(ctl->tryWrite(req));
+    ctl->crash(); // before the encLatency landing
+    eq.run();
+    EXPECT_EQ(nvm->persistedLine(0x40000), nullptr);
+    EXPECT_EQ(recoverLine(0x40000), LineData{}); // still "never written"
+}
+
+TEST_F(MemCtlTest, CrashDrainsAcceptedButUnissuedEntries)
+{
+    // ADR: anything accepted into the queues persists even if the
+    // device never got to it before the failure.
+    build(DesignPoint::SCA);
+    bool accepted = false;
+    WriteReq req;
+    req.addr = 0x40000;
+    req.data = lineOf(0x66);
+    req.counterAtomic = true;
+    req.accepted = [&]() { accepted = true; };
+    ASSERT_TRUE(ctl->tryWrite(req));
+    // Run only until acceptance (encryption pipeline plus the
+    // ready-bit pairing handshake), not until the drain completes.
+    eq.run(ctl->config().encLatency + ctl->config().pairLatency);
+    ASSERT_TRUE(accepted);
+    ctl->crash();
+    EXPECT_EQ(recoverLine(0x40000), lineOf(0x66));
+}
+
+TEST_F(MemCtlTest, InitLineInstallsDecryptableState)
+{
+    for (DesignPoint d : {DesignPoint::NoEncryption, DesignPoint::SCA,
+                          DesignPoint::FCA, DesignPoint::Colocated}) {
+        build(d);
+        ctl->initLine(0x40000, lineOf(0x5a));
+        EXPECT_EQ(recoverLine(0x40000), lineOf(0x5a)) << designName(d);
+    }
+}
+
+TEST_F(MemCtlTest, PerWorkWriteTrafficAccounting)
+{
+    // SCA: one plain write is one 64 B data write; its deferred
+    // counter adds 8 B when flushed.
+    build(DesignPoint::SCA);
+    writeAndDrain(0x40000, lineOf(1));
+    EXPECT_EQ(nvm->bytesWritten(), 64u);
+    ASSERT_TRUE(ctl->tryCtrWriteback(0x40000, nullptr));
+    eq.run();
+    EXPECT_EQ(nvm->bytesWritten(), 64u + 8u);
+}
+
+TEST_F(MemCtlTest, FcaCounterTrafficIsLineGranular)
+{
+    // Section 4.1: FCA updates the counter at cache-line granularity.
+    build(DesignPoint::FCA);
+    writeAndDrain(0x40000, lineOf(1));
+    EXPECT_EQ(nvm->bytesWritten(), 64u + 64u);
+}
+
+TEST_F(MemCtlTest, ColocatedBusCarries72Bytes)
+{
+    build(DesignPoint::Colocated);
+    writeAndDrain(0x40000, lineOf(1));
+    EXPECT_EQ(nvm->bytesWritten(), 72u);
+}
+
+TEST_F(MemCtlTest, QueueOccupancyDrainsToZero)
+{
+    build(DesignPoint::FCA);
+    for (unsigned i = 0; i < 8; ++i) {
+        WriteReq req;
+        req.addr = 0x40000 + i * lineBytes;
+        req.data = lineOf(static_cast<std::uint8_t>(i));
+        ASSERT_TRUE(ctl->tryWrite(req));
+    }
+    EXPECT_FALSE(ctl->writesIdle());
+    eq.run();
+    EXPECT_TRUE(ctl->writesIdle());
+    EXPECT_EQ(ctl->dataQueueOccupancy(), 0u);
+    EXPECT_EQ(ctl->ctrQueueOccupancy(), 0u);
+}
+
+} // anonymous namespace
+} // namespace cnvm

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Unit tests for the NVM device: PCM timing (latencies, bank conflicts,
+ * write pausing, bus turnaround) and the functional image views.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nvm/nvm_device.hh"
+
+namespace cnvm
+{
+namespace
+{
+
+NvmTiming
+simpleTiming()
+{
+    NvmTiming t = NvmTiming::pcm();
+    return t;
+}
+
+LineData
+lineOf(std::uint8_t v)
+{
+    LineData d;
+    d.fill(v);
+    return d;
+}
+
+TEST(NvmTiming, Defaults)
+{
+    NvmTiming t = NvmTiming::pcm();
+    EXPECT_EQ(t.tRCD, nsToTicks(48));
+    EXPECT_EQ(t.tCL, nsToTicks(15));
+    EXPECT_EQ(t.tCWD, nsToTicks(13));
+    EXPECT_EQ(t.tWR, nsToTicks(300));
+    EXPECT_EQ(t.tBurst, nsToTicks(7.5));
+    EXPECT_GT(t.numBanks, 0u);
+}
+
+TEST(NvmTiming, Scaling)
+{
+    NvmTiming t = NvmTiming::pcm().scaled(2.0, 0.5);
+    EXPECT_EQ(t.tRCD, nsToTicks(96));
+    EXPECT_EQ(t.tCL, nsToTicks(30));
+    EXPECT_EQ(t.tWR, nsToTicks(150));
+    EXPECT_EQ(t.tCWD, nsToTicks(6.5));
+    // Burst and turnaround are interface properties, not scaled.
+    EXPECT_EQ(t.tBurst, nsToTicks(7.5));
+}
+
+TEST(NvmDevice, IdleReadLatency)
+{
+    NvmDevice nvm(simpleTiming(), nullptr);
+    Tick done = nvm.scheduleRead(0x0, 0);
+    // tRCD + tCL + tBurst = 48 + 15 + 7.5 ns.
+    EXPECT_EQ(done, nsToTicks(70.5));
+}
+
+TEST(NvmDevice, IdleWriteDrainPoint)
+{
+    NvmDevice nvm(simpleTiming(), nullptr);
+    Tick done = nvm.scheduleWrite(0x0, 0, lineBytes);
+    // tCWD + tBurst = 13 + 7.5 ns; recovery happens after.
+    EXPECT_EQ(done, nsToTicks(20.5));
+}
+
+TEST(NvmDevice, WriteRecoveryBlocksSameBankWrite)
+{
+    NvmDevice nvm(simpleTiming(), nullptr);
+    Tick first = nvm.scheduleWrite(0x0, 0, lineBytes);
+    // Same line, same bank: must wait for the full tWR recovery.
+    Tick second = nvm.scheduleWrite(0x0, first, lineBytes);
+    EXPECT_GE(second, first + nvm.timing().tWR);
+}
+
+TEST(NvmDevice, DifferentBanksOverlap)
+{
+    NvmDevice nvm(simpleTiming(), nullptr);
+    Tick w0 = nvm.scheduleWrite(0x0, 0, lineBytes);
+    Tick w1 = nvm.scheduleWrite(0x40, 0, lineBytes); // next bank
+    // The second write's burst starts right after the first's on the
+    // shared bus; no 300 ns recovery wait.
+    EXPECT_LT(w1, w0 + nvm.timing().tWR);
+}
+
+TEST(NvmDevice, PartialWriteRecoveryScales)
+{
+    NvmDevice nvm(simpleTiming(), nullptr);
+    Tick burst_end = nvm.scheduleWrite(0x0, 0, counterBytes); // 8 B
+    // Next same-bank access: recovery is tWR/8, not full tWR.
+    Tick next = nvm.scheduleWrite(0x0, burst_end, lineBytes);
+    EXPECT_LT(next, burst_end + nvm.timing().tWR / 4);
+    EXPECT_GE(next, burst_end + nvm.timing().tWR / 8);
+}
+
+TEST(NvmDevice, WritePauseLetsReadPreempt)
+{
+    NvmTiming t = simpleTiming();
+    t.writePause = true;
+    NvmDevice nvm(t, nullptr);
+    Tick wdone = nvm.scheduleWrite(0x0, 0, lineBytes);
+    // A read to the same bank right after the burst: with pausing it
+    // completes long before the 300 ns recovery would allow.
+    Tick rdone = nvm.scheduleRead(0x0, wdone);
+    EXPECT_LT(rdone, wdone + nsToTicks(100));
+}
+
+TEST(NvmDevice, NoWritePauseSerializesRead)
+{
+    NvmTiming t = simpleTiming();
+    t.writePause = false;
+    NvmDevice nvm(t, nullptr);
+    Tick wdone = nvm.scheduleWrite(0x0, 0, lineBytes);
+    Tick rdone = nvm.scheduleRead(0x0, wdone);
+    EXPECT_GE(rdone, wdone + t.tWR);
+}
+
+TEST(NvmDevice, PausedRecoveryResumesAfterRead)
+{
+    NvmTiming t = simpleTiming();
+    t.writePause = true;
+    NvmDevice nvm(t, nullptr);
+    Tick wdone = nvm.scheduleWrite(0x0, 0, lineBytes);
+    Tick rdone = nvm.scheduleRead(0x0, wdone);
+    // The interrupted programming still owes its time: another
+    // same-bank access must wait out the extended recovery.
+    Tick w2 = nvm.scheduleWrite(0x0, rdone, lineBytes);
+    EXPECT_GE(w2, wdone + t.tWR);
+}
+
+TEST(NvmDevice, WriteToReadTurnaround)
+{
+    // With the array latencies zeroed, the read's burst contends with
+    // the write burst directly and the bus turnaround is visible.
+    NvmTiming fast = simpleTiming();
+    fast.tRCD = 0;
+    fast.tCL = 0;
+    NvmTiming no_turnaround = fast;
+    no_turnaround.tWTR = 0;
+
+    NvmDevice with(fast, nullptr), without(no_turnaround, nullptr);
+    with.scheduleWrite(0x0, 0, lineBytes);
+    without.scheduleWrite(0x0, 0, lineBytes);
+    Tick r_with = with.scheduleRead(0x40, 0);
+    Tick r_without = without.scheduleRead(0x40, 0);
+    EXPECT_EQ(r_with, r_without + fast.tWTR);
+}
+
+TEST(NvmDevice, TrafficAccounting)
+{
+    NvmDevice nvm(simpleTiming(), nullptr);
+    nvm.scheduleRead(0x0, 0);
+    nvm.scheduleWrite(0x40, 0, lineBytes);
+    nvm.scheduleWrite(0x80, 0, 16);
+    EXPECT_EQ(nvm.bytesRead(), 64u);
+    EXPECT_EQ(nvm.bytesWritten(), 80u);
+}
+
+TEST(NvmDevice, BankFreeQueries)
+{
+    NvmDevice nvm(simpleTiming(), nullptr);
+    EXPECT_TRUE(nvm.bankFree(0x0, 0));
+    Tick done = nvm.scheduleWrite(0x0, 0, lineBytes);
+    EXPECT_FALSE(nvm.bankFree(0x0, done));
+    EXPECT_TRUE(nvm.bankFree(0x0, done + nvm.timing().tWR));
+    EXPECT_EQ(nvm.bankFreeTick(0x0), done + nvm.timing().tWR);
+}
+
+// --- functional views ----------------------------------------------------
+
+TEST(NvmDevice, LivePlainDefaultsToZero)
+{
+    NvmDevice nvm(simpleTiming(), nullptr);
+    EXPECT_EQ(nvm.livePlainRead(0x1000), LineData{});
+}
+
+TEST(NvmDevice, LivePlainPartialStores)
+{
+    NvmDevice nvm(simpleTiming(), nullptr);
+    std::uint8_t bytes[4] = {1, 2, 3, 4};
+    nvm.livePlainStore(0x1010, 4, bytes);
+    LineData line = nvm.livePlainRead(0x1000);
+    EXPECT_EQ(line[0x10], 1);
+    EXPECT_EQ(line[0x13], 4);
+    EXPECT_EQ(line[0x14], 0);
+}
+
+TEST(NvmDevice, PersistedImageSeparateFromLive)
+{
+    NvmDevice nvm(simpleTiming(), nullptr);
+    std::uint8_t b = 9;
+    nvm.livePlainStore(0x1000, 1, &b);
+    EXPECT_EQ(nvm.persistedLine(0x1000), nullptr);
+    nvm.drainData(0x1000, lineOf(7));
+    ASSERT_NE(nvm.persistedLine(0x1000), nullptr);
+    EXPECT_EQ(*nvm.persistedLine(0x1000), lineOf(7));
+    // Live view unchanged by the drain.
+    EXPECT_EQ(nvm.livePlainRead(0x1000)[0], 9);
+}
+
+TEST(NvmDevice, CounterStore)
+{
+    NvmDevice nvm(simpleTiming(), nullptr);
+    CounterLine zeros{};
+    EXPECT_EQ(nvm.persistedCounters(0x2000), zeros);
+    CounterLine values{1, 2, 3, 4, 5, 6, 7, 8};
+    nvm.drainCounters(0x2000, values);
+    EXPECT_EQ(nvm.persistedCounters(0x2000), values);
+}
+
+TEST(NvmDevice, DrainOverwritesPriorImage)
+{
+    NvmDevice nvm(simpleTiming(), nullptr);
+    nvm.drainData(0x0, lineOf(1));
+    nvm.drainData(0x0, lineOf(2));
+    EXPECT_EQ(*nvm.persistedLine(0x0), lineOf(2));
+    EXPECT_EQ(nvm.persistedLineCount(), 1u);
+}
+
+} // anonymous namespace
+} // namespace cnvm

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/stats.hh"
+
+namespace cnvm::stats
+{
+namespace
+{
+
+TEST(Scalar, StartsAtZero)
+{
+    Scalar s("s", "desc");
+    EXPECT_EQ(s.value(), 0.0);
+}
+
+TEST(Scalar, IncrementAndAdd)
+{
+    Scalar s("s", "desc");
+    ++s;
+    ++s;
+    s += 2.5;
+    EXPECT_DOUBLE_EQ(s.value(), 4.5);
+}
+
+TEST(Scalar, SetAndReset)
+{
+    Scalar s("s", "desc");
+    s.set(17);
+    EXPECT_EQ(s.value(), 17.0);
+    s.reset();
+    EXPECT_EQ(s.value(), 0.0);
+}
+
+TEST(Formula, ComputesOnDemand)
+{
+    Scalar hits("h", ""), misses("m", "");
+    Formula rate("rate", "miss rate", [&]() {
+        double total = hits.value() + misses.value();
+        return total == 0 ? 0.0 : misses.value() / total;
+    });
+    EXPECT_EQ(rate.value(), 0.0);
+    hits += 3;
+    misses += 1;
+    EXPECT_DOUBLE_EQ(rate.value(), 0.25);
+}
+
+TEST(Histogram, CountsMeanMinMax)
+{
+    Histogram h("h", "lat", 10, 10);
+    h.sample(5);
+    h.sample(15);
+    h.sample(25);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.mean(), 15.0);
+    EXPECT_EQ(h.minValue(), 5u);
+    EXPECT_EQ(h.maxValue(), 25u);
+}
+
+TEST(Histogram, BucketPlacement)
+{
+    Histogram h("h", "lat", 10, 4);
+    h.sample(0);   // bucket 0
+    h.sample(9);   // bucket 0
+    h.sample(10);  // bucket 1
+    h.sample(39);  // bucket 3
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(2), 0u);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+}
+
+TEST(Histogram, OverflowBucketSaturates)
+{
+    Histogram h("h", "lat", 10, 4);
+    h.sample(40);
+    h.sample(1000000);
+    EXPECT_EQ(h.bucketCount(4), 2u); // overflow bucket
+    EXPECT_EQ(h.numBuckets(), 5u);
+}
+
+TEST(Histogram, EmptyIsSafe)
+{
+    Histogram h("h", "lat", 10, 4);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.minValue(), 0u);
+    EXPECT_EQ(h.maxValue(), 0u);
+}
+
+TEST(Histogram, Reset)
+{
+    Histogram h("h", "lat", 10, 4);
+    h.sample(5);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.bucketCount(0), 0u);
+}
+
+TEST(Registry, FindAndLookup)
+{
+    StatRegistry reg;
+    Scalar s("a.b.c", "desc");
+    reg.registerStat(s);
+    s += 7;
+    ASSERT_NE(reg.find("a.b.c"), nullptr);
+    EXPECT_EQ(reg.find("a.b.c")->value(), 7.0);
+    EXPECT_EQ(reg.find("missing"), nullptr);
+    EXPECT_EQ(reg.lookup("a.b.c"), 7.0);
+}
+
+TEST(Registry, PreservesRegistrationOrder)
+{
+    StatRegistry reg;
+    Scalar a("a", ""), b("b", ""), c("c", "");
+    reg.registerStat(b);
+    reg.registerStat(a);
+    reg.registerStat(c);
+    ASSERT_EQ(reg.all().size(), 3u);
+    EXPECT_EQ(reg.all()[0]->name(), "b");
+    EXPECT_EQ(reg.all()[1]->name(), "a");
+    EXPECT_EQ(reg.all()[2]->name(), "c");
+}
+
+TEST(Registry, ResetAll)
+{
+    StatRegistry reg;
+    Scalar a("a", ""), b("b", "");
+    reg.registerStat(a);
+    reg.registerStat(b);
+    a += 3;
+    b += 4;
+    reg.resetAll();
+    EXPECT_EQ(a.value(), 0.0);
+    EXPECT_EQ(b.value(), 0.0);
+}
+
+TEST(Registry, DumpContainsNamesAndValues)
+{
+    StatRegistry reg;
+    Scalar a("alpha", "the alpha stat");
+    reg.registerStat(a);
+    a += 42;
+    std::ostringstream os;
+    reg.dump(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+    EXPECT_NE(out.find("the alpha stat"), std::string::npos);
+}
+
+TEST(Registry, HistogramDumpHasMoments)
+{
+    StatRegistry reg;
+    Histogram h("lat", "latency", 10, 4);
+    reg.registerStat(h);
+    h.sample(10);
+    h.sample(20);
+    std::ostringstream os;
+    reg.dump(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("lat::count"), std::string::npos);
+    EXPECT_NE(out.find("lat::mean"), std::string::npos);
+}
+
+} // anonymous namespace
+} // namespace cnvm::stats

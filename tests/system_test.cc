@@ -1,0 +1,232 @@
+/**
+ * @file
+ * End-to-end system tests: whole-stack runs per design, metric sanity,
+ * multi-core completion, and the performance orderings the paper's
+ * evaluation rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/system.hh"
+
+namespace cnvm
+{
+namespace
+{
+
+SystemConfig
+smallConfig(DesignPoint design,
+            WorkloadKind kind = WorkloadKind::ArraySwap,
+            unsigned cores = 1, unsigned txns = 40)
+{
+    SystemConfig cfg;
+    cfg.design = design;
+    cfg.workload = kind;
+    cfg.numCores = cores;
+    cfg.wl.regionBytes = 512 << 10;
+    cfg.wl.txnTarget = txns;
+    cfg.wl.computePerTxn = 200;
+    return cfg;
+}
+
+TEST(System, RunsToCompletion)
+{
+    System sys(smallConfig(DesignPoint::SCA));
+    RunResult result = sys.run();
+    EXPECT_FALSE(result.crashed);
+    EXPECT_EQ(result.txnsIssued, 40u);
+    EXPECT_GT(result.endTick, 0u);
+    EXPECT_GT(sys.runtimeNs(), 0.0);
+    EXPECT_GT(sys.throughputTxnPerSec(), 0.0);
+}
+
+TEST(System, EveryDesignCompletesEveryWorkload)
+{
+    for (DesignPoint d : {DesignPoint::NoEncryption, DesignPoint::Ideal,
+                          DesignPoint::Colocated, DesignPoint::ColocatedCC,
+                          DesignPoint::FCA, DesignPoint::SCA,
+                          DesignPoint::Unsafe}) {
+        for (WorkloadKind w : allWorkloadKinds()) {
+            System sys(smallConfig(d, w, 1, 10));
+            RunResult result = sys.run();
+            EXPECT_EQ(result.txnsIssued, 10u)
+                << designName(d) << " / " << workloadKindName(w);
+        }
+    }
+}
+
+TEST(System, MultiCoreAllCoresFinish)
+{
+    System sys(smallConfig(DesignPoint::SCA, WorkloadKind::Queue, 4, 20));
+    RunResult result = sys.run();
+    EXPECT_EQ(result.txnsIssued, 4u * 20u);
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_EQ(sys.workload(i).txnsIssued(), 20u);
+}
+
+TEST(System, CoresUseDisjointRegions)
+{
+    System sys(smallConfig(DesignPoint::SCA, WorkloadKind::ArraySwap, 4,
+                           5));
+    for (unsigned i = 0; i < 4; ++i) {
+        for (unsigned j = i + 1; j < 4; ++j) {
+            Addr i_base = sys.workload(i).regionBase();
+            Addr i_end = sys.workload(i).regionEnd();
+            Addr j_base = sys.workload(j).regionBase();
+            Addr j_end = sys.workload(j).regionEnd();
+            EXPECT_TRUE(i_end <= j_base || j_end <= i_base);
+        }
+    }
+}
+
+TEST(System, DeterministicRuntimeForSameSeed)
+{
+    System a(smallConfig(DesignPoint::SCA));
+    System b(smallConfig(DesignPoint::SCA));
+    EXPECT_EQ(a.run().endTick, b.run().endTick);
+}
+
+TEST(System, SeedChangesExecution)
+{
+    SystemConfig cfg = smallConfig(DesignPoint::SCA);
+    System a(cfg);
+    cfg.wl.seed = 777;
+    System b(cfg);
+    EXPECT_NE(a.run().endTick, b.run().endTick);
+}
+
+TEST(System, EncryptionCostsTime)
+{
+    // Any encrypted design is at least as slow as no encryption.
+    Tick base = 0;
+    {
+        System sys(smallConfig(DesignPoint::NoEncryption));
+        base = sys.run().endTick;
+    }
+    for (DesignPoint d : {DesignPoint::Ideal, DesignPoint::SCA,
+                          DesignPoint::FCA, DesignPoint::Colocated}) {
+        System sys(smallConfig(d));
+        EXPECT_GE(sys.run().endTick, base) << designName(d);
+    }
+}
+
+TEST(System, ScaNotSlowerThanColocatedOnReadHeavyWorkload)
+{
+    // The headline Figure-12 relation on a pointer-chasing workload:
+    // serialized decryption makes the co-located design slower.
+    SystemConfig sca = smallConfig(DesignPoint::SCA, WorkloadKind::BTree,
+                                   1, 60);
+    sca.wl.regionBytes = 4 << 20;
+    SystemConfig colo = sca;
+    colo.design = DesignPoint::Colocated;
+    Tick sca_time = System(sca).run().endTick;
+    Tick colo_time = System(colo).run().endTick;
+    EXPECT_LT(sca_time, colo_time);
+}
+
+TEST(System, FcaWritesMoreBytesThanSca)
+{
+    // Figure 14: FCA's line-granular counter updates inflate traffic.
+    SystemConfig base = smallConfig(DesignPoint::SCA,
+                                    WorkloadKind::ArraySwap, 1, 60);
+    System sca(base);
+    sca.run();
+    base.design = DesignPoint::FCA;
+    System fca(base);
+    fca.run();
+    EXPECT_GT(fca.nvmBytesWritten(), sca.nvmBytesWritten());
+}
+
+TEST(System, EncryptedDesignsWriteMoreThanPlain)
+{
+    SystemConfig base = smallConfig(DesignPoint::NoEncryption);
+    System plain(base);
+    plain.run();
+    base.design = DesignPoint::SCA;
+    System sca(base);
+    sca.run();
+    EXPECT_GT(sca.nvmBytesWritten(), plain.nvmBytesWritten());
+}
+
+TEST(System, CounterCacheMissRateSane)
+{
+    System sys(smallConfig(DesignPoint::SCA));
+    sys.run();
+    double rate = sys.counterCacheMissRate();
+    EXPECT_GE(rate, 0.0);
+    EXPECT_LE(rate, 1.0);
+    // No counter cache at all:
+    System plain(smallConfig(DesignPoint::NoEncryption));
+    plain.run();
+    EXPECT_EQ(plain.counterCacheMissRate(), 0.0);
+}
+
+TEST(System, CrashStopsExecution)
+{
+    SystemConfig cfg = smallConfig(DesignPoint::SCA);
+    Tick total = System(cfg).run().endTick;
+    System sys(cfg);
+    RunResult result = sys.runWithCrashAt(total / 2);
+    EXPECT_TRUE(result.crashed);
+    EXPECT_EQ(result.endTick, total / 2);
+    EXPECT_LT(result.txnsIssued, 40u);
+}
+
+TEST(System, CrashAfterCompletionNeverFires)
+{
+    SystemConfig cfg = smallConfig(DesignPoint::SCA);
+    Tick total = System(cfg).run().endTick;
+    System sys(cfg);
+    RunResult result = sys.runWithCrashAt(total * 10);
+    EXPECT_FALSE(result.crashed);
+    EXPECT_EQ(result.txnsIssued, 40u);
+}
+
+TEST(System, LiveShadowMatchesLivePlainAfterRun)
+{
+    // The workload's host shadow and the simulator's live plaintext
+    // view must agree byte-for-byte once execution quiesces: the
+    // functional paths through cache and controller are consistent.
+    System sys(smallConfig(DesignPoint::SCA, WorkloadKind::RbTree, 1,
+                           30));
+    sys.run();
+    const ShadowMem &shadow = sys.workload(0).shadowMem();
+    bool all_equal = true;
+    shadow.forEachLine([&](Addr addr, const LineData &expect) {
+        if (sys.nvm().livePlainRead(addr) != expect)
+            all_equal = false;
+    });
+    EXPECT_TRUE(all_equal);
+}
+
+TEST(System, StatsRegistryPopulated)
+{
+    System sys(smallConfig(DesignPoint::SCA));
+    sys.run();
+    auto &reg = sys.statsRegistry();
+    EXPECT_NE(reg.find("nvm.bytes_written"), nullptr);
+    EXPECT_NE(reg.find("memctl.data_inserts"), nullptr);
+    EXPECT_NE(reg.find("core0.loads"), nullptr);
+    EXPECT_GT(reg.lookup("core0.loads"), 0.0);
+    EXPECT_GT(reg.lookup("core0.fences"), 0.0);
+}
+
+TEST(System, DescribeMentionsDesignAndWorkload)
+{
+    System sys(smallConfig(DesignPoint::FCA, WorkloadKind::BTree));
+    std::string desc = sys.describe();
+    EXPECT_NE(desc.find("FCA"), std::string::npos);
+    EXPECT_NE(desc.find("B-Tree"), std::string::npos);
+}
+
+TEST(System, NvmLatencyScalingSlowsRuns)
+{
+    SystemConfig cfg = smallConfig(DesignPoint::SCA);
+    Tick base = System(cfg).run().endTick;
+    cfg.nvm = NvmTiming::pcm().scaled(5.0, 5.0);
+    Tick slow = System(cfg).run().endTick;
+    EXPECT_GT(slow, base);
+}
+
+} // anonymous namespace
+} // namespace cnvm

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * cnvm_sim — command-line driver for the simulator.
+ *
+ * Runs one configuration end to end, optionally injects a power
+ * failure and recovers, and dumps metrics or the full stat registry.
+ *
+ *   cnvm_sim --design SCA --workload btree --cores 4 --txns 500
+ *   cnvm_sim --design Unsafe --crash-at-frac 0.5 --verify
+ *   cnvm_sim --list
+ *   cnvm_sim --stats --read-mult 5 --write-mult 5
+ *
+ * Exit status: 0 on success (and consistent recovery when --verify),
+ * 1 on inconsistent recovery, 2 on usage errors.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/system.hh"
+
+using namespace cnvm;
+
+namespace
+{
+
+struct Options
+{
+    SystemConfig cfg;
+    double crashFrac = -1.0;  //!< <0: no crash
+    bool verify = false;
+    bool dumpStats = false;
+    bool quiet = false;
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::fprintf(code == 0 ? stdout : stderr, R"(cnvm_sim — encrypted crash-consistent NVMM simulator
+
+options:
+  --design NAME        NoEncryption | Ideal | Colocated | ColocatedCC |
+                       FCA | SCA (default) | Unsafe
+  --workload NAME      array | queue | hash | btree | rbtree
+  --cores N            number of cores (default 1)
+  --txns N             transactions per core (default 300)
+  --batch N            mutations per transaction (default 1)
+  --footprint-mb N     per-core region size (default 6)
+  --cc-kb N            counter cache KB per core (default 1024)
+  --compute N          compute cycles per transaction (default 1000)
+  --seed N             workload seed (default 1)
+  --read-mult X        scale NVM read latency (default 1.0)
+  --write-mult X       scale NVM write latency (default 1.0)
+  --cold-cc            do not pre-warm the counter cache
+  --crash-at-frac F    inject a power failure at F of the expected
+                       runtime (two runs: probe, then crash)
+  --verify             recover after the crash and verify consistency
+  --stats              dump the full stat registry
+  --quiet              suppress the metric summary
+  --list               list designs and workloads, then exit
+  --help               this text
+)");
+    std::exit(code);
+}
+
+DesignPoint
+parseDesign(const std::string &name)
+{
+    for (DesignPoint d : {DesignPoint::NoEncryption, DesignPoint::Ideal,
+                          DesignPoint::Colocated, DesignPoint::ColocatedCC,
+                          DesignPoint::FCA, DesignPoint::SCA,
+                          DesignPoint::Unsafe}) {
+        if (name == designName(d))
+            return d;
+    }
+    if (name == "Colocated" || name == "colocated")
+        return DesignPoint::Colocated;
+    if (name == "ColocatedCC" || name == "colocatedcc")
+        return DesignPoint::ColocatedCC;
+    if (name == "NoEnc" || name == "noenc")
+        return DesignPoint::NoEncryption;
+    if (name == "ideal")
+        return DesignPoint::Ideal;
+    if (name == "sca")
+        return DesignPoint::SCA;
+    if (name == "fca")
+        return DesignPoint::FCA;
+    if (name == "unsafe")
+        return DesignPoint::Unsafe;
+    std::fprintf(stderr, "unknown design '%s'\n", name.c_str());
+    usage(2);
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    double read_mult = 1.0, write_mult = 1.0;
+
+    auto need_value = [&](int &i) -> const char * {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "missing value for %s\n", argv[i]);
+            usage(2);
+        }
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(0);
+        } else if (arg == "--list") {
+            std::printf("designs:");
+            for (DesignPoint d :
+                 {DesignPoint::NoEncryption, DesignPoint::Ideal,
+                  DesignPoint::Colocated, DesignPoint::ColocatedCC,
+                  DesignPoint::FCA, DesignPoint::SCA,
+                  DesignPoint::Unsafe})
+                std::printf(" %s", designName(d));
+            std::printf("\nworkloads:");
+            for (WorkloadKind w : allWorkloadKinds())
+                std::printf(" %s", workloadKindName(w));
+            std::printf("\n");
+            std::exit(0);
+        } else if (arg == "--design") {
+            opt.cfg.design = parseDesign(need_value(i));
+        } else if (arg == "--workload") {
+            opt.cfg.workload = workloadKindFromName(need_value(i));
+        } else if (arg == "--cores") {
+            opt.cfg.numCores =
+                static_cast<unsigned>(std::atoi(need_value(i)));
+        } else if (arg == "--txns") {
+            opt.cfg.wl.txnTarget =
+                static_cast<unsigned>(std::atoi(need_value(i)));
+        } else if (arg == "--batch") {
+            opt.cfg.wl.batch =
+                static_cast<unsigned>(std::atoi(need_value(i)));
+        } else if (arg == "--footprint-mb") {
+            opt.cfg.wl.regionBytes =
+                std::strtoull(need_value(i), nullptr, 10) << 20;
+        } else if (arg == "--cc-kb") {
+            opt.cfg.memctl.counterCacheBytes =
+                std::strtoull(need_value(i), nullptr, 10) << 10;
+        } else if (arg == "--compute") {
+            opt.cfg.wl.computePerTxn =
+                std::strtoull(need_value(i), nullptr, 10);
+        } else if (arg == "--seed") {
+            opt.cfg.wl.seed = std::strtoull(need_value(i), nullptr, 10);
+        } else if (arg == "--read-mult") {
+            read_mult = std::atof(need_value(i));
+        } else if (arg == "--write-mult") {
+            write_mult = std::atof(need_value(i));
+        } else if (arg == "--cold-cc") {
+            opt.cfg.warmCounterCache = false;
+        } else if (arg == "--crash-at-frac") {
+            opt.crashFrac = std::atof(need_value(i));
+        } else if (arg == "--verify") {
+            opt.verify = true;
+        } else if (arg == "--stats") {
+            opt.dumpStats = true;
+        } else if (arg == "--quiet") {
+            opt.quiet = true;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            usage(2);
+        }
+    }
+
+    if (read_mult != 1.0 || write_mult != 1.0)
+        opt.cfg.nvm = NvmTiming::pcm().scaled(read_mult, write_mult);
+    if (opt.verify || opt.crashFrac >= 0)
+        opt.cfg.wl.recordDigests = true;
+    return opt;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseArgs(argc, argv);
+
+    Tick crash_tick = 0;
+    if (opt.crashFrac >= 0) {
+        // Probe run to learn the total runtime.
+        System probe(opt.cfg);
+        Tick total = probe.run().endTick;
+        crash_tick = static_cast<Tick>(
+            static_cast<double>(total) * opt.crashFrac);
+    }
+
+    System sys(opt.cfg);
+    if (!opt.quiet)
+        std::printf("running: %s\n", sys.describe().c_str());
+
+    RunResult result = opt.crashFrac >= 0
+        ? sys.runWithCrashAt(crash_tick)
+        : sys.run();
+
+    if (!opt.quiet) {
+        std::printf("%s after %.1f us, %llu txns, %.0f txn/s\n",
+                    result.crashed ? "power failed" : "completed",
+                    sys.runtimeNs() / 1000.0,
+                    static_cast<unsigned long long>(result.txnsIssued),
+                    sys.throughputTxnPerSec());
+        std::printf("NVM: %.1f KB written, %.1f KB read, "
+                    "counter-cache miss %.1f%%\n",
+                    sys.nvmBytesWritten() / 1024.0,
+                    sys.nvmBytesRead() / 1024.0,
+                    sys.counterCacheMissRate() * 100.0);
+    }
+
+    int status = 0;
+    if (opt.verify) {
+        if (!result.crashed && opt.crashFrac >= 0) {
+            std::printf("run completed before the crash point; "
+                        "nothing to verify\n");
+        } else {
+            if (result.crashed == false)
+                sys.controller().crash(); // clean-shutdown image check
+            auto reports = sys.recoverAll();
+            for (unsigned c = 0; c < reports.size(); ++c) {
+                const RecoveryReport &r = reports[c];
+                if (r.consistent) {
+                    std::printf("core %u: consistent (committed %llu"
+                                "%s)\n", c,
+                                static_cast<unsigned long long>(
+                                    r.committedTxns),
+                                r.rolledBack ? ", rolled back" : "");
+                } else {
+                    std::printf("core %u: INCONSISTENT: %s\n", c,
+                                r.detail.c_str());
+                    status = 1;
+                }
+            }
+        }
+    }
+
+    if (opt.dumpStats)
+        sys.statsRegistry().dump(std::cout);
+    return status;
+}
