@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_multicore.dir/fig13_multicore.cc.o"
+  "CMakeFiles/fig13_multicore.dir/fig13_multicore.cc.o.d"
+  "fig13_multicore"
+  "fig13_multicore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_counter_cache.dir/fig15_counter_cache.cc.o"
+  "CMakeFiles/fig15_counter_cache.dir/fig15_counter_cache.cc.o.d"
+  "fig15_counter_cache"
+  "fig15_counter_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_counter_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_eventq.dir/micro_eventq.cc.o"
+  "CMakeFiles/micro_eventq.dir/micro_eventq.cc.o.d"
+  "micro_eventq"
+  "micro_eventq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_eventq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_memctl.dir/micro_memctl.cc.o"
+  "CMakeFiles/micro_memctl.dir/micro_memctl.cc.o.d"
+  "micro_memctl"
+  "micro_memctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_memctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

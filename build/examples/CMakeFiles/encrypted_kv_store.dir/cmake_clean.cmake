@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encrypted_kv_store.dir/encrypted_kv_store.cpp.o"
+  "CMakeFiles/encrypted_kv_store.dir/encrypted_kv_store.cpp.o.d"
+  "encrypted_kv_store"
+  "encrypted_kv_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encrypted_kv_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

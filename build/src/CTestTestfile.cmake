@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("stats")
+subdirs("crypto")
+subdirs("mem")
+subdirs("nvm")
+subdirs("memctl")
+subdirs("cpu")
+subdirs("persist")
+subdirs("txn")
+subdirs("workloads")
+subdirs("core")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnvm_core.dir/recovery.cc.o"
+  "CMakeFiles/cnvm_core.dir/recovery.cc.o.d"
+  "CMakeFiles/cnvm_core.dir/system.cc.o"
+  "CMakeFiles/cnvm_core.dir/system.cc.o.d"
+  "libcnvm_core.a"
+  "libcnvm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnvm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnvm_cpu.dir/core.cc.o"
+  "CMakeFiles/cnvm_cpu.dir/core.cc.o.d"
+  "libcnvm_cpu.a"
+  "libcnvm_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnvm_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

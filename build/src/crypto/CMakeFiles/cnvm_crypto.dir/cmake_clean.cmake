@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnvm_crypto.dir/aes128.cc.o"
+  "CMakeFiles/cnvm_crypto.dir/aes128.cc.o.d"
+  "CMakeFiles/cnvm_crypto.dir/ctr_engine.cc.o"
+  "CMakeFiles/cnvm_crypto.dir/ctr_engine.cc.o.d"
+  "libcnvm_crypto.a"
+  "libcnvm_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnvm_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

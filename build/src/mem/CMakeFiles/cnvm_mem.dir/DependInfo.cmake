@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/cache.cc" "src/mem/CMakeFiles/cnvm_mem.dir/cache.cc.o" "gcc" "src/mem/CMakeFiles/cnvm_mem.dir/cache.cc.o.d"
+  "/root/repo/src/mem/core_mem_path.cc" "src/mem/CMakeFiles/cnvm_mem.dir/core_mem_path.cc.o" "gcc" "src/mem/CMakeFiles/cnvm_mem.dir/core_mem_path.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cnvm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cnvm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cnvm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cnvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

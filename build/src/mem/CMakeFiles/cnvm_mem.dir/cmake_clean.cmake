@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnvm_mem.dir/cache.cc.o"
+  "CMakeFiles/cnvm_mem.dir/cache.cc.o.d"
+  "CMakeFiles/cnvm_mem.dir/core_mem_path.cc.o"
+  "CMakeFiles/cnvm_mem.dir/core_mem_path.cc.o.d"
+  "libcnvm_mem.a"
+  "libcnvm_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnvm_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

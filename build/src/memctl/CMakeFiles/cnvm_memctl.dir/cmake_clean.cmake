@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnvm_memctl.dir/counter_cache.cc.o"
+  "CMakeFiles/cnvm_memctl.dir/counter_cache.cc.o.d"
+  "CMakeFiles/cnvm_memctl.dir/mem_controller.cc.o"
+  "CMakeFiles/cnvm_memctl.dir/mem_controller.cc.o.d"
+  "libcnvm_memctl.a"
+  "libcnvm_memctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnvm_memctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnvm_nvm.dir/nvm_device.cc.o"
+  "CMakeFiles/cnvm_nvm.dir/nvm_device.cc.o.d"
+  "CMakeFiles/cnvm_nvm.dir/wear_leveling.cc.o"
+  "CMakeFiles/cnvm_nvm.dir/wear_leveling.cc.o.d"
+  "libcnvm_nvm.a"
+  "libcnvm_nvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnvm_nvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnvm_sim.dir/eventq.cc.o"
+  "CMakeFiles/cnvm_sim.dir/eventq.cc.o.d"
+  "libcnvm_sim.a"
+  "libcnvm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnvm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

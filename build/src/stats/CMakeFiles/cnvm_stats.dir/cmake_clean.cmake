@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnvm_stats.dir/stats.cc.o"
+  "CMakeFiles/cnvm_stats.dir/stats.cc.o.d"
+  "libcnvm_stats.a"
+  "libcnvm_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnvm_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnvm_txn.dir/shadow_mem.cc.o"
+  "CMakeFiles/cnvm_txn.dir/shadow_mem.cc.o.d"
+  "CMakeFiles/cnvm_txn.dir/undo_log.cc.o"
+  "CMakeFiles/cnvm_txn.dir/undo_log.cc.o.d"
+  "libcnvm_txn.a"
+  "libcnvm_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnvm_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/array_swap.cc" "src/workloads/CMakeFiles/cnvm_workloads.dir/array_swap.cc.o" "gcc" "src/workloads/CMakeFiles/cnvm_workloads.dir/array_swap.cc.o.d"
+  "/root/repo/src/workloads/btree.cc" "src/workloads/CMakeFiles/cnvm_workloads.dir/btree.cc.o" "gcc" "src/workloads/CMakeFiles/cnvm_workloads.dir/btree.cc.o.d"
+  "/root/repo/src/workloads/factory.cc" "src/workloads/CMakeFiles/cnvm_workloads.dir/factory.cc.o" "gcc" "src/workloads/CMakeFiles/cnvm_workloads.dir/factory.cc.o.d"
+  "/root/repo/src/workloads/hash_table.cc" "src/workloads/CMakeFiles/cnvm_workloads.dir/hash_table.cc.o" "gcc" "src/workloads/CMakeFiles/cnvm_workloads.dir/hash_table.cc.o.d"
+  "/root/repo/src/workloads/queue.cc" "src/workloads/CMakeFiles/cnvm_workloads.dir/queue.cc.o" "gcc" "src/workloads/CMakeFiles/cnvm_workloads.dir/queue.cc.o.d"
+  "/root/repo/src/workloads/rbtree.cc" "src/workloads/CMakeFiles/cnvm_workloads.dir/rbtree.cc.o" "gcc" "src/workloads/CMakeFiles/cnvm_workloads.dir/rbtree.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/cnvm_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/cnvm_workloads.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/txn/CMakeFiles/cnvm_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/cnvm_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cnvm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cnvm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cnvm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cnvm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cnvm_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

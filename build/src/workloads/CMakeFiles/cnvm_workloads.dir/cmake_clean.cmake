@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnvm_workloads.dir/array_swap.cc.o"
+  "CMakeFiles/cnvm_workloads.dir/array_swap.cc.o.d"
+  "CMakeFiles/cnvm_workloads.dir/btree.cc.o"
+  "CMakeFiles/cnvm_workloads.dir/btree.cc.o.d"
+  "CMakeFiles/cnvm_workloads.dir/factory.cc.o"
+  "CMakeFiles/cnvm_workloads.dir/factory.cc.o.d"
+  "CMakeFiles/cnvm_workloads.dir/hash_table.cc.o"
+  "CMakeFiles/cnvm_workloads.dir/hash_table.cc.o.d"
+  "CMakeFiles/cnvm_workloads.dir/queue.cc.o"
+  "CMakeFiles/cnvm_workloads.dir/queue.cc.o.d"
+  "CMakeFiles/cnvm_workloads.dir/rbtree.cc.o"
+  "CMakeFiles/cnvm_workloads.dir/rbtree.cc.o.d"
+  "CMakeFiles/cnvm_workloads.dir/workload.cc.o"
+  "CMakeFiles/cnvm_workloads.dir/workload.cc.o.d"
+  "libcnvm_workloads.a"
+  "libcnvm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnvm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

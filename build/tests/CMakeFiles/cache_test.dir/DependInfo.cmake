@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cache_test.cc" "tests/CMakeFiles/cache_test.dir/cache_test.cc.o" "gcc" "tests/CMakeFiles/cache_test.dir/cache_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cnvm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/cnvm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/cnvm_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/cnvm_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/memctl/CMakeFiles/cnvm_memctl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvm/CMakeFiles/cnvm_nvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cnvm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cnvm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cnvm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cnvm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cnvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

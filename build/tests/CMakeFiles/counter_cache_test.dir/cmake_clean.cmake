@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counter_cache_test.dir/counter_cache_test.cc.o"
+  "CMakeFiles/counter_cache_test.dir/counter_cache_test.cc.o.d"
+  "counter_cache_test"
+  "counter_cache_test.pdb"
+  "counter_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counter_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/eventq_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_test[1]_include.cmake")
+include("/root/repo/build/tests/counter_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/nvm_test[1]_include.cmake")
+include("/root/repo/build/tests/core_mem_path_test[1]_include.cmake")
+include("/root/repo/build/tests/memctl_test[1]_include.cmake")
+include("/root/repo/build/tests/txn_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/system_test[1]_include.cmake")
+include("/root/repo/build/tests/recovery_test[1]_include.cmake")
+include("/root/repo/build/tests/crash_consistency_test[1]_include.cmake")
+include("/root/repo/build/tests/cpu_core_test[1]_include.cmake")
+include("/root/repo/build/tests/persist_test[1]_include.cmake")
+include("/root/repo/build/tests/wear_leveling_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+add_test(cli_sca_crash_verify "/root/repo/build/tools/cnvm_sim" "--design" "SCA" "--workload" "rbtree" "--txns" "30" "--footprint-mb" "1" "--crash-at-frac" "0.5" "--verify" "--quiet")
+set_tests_properties(cli_sca_crash_verify PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;31;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_fca_crash_verify "/root/repo/build/tools/cnvm_sim" "--design" "FCA" "--workload" "queue" "--txns" "30" "--footprint-mb" "1" "--crash-at-frac" "0.5" "--verify" "--quiet")
+set_tests_properties(cli_fca_crash_verify PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;35;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_unsafe_crash_fails "/root/repo/build/tools/cnvm_sim" "--design" "Unsafe" "--workload" "array" "--txns" "30" "--footprint-mb" "1" "--crash-at-frac" "0.5" "--verify" "--quiet")
+set_tests_properties(cli_unsafe_crash_fails PROPERTIES  TIMEOUT "300" WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;39;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "SCA" "hash" "40")
+set_tests_properties(example_quickstart PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;44;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_kv_store "/root/repo/build/examples/encrypted_kv_store")
+set_tests_properties(example_kv_store PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;46;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnvm_sim_cli.dir/cnvm_sim.cc.o"
+  "CMakeFiles/cnvm_sim_cli.dir/cnvm_sim.cc.o.d"
+  "cnvm_sim"
+  "cnvm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnvm_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
