@@ -63,7 +63,7 @@ BM_CounterCacheAccess(benchmark::State &state)
 {
     CounterCache cc(1 << 20, 16, nullptr);
     for (Addr a = 0; a < (1 << 20); a += lineBytes)
-        cc.install(a, CounterLine{}, false);
+        cc.install(a, CounterLine{}, 0);
     Random rng(3);
     for (auto _ : state) {
         Addr addr = lineAlign(rng.below(1 << 20));

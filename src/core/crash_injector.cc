@@ -1,0 +1,97 @@
+#include "core/crash_injector.hh"
+
+#include <sstream>
+
+namespace cnvm
+{
+
+const char *
+crashTriggerName(CrashTriggerKind kind)
+{
+    switch (kind) {
+      case CrashTriggerKind::AtTick: return "tick";
+      case CrashTriggerKind::PipelineEnter: return "pipeline-enter";
+      case CrashTriggerKind::PairAction: return "pair-action";
+      case CrashTriggerKind::DirtyEviction: return "dirty-eviction";
+      case CrashTriggerKind::DataDrain: return "data-drain";
+      case CrashTriggerKind::CtrDrain: return "ctr-drain";
+    }
+    return "?";
+}
+
+std::optional<CtlEvent>
+ctlEventFor(CrashTriggerKind kind)
+{
+    switch (kind) {
+      case CrashTriggerKind::AtTick: return std::nullopt;
+      case CrashTriggerKind::PipelineEnter:
+        return CtlEvent::PipelineEnter;
+      case CrashTriggerKind::PairAction: return CtlEvent::PairAction;
+      case CrashTriggerKind::DirtyEviction:
+        return CtlEvent::DirtyEviction;
+      case CrashTriggerKind::DataDrain: return CtlEvent::DataDrain;
+      case CrashTriggerKind::CtrDrain: return CtlEvent::CtrDrain;
+    }
+    return std::nullopt;
+}
+
+std::string
+CrashSpec::describe() const
+{
+    std::ostringstream os;
+    if (kind == CrashTriggerKind::AtTick)
+        os << "tick " << tick;
+    else
+        os << crashTriggerName(kind) << " #" << count;
+    return os.str();
+}
+
+CrashInjector::CrashInjector(EventQueue &eq, const CrashSpec &spec,
+                             std::function<void()> fire_fn)
+    : eventq(eq),
+      armedSpec(spec),
+      fire(std::move(fire_fn)),
+      crashEvent([this]() {
+                     didFire = true;
+                     fire();
+                 },
+                 "power-failure", Event::MinPriority)
+{
+    if (armedSpec.kind != CrashTriggerKind::AtTick)
+        trigger.arm(armedSpec.count, [this]() { fireSoon(); });
+}
+
+void
+CrashInjector::start()
+{
+    if (armedSpec.kind == CrashTriggerKind::AtTick)
+        eventq.schedule(crashEvent, armedSpec.tick);
+}
+
+void
+CrashInjector::onCtlEvent(CtlEvent ev)
+{
+    auto watched = ctlEventFor(armedSpec.kind);
+    if (watched && ev == *watched)
+        trigger.observe();
+}
+
+void
+CrashInjector::fireSoon()
+{
+    if (didFire || crashEvent.scheduled())
+        return;
+    // MinPriority: the failure observes the triggering controller state
+    // before any other model event pending for this tick runs.
+    eventq.schedule(crashEvent, eventq.curTick());
+}
+
+void
+CrashInjector::disarm()
+{
+    trigger.disarm();
+    if (crashEvent.scheduled())
+        eventq.deschedule(crashEvent);
+}
+
+} // namespace cnvm

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Arming power failures at arbitrary controller states.
+ *
+ * The paper's claim is about crashes at *any* memory-controller state,
+ * but a runtime-fraction crash point can only ever hit states that are
+ * long-lived. The injector closes that gap: a CrashSpec names either an
+ * absolute tick or the Nth occurrence of a semantic controller event
+ * (Nth data-queue drain, Nth dirty counter eviction, a write sitting in
+ * the encryption pipeline, the Nth ready-bit pairing), and the injector
+ * fires the system's power-failure path exactly there.
+ *
+ * Firing is deferred through the event queue at minimum priority: the
+ * hook that observes the triggering event runs deep inside controller
+ * code, and tearing the controller down under its own feet would
+ * corrupt the very state the sweep wants to examine. Scheduling at the
+ * current tick crashes "immediately after the triggering action",
+ * before any other pending model activity of the same tick.
+ */
+
+#ifndef CNVM_CORE_CRASH_INJECTOR_HH
+#define CNVM_CORE_CRASH_INJECTOR_HH
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "memctl/mem_controller.hh"
+#include "sim/eventq.hh"
+#include "sim/trigger.hh"
+
+namespace cnvm
+{
+
+/** How a crash point is addressed. */
+enum class CrashTriggerKind
+{
+    AtTick,        //!< power failure at an absolute tick
+    PipelineEnter, //!< as the Nth write enters the encryption pipeline
+    PairAction,    //!< right after the Nth ready-bit pairing action
+    DirtyEviction, //!< at the Nth dirty counter-cache eviction
+    DataDrain,     //!< after the Nth data write-queue drain
+    CtrDrain,      //!< after the Nth counter write-queue drain
+};
+
+const char *crashTriggerName(CrashTriggerKind kind);
+
+/** The controller event a semantic trigger kind watches (none for
+ *  AtTick). */
+std::optional<CtlEvent> ctlEventFor(CrashTriggerKind kind);
+
+/** One crash point. */
+struct CrashSpec
+{
+    CrashTriggerKind kind = CrashTriggerKind::AtTick;
+
+    /** Crash tick (AtTick only). */
+    Tick tick = 0;
+
+    /** Occurrence ordinal, 1-based (semantic kinds only). */
+    std::uint64_t count = 1;
+
+    static CrashSpec
+    atTick(Tick t)
+    {
+        CrashSpec s;
+        s.kind = CrashTriggerKind::AtTick;
+        s.tick = t;
+        return s;
+    }
+
+    static CrashSpec
+    atEvent(CrashTriggerKind kind, std::uint64_t nth)
+    {
+        CrashSpec s;
+        s.kind = kind;
+        s.count = nth;
+        return s;
+    }
+
+    /** "tick 123456" / "pair-action #7", for reports and fingerprints. */
+    std::string describe() const;
+};
+
+/**
+ * Arms one CrashSpec against one run. The owning System wires
+ * onCtlEvent() into MemController::setEventHook() for semantic specs
+ * and calls start() before the run; the injector invokes the supplied
+ * fire callback (System::doCrash) at most once.
+ */
+class CrashInjector
+{
+  public:
+    CrashInjector(EventQueue &eq, const CrashSpec &spec,
+                  std::function<void()> fire);
+
+    /** Schedules the tick trigger (no-op for semantic specs). */
+    void start();
+
+    /** Observer for MemController semantic events. */
+    void onCtlEvent(CtlEvent ev);
+
+    /** Cancels a not-yet-fired crash (run completed first). */
+    void disarm();
+
+    /** True once the power failure has been delivered. */
+    bool fired() const { return didFire; }
+
+    const CrashSpec &spec() const { return armedSpec; }
+
+  private:
+    /** Schedules the failure for the current tick (idempotent). */
+    void fireSoon();
+
+    EventQueue &eventq;
+    CrashSpec armedSpec;
+    std::function<void()> fire;
+    CountdownTrigger trigger;
+    EventFunctionWrapper crashEvent;
+    bool didFire = false;
+};
+
+} // namespace cnvm
+
+#endif // CNVM_CORE_CRASH_INJECTOR_HH

@@ -1,0 +1,73 @@
+#include "core/crash_oracle.hh"
+
+namespace cnvm
+{
+
+const char *
+crashClassName(CrashClass cls)
+{
+    switch (cls) {
+      case CrashClass::Consistent: return "consistent";
+      case CrashClass::TornData: return "torn-data";
+      case CrashClass::TornCounter: return "torn-counter";
+      case CrashClass::CounterDataMismatch: return "counter-data-mismatch";
+      case CrashClass::Inconsistent: return "inconsistent";
+    }
+    return "?";
+}
+
+CrashOracle::CrashOracle(const NvmDevice &nvm, const MemController &ctl)
+    : nvm(nvm), ctl(ctl)
+{
+}
+
+OracleReport
+CrashOracle::examine(const Workload &workload) const
+{
+    OracleReport report;
+
+    RecoveryEngine engine(nvm, ctl);
+    report.recovery = engine.recover(workload);
+
+    // Counter census. Unencrypted lines have no counter to diverge
+    // from; the census trivially passes (cipher counters are recorded
+    // as 0 and the counter store is never populated).
+    if (ctl.design() != DesignPoint::NoEncryption) {
+        for (Addr addr = workload.regionBase(); addr < workload.regionEnd();
+             addr += lineBytes) {
+            ++report.linesChecked;
+            std::uint64_t cc = nvm.persistedCipherCounter(addr);
+            std::uint64_t pc =
+                nvm.persistedCounters(ctl.counterLineAddr(addr))
+                    [ctl.counterSlot(addr)];
+            if (pc == cc)
+                continue;
+            if (pc > cc)
+                ++report.tornDataLines;
+            else
+                ++report.tornCounterLines;
+            if (workload.classifyAddr(addr) == RegionPart::LogHeader)
+                ++report.logHeaderMismatches;
+        }
+    }
+
+    // Classification is recoverability-first: mismatched lines under a
+    // consistent recovery are torn mutate-stage writes the undo log
+    // rolled back, not a failure (common for SCA, which defers dirty
+    // counter persistence to evictions).
+    if (report.recovery.consistent) {
+        report.cls = CrashClass::Consistent;
+    } else if (report.tornDataLines && report.tornCounterLines) {
+        report.cls = CrashClass::CounterDataMismatch;
+    } else if (report.tornCounterLines) {
+        report.cls = CrashClass::TornCounter;
+    } else if (report.tornDataLines) {
+        report.cls = CrashClass::TornData;
+    } else {
+        report.cls = CrashClass::Inconsistent;
+    }
+
+    return report;
+}
+
+} // namespace cnvm

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Post-crash recoverability oracle.
+ *
+ * After a simulated power failure, the oracle does two independent
+ * things per workload region and combines them into a classification:
+ *
+ *  1. Recovery: runs the real recovery path (decrypt with the persisted
+ *     counters, roll back the undo log, validate invariants, match a
+ *     committed digest prefix) — what actual recovery software can do.
+ *
+ *  2. Census: compares, line by line, the counter each persisted
+ *     ciphertext was encrypted with against the persisted counter store
+ *     — ground truth only the simulator has. A divergence means the
+ *     line decrypts to garbage (paper equation 4); the direction tells
+ *     which half of the pair the failure tore off.
+ *
+ * A consistent recovery with mismatched lines is normal for SCA: torn
+ * mutate-stage lines are exactly what the undo log rolls back (paper
+ * section 4.2). An inconsistent recovery is then classified by what the
+ * census shows, which is how the sweep separates the Unsafe design's
+ * counter-atomicity violations from any plain software bug.
+ */
+
+#ifndef CNVM_CORE_CRASH_ORACLE_HH
+#define CNVM_CORE_CRASH_ORACLE_HH
+
+#include "core/recovery.hh"
+#include "memctl/mem_controller.hh"
+#include "nvm/nvm_device.hh"
+#include "workloads/workload.hh"
+
+namespace cnvm
+{
+
+/** Classification of one post-crash region. */
+enum class CrashClass
+{
+    /** Recovered to a committed prefix of the transaction history. */
+    Consistent,
+
+    /** Inconsistent; persisted counters ran ahead of their data (the
+     *  data half of a pair was torn off — paper Figure 4). */
+    TornData,
+
+    /** Inconsistent; persisted data ran ahead of its counters (the
+     *  deferred counter update was lost — the Unsafe failure mode). */
+    TornCounter,
+
+    /** Inconsistent with counter/data divergence in both directions. */
+    CounterDataMismatch,
+
+    /** Inconsistent with a clean counter census (software-level torn
+     *  state the transaction mechanism failed to mask). */
+    Inconsistent,
+};
+
+const char *crashClassName(CrashClass cls);
+
+/** True for every inconsistent class caused by counter/data skew. */
+inline bool
+isCounterDataMismatch(CrashClass cls)
+{
+    return cls == CrashClass::TornData || cls == CrashClass::TornCounter
+        || cls == CrashClass::CounterDataMismatch;
+}
+
+/** Everything the oracle learned about one region. */
+struct OracleReport
+{
+    RecoveryReport recovery;
+    CrashClass cls = CrashClass::Consistent;
+
+    /** Census scope and findings. */
+    std::uint64_t linesChecked = 0;
+    std::uint64_t tornDataLines = 0;    //!< persisted counter > cipher
+    std::uint64_t tornCounterLines = 0; //!< persisted counter < cipher
+    std::uint64_t logHeaderMismatches = 0;
+
+    std::uint64_t mismatchedLines() const
+    { return tornDataLines + tornCounterLines; }
+};
+
+/** Classifies crashed images for workloads of one system. */
+class CrashOracle
+{
+  public:
+    CrashOracle(const NvmDevice &nvm, const MemController &ctl);
+
+    /** Recovers and classifies one workload's region. */
+    OracleReport examine(const Workload &workload) const;
+
+  private:
+    const NvmDevice &nvm;
+    const MemController &ctl;
+};
+
+} // namespace cnvm
+
+#endif // CNVM_CORE_CRASH_ORACLE_HH

@@ -1,0 +1,148 @@
+#include "core/crash_sweep.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace cnvm
+{
+
+namespace
+{
+
+/** Severity order for aggregating per-region classes into one. */
+unsigned
+severity(CrashClass cls)
+{
+    switch (cls) {
+      case CrashClass::Consistent: return 0;
+      case CrashClass::Inconsistent: return 1;
+      case CrashClass::TornData: return 2;
+      case CrashClass::TornCounter: return 3;
+      case CrashClass::CounterDataMismatch: return 4;
+    }
+    return 0;
+}
+
+/** Semantic kinds in planning order. */
+constexpr CrashTriggerKind semanticKinds[] = {
+    CrashTriggerKind::DataDrain,
+    CrashTriggerKind::PipelineEnter,
+    CrashTriggerKind::CtrDrain,
+    CrashTriggerKind::PairAction,
+    CrashTriggerKind::DirtyEviction,
+};
+
+} // anonymous namespace
+
+SweepProbe
+probeRun(const SystemConfig &cfg)
+{
+    System sys(cfg);
+    SweepProbe probe;
+    sys.controller().setEventHook([&probe](CtlEvent ev) {
+        ++probe.eventCounts[static_cast<unsigned>(ev)];
+    });
+    RunResult result = sys.run();
+    probe.endTick = result.endTick;
+    probe.txnsIssued = result.txnsIssued;
+    return probe;
+}
+
+std::vector<CrashSpec>
+planSweep(const SweepProbe &probe, unsigned points, bool semantic_triggers)
+{
+    cnvm_assert(probe.endTick > 0);
+
+    // Candidate kinds: ticks always; each semantic kind only if the
+    // probe saw it at all (an FCA run has no dirty evictions to crash
+    // at, an unencrypted one no pairings).
+    std::vector<CrashTriggerKind> kinds{CrashTriggerKind::AtTick};
+    if (semantic_triggers) {
+        for (CrashTriggerKind kind : semanticKinds) {
+            auto ev = ctlEventFor(kind);
+            if (ev && probe.countOf(*ev) > 0)
+                kinds.push_back(kind);
+        }
+    }
+
+    // Round-robin the budget over the kinds, then spread each kind's
+    // share evenly over its domain (runtime, or observed ordinals).
+    std::vector<unsigned> share(kinds.size(), 0);
+    for (unsigned i = 0; i < points; ++i)
+        ++share[i % kinds.size()];
+
+    std::vector<CrashSpec> specs;
+    specs.reserve(points);
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+        CrashTriggerKind kind = kinds[k];
+        unsigned n = share[k];
+        if (kind == CrashTriggerKind::AtTick) {
+            for (unsigned i = 0; i < n; ++i) {
+                Tick t = probe.endTick
+                    * static_cast<std::uint64_t>(i + 1) / (n + 1);
+                specs.push_back(CrashSpec::atTick(std::max<Tick>(t, 1)));
+            }
+        } else {
+            std::uint64_t total = probe.countOf(*ctlEventFor(kind));
+            for (unsigned i = 0; i < n; ++i) {
+                std::uint64_t nth = 1 + total * i / n;
+                specs.push_back(CrashSpec::atEvent(kind, nth));
+            }
+        }
+    }
+    return specs;
+}
+
+SweepPoint
+runSweepPoint(const SystemConfig &cfg, const CrashSpec &spec)
+{
+    SweepPoint point;
+    point.spec = spec;
+
+    System sys(cfg);
+    RunResult result = sys.runWithCrash(spec);
+    point.crashed = result.crashed;
+    point.snapshot = sys.crashSnapshot();
+    if (!point.crashed)
+        return point;
+
+    for (const OracleReport &report : sys.examineAll()) {
+        if (severity(report.cls) > severity(point.cls)) {
+            point.cls = report.cls;
+            point.detail = report.recovery.detail;
+        }
+        point.mismatchedLines += report.mismatchedLines();
+        point.committedTxns += report.recovery.committedTxns;
+    }
+    return point;
+}
+
+SweepResult
+runSweep(const SystemConfig &cfg, unsigned points, bool semantic_triggers)
+{
+    SweepResult result;
+    result.probe = probeRun(cfg);
+    for (const CrashSpec &spec :
+         planSweep(result.probe, points, semantic_triggers))
+        result.points.push_back(runSweepPoint(cfg, spec));
+    return result;
+}
+
+std::string
+SweepResult::fingerprint() const
+{
+    std::ostringstream os;
+    for (const SweepPoint &p : points) {
+        os << p.spec.describe() << "=";
+        if (!p.crashed)
+            os << "unreached";
+        else
+            os << crashClassName(p.cls) << "@" << p.snapshot.tick << "/"
+               << p.mismatchedLines;
+        os << ";";
+    }
+    return os.str();
+}
+
+} // namespace cnvm

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Deterministic crash-point sweep.
+ *
+ * One sweep answers "does this design recover from a power failure at
+ * *any* controller state?" for one configuration:
+ *
+ *  1. Probe: run the configuration once to completion, counting every
+ *     semantic controller event and noting the end tick.
+ *
+ *  2. Plan: distribute K crash points round-robin over the reachable
+ *     trigger kinds — absolute ticks spread across the probed runtime,
+ *     plus every semantic kind the probe observed at least once, with
+ *     ordinals spread across its observed total. Semantic points pin
+ *     the crash to states (mid-pipeline, mid-pairing, mid-eviction)
+ *     that tick-fraction sampling hits only by luck.
+ *
+ *  3. Execute: one fresh System per point, same seed, crash armed at
+ *     that point, then recover and classify with the CrashOracle.
+ *
+ * Everything is derived from the configuration and the probe, so a
+ * sweep is exactly reproducible for a fixed seed — fingerprint()
+ * collapses the outcome into one comparable string.
+ */
+
+#ifndef CNVM_CORE_CRASH_SWEEP_HH
+#define CNVM_CORE_CRASH_SWEEP_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/crash_injector.hh"
+#include "core/crash_oracle.hh"
+#include "core/system.hh"
+
+namespace cnvm
+{
+
+/** What the probe run observed. */
+struct SweepProbe
+{
+    Tick endTick = 0;
+    std::uint64_t txnsIssued = 0;
+
+    /** Occurrences of each CtlEvent over the whole run. */
+    std::array<std::uint64_t, numCtlEvents> eventCounts{};
+
+    std::uint64_t
+    countOf(CtlEvent ev) const
+    {
+        return eventCounts[static_cast<unsigned>(ev)];
+    }
+};
+
+/** Outcome of one crash point. */
+struct SweepPoint
+{
+    CrashSpec spec;
+
+    /** False when the workloads finished before the trigger fired. */
+    bool crashed = false;
+
+    CrashSnapshot snapshot;
+
+    /** Worst classification over all per-core regions. */
+    CrashClass cls = CrashClass::Consistent;
+
+    /** First inconsistent region's failure detail (empty if none). */
+    std::string detail;
+
+    std::uint64_t mismatchedLines = 0;
+    std::uint64_t committedTxns = 0;
+};
+
+/** Aggregate sweep outcome. */
+struct SweepResult
+{
+    SweepProbe probe;
+    std::vector<SweepPoint> points;
+
+    unsigned
+    countOf(CrashClass cls) const
+    {
+        unsigned n = 0;
+        for (const SweepPoint &p : points)
+            n += p.crashed && p.cls == cls;
+        return n;
+    }
+
+    /** Crash points whose recovery failed, any class. */
+    unsigned
+    inconsistentPoints() const
+    {
+        unsigned n = 0;
+        for (const SweepPoint &p : points)
+            n += p.crashed && p.cls != CrashClass::Consistent;
+        return n;
+    }
+
+    /** Failed points attributable to counter/data divergence. */
+    unsigned
+    mismatchPoints() const
+    {
+        unsigned n = 0;
+        for (const SweepPoint &p : points)
+            n += p.crashed && isCounterDataMismatch(p.cls);
+        return n;
+    }
+
+    /** Points whose trigger never fired (run completed first). */
+    unsigned
+    unreachedPoints() const
+    {
+        unsigned n = 0;
+        for (const SweepPoint &p : points)
+            n += !p.crashed;
+        return n;
+    }
+
+    /** Deterministic one-line digest of every point's spec and class. */
+    std::string fingerprint() const;
+};
+
+/** Probes one configuration (step 1). */
+SweepProbe probeRun(const SystemConfig &cfg);
+
+/**
+ * Plans @p points crash specs from a probe (step 2). Set
+ * @p semantic_triggers false to restrict the plan to absolute ticks
+ * (the legacy tick-fraction sampling, for comparison).
+ */
+std::vector<CrashSpec> planSweep(const SweepProbe &probe, unsigned points,
+                                 bool semantic_triggers = true);
+
+/** Executes one planned crash point against a fresh System (step 3). */
+SweepPoint runSweepPoint(const SystemConfig &cfg, const CrashSpec &spec);
+
+/** Probe + plan + execute. */
+SweepResult runSweep(const SystemConfig &cfg, unsigned points,
+                     bool semantic_triggers = true);
+
+} // namespace cnvm
+
+#endif // CNVM_CORE_CRASH_SWEEP_HH

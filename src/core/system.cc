@@ -62,8 +62,8 @@ System::build()
         cores.back()->setOnFinished([this]() {
             ++finishedCores;
             if (finishedCores == cfg.numCores) {
-                if (crashEvent && crashEvent->scheduled())
-                    eventq.deschedule(*crashEvent);
+                if (injector)
+                    injector->disarm();
                 eventq.requestStop();
             }
         });
@@ -133,6 +133,16 @@ System::doCrash()
 {
     lastResult.crashed = true;
     lastResult.endTick = eventq.curTick();
+
+    snapshot.valid = true;
+    snapshot.tick = eventq.curTick();
+    snapshot.dataQueue = memCtl->dataQueueOccupancy();
+    snapshot.ctrQueue = memCtl->ctrQueueOccupancy();
+    snapshot.landing = memCtl->landingDepth();
+    snapshot.pipeline = memCtl->pipelineDepth();
+    snapshot.inflight = memCtl->inflightDepth();
+    snapshot.outstandingReads = memCtl->outstandingReadCount();
+
     for (auto &core : cores)
         core->halt();
     for (auto &path : memPaths)
@@ -144,11 +154,19 @@ System::doCrash()
 RunResult
 System::runWithCrashAt(Tick crash_tick)
 {
-    // The crash runs at maximum priority so it observes (and discards)
-    // the state before any same-tick model activity.
-    crashEvent = std::make_unique<EventFunctionWrapper>(
-        [this]() { doCrash(); }, "power-failure", Event::MinPriority);
-    eventq.schedule(*crashEvent, crash_tick);
+    return runWithCrash(CrashSpec::atTick(crash_tick));
+}
+
+RunResult
+System::runWithCrash(const CrashSpec &spec)
+{
+    injector = std::make_unique<CrashInjector>(eventq, spec,
+                                               [this]() { doCrash(); });
+    if (ctlEventFor(spec.kind)) {
+        memCtl->setEventHook(
+            [this](CtlEvent ev) { injector->onCtlEvent(ev); });
+    }
+    injector->start();
     return runInternal();
 }
 
@@ -160,6 +178,17 @@ System::recoverAll()
     reports.reserve(workloads.size());
     for (auto &wl : workloads)
         reports.push_back(engine.recover(*wl));
+    return reports;
+}
+
+std::vector<OracleReport>
+System::examineAll()
+{
+    CrashOracle oracle(nvmDev, *memCtl);
+    std::vector<OracleReport> reports;
+    reports.reserve(workloads.size());
+    for (auto &wl : workloads)
+        reports.push_back(oracle.examine(*wl));
     return reports;
 }
 

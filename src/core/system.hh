@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "core/config.hh"
+#include "core/crash_injector.hh"
+#include "core/crash_oracle.hh"
 #include "core/recovery.hh"
 #include "cpu/core.hh"
 #include "mem/core_mem_path.hh"
@@ -45,6 +47,24 @@ struct RunResult
     std::uint64_t txnsIssued = 0;
 };
 
+/**
+ * Controller state at the instant the power failed, captured before
+ * crash() tears it down. Lets tests assert that a semantic trigger
+ * really crashed in the intended state (non-empty pipeline, occupied
+ * landing queue, ...), and feeds the sweep report.
+ */
+struct CrashSnapshot
+{
+    bool valid = false; //!< a crash actually happened
+    Tick tick = 0;
+    unsigned dataQueue = 0;
+    unsigned ctrQueue = 0;
+    std::size_t landing = 0;
+    unsigned pipeline = 0;
+    unsigned inflight = 0;
+    unsigned outstandingReads = 0;
+};
+
 class System
 {
   public:
@@ -64,8 +84,23 @@ class System
      */
     RunResult runWithCrashAt(Tick crash_tick);
 
+    /**
+     * Runs with a power failure armed at an arbitrary crash point —
+     * an absolute tick or the Nth semantic controller event (see
+     * CrashSpec). If the workloads finish before the trigger fires,
+     * no crash happens.
+     */
+    RunResult runWithCrash(const CrashSpec &spec);
+
+    /** Controller state at the power-failure instant (valid=false when
+     *  the run completed without crashing). */
+    const CrashSnapshot &crashSnapshot() const { return snapshot; }
+
     /** Recovers and verifies every core's region after a crash. */
     std::vector<RecoveryReport> recoverAll();
+
+    /** Recovers and classifies every core's region (crash oracle). */
+    std::vector<OracleReport> examineAll();
 
     /** Aggregate: true iff every region recovered consistently. */
     bool recoveredConsistently(std::string *first_failure = nullptr);
@@ -111,7 +146,8 @@ class System
 
     unsigned finishedCores = 0;
     RunResult lastResult;
-    std::unique_ptr<EventFunctionWrapper> crashEvent;
+    CrashSnapshot snapshot;
+    std::unique_ptr<CrashInjector> injector;
 
     void build();
     void doCrash();

@@ -62,7 +62,7 @@ CounterCache::access(Addr ctr_line_addr)
 
 std::optional<CounterEviction>
 CounterCache::install(Addr ctr_line_addr, const CounterLine &values,
-                      bool dirty)
+                      std::uint8_t dirty_mask)
 {
     cnvm_assert(peek(ctr_line_addr) == nullptr);
 
@@ -86,8 +86,8 @@ CounterCache::install(Addr ctr_line_addr, const CounterLine &values,
 
     victim->addr = ctr_line_addr;
     victim->valid = true;
-    victim->dirty = dirty;
-    victim->dirtyMask = dirty ? 0xff : 0;
+    victim->dirty = dirty_mask != 0;
+    victim->dirtyMask = dirty_mask;
     victim->lruStamp = nextStamp++;
     victim->values = values;
     return evicted;

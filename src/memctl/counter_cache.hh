@@ -64,9 +64,16 @@ class CounterCache
     /**
      * Installs a counter line (must not be resident), returning the
      * dirty victim if one was displaced.
+     *
+     * @param dirty_mask which of the eight counters carry unpersisted
+     *                   updates; 0 installs the line clean. The mask is
+     *                   what a later eviction writes back, so it must
+     *                   be exact at install time — a dirty writeback
+     *                   sized by a stale mask inflates counter traffic.
      */
     std::optional<CounterEviction>
-    install(Addr ctr_line_addr, const CounterLine &values, bool dirty);
+    install(Addr ctr_line_addr, const CounterLine &values,
+            std::uint8_t dirty_mask);
 
     /** Drops all contents (power failure). */
     void reset();

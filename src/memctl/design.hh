@@ -6,6 +6,9 @@
 #ifndef CNVM_MEMCTL_DESIGN_HH
 #define CNVM_MEMCTL_DESIGN_HH
 
+#include <array>
+#include <cctype>
+#include <optional>
 #include <string>
 
 namespace cnvm
@@ -79,6 +82,47 @@ designName(DesignPoint d)
       case DesignPoint::Unsafe: return "Unsafe";
     }
     return "?";
+}
+
+/** Every design point, in evaluation order. */
+inline std::array<DesignPoint, 7>
+allDesignPoints()
+{
+    return {DesignPoint::NoEncryption, DesignPoint::Ideal,
+            DesignPoint::Colocated, DesignPoint::ColocatedCC,
+            DesignPoint::FCA, DesignPoint::SCA, DesignPoint::Unsafe};
+}
+
+/**
+ * Parses a design name as the CLI tools accept it: the canonical
+ * designName() (case-insensitively) or the short aliases
+ * NoEnc / Colocated / ColocatedCC.
+ */
+inline std::optional<DesignPoint>
+designFromName(const std::string &name)
+{
+    auto fold = [](const std::string &s) {
+        std::string out;
+        for (char c : s) {
+            if (c == '-' || c == '/' || c == ' ' || c == '.')
+                continue;
+            out.push_back(static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c))));
+        }
+        return out;
+    };
+    std::string want = fold(name);
+    for (DesignPoint d : allDesignPoints()) {
+        if (want == fold(designName(d)))
+            return d;
+    }
+    if (want == "noenc")
+        return DesignPoint::NoEncryption;
+    if (want == "colocated")
+        return DesignPoint::Colocated;
+    if (want == "colocatedcc" || want == "colocatedwccache")
+        return DesignPoint::ColocatedCC;
+    return std::nullopt;
 }
 
 /** True for designs that encrypt memory at all. */

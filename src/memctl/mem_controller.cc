@@ -151,7 +151,14 @@ void
 MemController::finishRead(Tick when, ReadCallback done)
 {
     ++outstandingReads;
-    scheduleAt(eventq, when, [this, done = std::move(done)]() {
+    std::uint64_t epoch = pipelineEpoch;
+    scheduleAt(eventq, when, [this, epoch, done = std::move(done)]() {
+        // A power failure between scheduling and completion killed the
+        // read with the rest of the volatile controller state; firing
+        // anyway would decrement the freshly-zeroed counter.
+        if (epoch != pipelineEpoch)
+            return;
+        cnvm_assert(outstandingReads > 0);
         --outstandingReads;
         done();
         kickDrain();
@@ -200,10 +207,13 @@ MemController::issueRead(Addr addr, unsigned core_id, ReadCallback done)
             // arrival, then the counter line is installed.
             Tick ready = data_arrival + cfg.encLatency;
             finishRead(ready, std::move(done));
-            scheduleAt(eventq, ready, [this, ctr_addr]() {
+            std::uint64_t epoch = pipelineEpoch;
+            scheduleAt(eventq, ready, [this, epoch, ctr_addr]() {
+                if (epoch != pipelineEpoch)
+                    return; // fill died with the power failure
                 if (counterCache->peek(ctr_addr) == nullptr) {
                     auto victim = counterCache->install(
-                        ctr_addr, currentCounters(ctr_addr), false);
+                        ctr_addr, currentCounters(ctr_addr), 0);
                     if (victim)
                         handleCcEviction(*victim);
                 }
@@ -229,10 +239,14 @@ MemController::issueRead(Addr addr, unsigned core_id, ReadCallback done)
                                   ctr_arrival + cfg.encLatency);
             finishRead(ready, std::move(done));
             CounterLine values = memoryViewCounters(ctr_addr);
-            scheduleAt(eventq, ctr_arrival, [this, ctr_addr, values]() {
+            std::uint64_t epoch = pipelineEpoch;
+            scheduleAt(eventq, ctr_arrival,
+                       [this, epoch, ctr_addr, values]() {
+                if (epoch != pipelineEpoch)
+                    return; // fill died with the power failure
                 if (counterCache->peek(ctr_addr) == nullptr) {
                     auto victim =
-                        counterCache->install(ctr_addr, values, false);
+                        counterCache->install(ctr_addr, values, 0);
                     if (victim)
                         handleCcEviction(*victim);
                 }
@@ -356,6 +370,7 @@ MemController::tryWrite(const WriteReq &req)
     Tick lat = cfg.design == DesignPoint::NoEncryption
         ? cfg.acceptLatency : cfg.encLatency;
     ++pipelineWrites;
+    emitEvent(CtlEvent::PipelineEnter);
     scheduleAt(eventq, now + lat, [this, epoch, req, counter, pair]() {
         if (epoch != pipelineEpoch)
             return;
@@ -386,7 +401,10 @@ MemController::scheduleDrainKick()
     if (kickScheduled)
         return;
     kickScheduled = true;
-    scheduleAt(eventq, eventq.curTick(), [this]() {
+    std::uint64_t epoch = pipelineEpoch;
+    scheduleAt(eventq, eventq.curTick(), [this, epoch]() {
+        if (epoch != pipelineEpoch)
+            return; // crash() already reset kickScheduled
         kickScheduled = false;
         kickDrain();
     }, Event::MaxPriority);
@@ -470,6 +488,7 @@ MemController::landDataWrite(const WriteReq &req, std::uint64_t counter,
                 line->dirtyMask = 0;
             }
         }
+        emitEvent(CtlEvent::PairAction);
     } else if (encrypted && counterCache != nullptr) {
         // Deferred counter persistence: the update is only dirty in
         // the counter cache (SCA/Unsafe), or persistence is free
@@ -551,10 +570,9 @@ MemController::applyCounterToCache(Addr data_line_addr,
         ? memoryViewCounters(ctr_addr)
         : currentCounters(ctr_addr);
     values[slot] = std::max(values[slot], counter);
-    auto victim = counterCache->install(ctr_addr, values, make_dirty);
-    if (CounterCacheLine *line = counterCache->peek(ctr_addr))
-        line->dirtyMask = make_dirty
-            ? static_cast<std::uint8_t>(1u << slot) : 0;
+    auto victim = counterCache->install(
+        ctr_addr, values,
+        make_dirty ? static_cast<std::uint8_t>(1u << slot) : 0);
     if (victim)
         handleCcEviction(*victim);
 }
@@ -562,6 +580,7 @@ MemController::applyCounterToCache(Addr data_line_addr,
 void
 MemController::handleCcEviction(const CounterEviction &ev)
 {
+    emitEvent(CtlEvent::DirtyEviction);
     switch (cfg.design) {
       case DesignPoint::Ideal:
         // Counter persistence is free in the ideal design.
@@ -763,19 +782,31 @@ MemController::issueOneWrite()
     if (data_pick == nullptr && ctr_pick == nullptr
         && earliest_busy != maxTick && !drainKickPending) {
         drainKickPending = true;
-        scheduleAt(eventq, std::max(earliest_busy, now + 1), [this]() {
+        std::uint64_t epoch = pipelineEpoch;
+        scheduleAt(eventq, std::max(earliest_busy, now + 1),
+                   [this, epoch]() {
+            if (epoch != pipelineEpoch)
+                return; // crash() already reset drainKickPending
             drainKickPending = false;
             kickDrain();
         });
     }
 
+    // Burst-completion events carry the pipeline epoch: a power failure
+    // empties the queues and zeroes inflightWrites, so a completion
+    // scheduled before the failure must become a no-op, not decrement
+    // the freshly-zeroed counter of the next epoch.
     if (data_pick != nullptr) {
         data_pick->issued = true;
         ++inflightWrites;
         Tick done = nvm.scheduleWrite(data_pick->addr, now,
                                       data_pick->busBytes);
         std::uint64_t seq = data_pick->seq;
-        scheduleAt(eventq, done, [this, seq]() { completeDataDrain(seq); });
+        std::uint64_t epoch = pipelineEpoch;
+        scheduleAt(eventq, done, [this, seq, epoch]() {
+            if (epoch == pipelineEpoch)
+                completeDataDrain(seq);
+        });
         return true;
     }
     if (ctr_pick != nullptr) {
@@ -787,7 +818,11 @@ MemController::issueOneWrite()
         Tick done = nvm.scheduleWrite(ctr_pick->addr, now,
                                       touched * counterBytes);
         std::uint64_t seq = ctr_pick->seq;
-        scheduleAt(eventq, done, [this, seq]() { completeCtrDrain(seq); });
+        std::uint64_t epoch = pipelineEpoch;
+        scheduleAt(eventq, done, [this, seq, epoch]() {
+            if (epoch == pipelineEpoch)
+                completeCtrDrain(seq);
+        });
         return true;
     }
     // Nothing eligible right now; a later completion or insertion will
@@ -798,7 +833,7 @@ MemController::issueOneWrite()
 void
 MemController::persistDataEntry(const DataEntry &entry)
 {
-    nvm.drainData(entry.addr, entry.cipher);
+    nvm.drainData(entry.addr, entry.cipher, entry.counter);
 
     // Designs whose counter persistence accompanies the data write.
     switch (cfg.design) {
@@ -833,7 +868,9 @@ MemController::completeDataDrain(std::uint64_t seq)
             break;
         }
     }
+    cnvm_assert(inflightWrites > 0);
     --inflightWrites;
+    emitEvent(CtlEvent::DataDrain);
     drainPendingCcEvictions();
     processLandings();
     notifyRetries();
@@ -850,7 +887,9 @@ MemController::completeCtrDrain(std::uint64_t seq)
             break;
         }
     }
+    cnvm_assert(inflightWrites > 0);
     --inflightWrites;
+    emitEvent(CtlEvent::CtrDrain);
     drainPendingCcEvictions();
     processLandings();
     notifyRetries();
@@ -870,7 +909,7 @@ MemController::initLine(Addr line_addr, const LineData &plaintext)
     std::uint64_t counter = ++globalCounter;
     currentCounter[line_addr] = counter;
     nvm.drainData(line_addr, ctrEngine.encrypt(line_addr, counter,
-                                               plaintext));
+                                               plaintext), counter);
 
     Addr ctr_addr = counterLineAddr(line_addr);
     CounterLine values = nvm.persistedCounters(ctr_addr);
@@ -889,7 +928,7 @@ MemController::warmCounterLine(Addr data_line_addr)
     CounterLine values = designSeparateCounters(cfg.design)
         ? memoryViewCounters(ctr_addr)
         : currentCounters(ctr_addr);
-    auto victim = counterCache->install(ctr_addr, values, false);
+    auto victim = counterCache->install(ctr_addr, values, 0);
     // Warming installs clean lines only; victims are clean too.
     cnvm_assert(!victim.has_value());
 }
@@ -928,8 +967,16 @@ MemController::crash()
     outstandingReads = 0;
     pendingCcEvictions.clear();
     retryCallbacks.clear();
+    // Pending kick events from before the failure are epoch-guarded
+    // no-ops, so they will never clear these flags themselves; left
+    // set, they would wedge the drain engine of the post-crash state.
+    kickScheduled = false;
+    drainKickPending = false;
     if (counterCache != nullptr)
         counterCache->reset();
+
+    cnvm_assert(writesIdle());
+    cnvm_assert(outstandingReads == 0);
 }
 
 } // namespace cnvm

@@ -38,6 +38,37 @@
 namespace cnvm
 {
 
+/**
+ * Semantic controller events observable from outside the timing model.
+ * The crash injector arms power failures at the Nth occurrence of one
+ * of these ("crash mid-encryption-pipeline", "crash at the 40th counter
+ * eviction"), which is how the sweep reaches controller states a
+ * runtime-fraction crash point can never hit reliably.
+ */
+enum class CtlEvent : unsigned
+{
+    PipelineEnter = 0, //!< a write entered the encryption pipeline
+    PairAction,        //!< a ready-bit data/counter pairing completed
+    DirtyEviction,     //!< a dirty counter line left the counter cache
+    DataDrain,         //!< a data write-queue entry drained to the device
+    CtrDrain,          //!< a counter write-queue entry drained
+};
+
+constexpr unsigned numCtlEvents = 5;
+
+inline const char *
+ctlEventName(CtlEvent ev)
+{
+    switch (ev) {
+      case CtlEvent::PipelineEnter: return "pipeline-enter";
+      case CtlEvent::PairAction: return "pair-action";
+      case CtlEvent::DirtyEviction: return "dirty-eviction";
+      case CtlEvent::DataDrain: return "data-drain";
+      case CtlEvent::CtrDrain: return "ctr-drain";
+    }
+    return "?";
+}
+
 /** Controller geometry and latencies (paper Table 2 defaults). */
 struct MemCtlConfig
 {
@@ -161,6 +192,22 @@ class MemController : public MemBackend
     /** Writes handed to the device whose burst has not completed. */
     unsigned inflightDepth() const { return inflightWrites; }
 
+    /** Reads issued to the controller whose data has not returned. */
+    unsigned outstandingReadCount() const { return outstandingReads; }
+
+    /**
+     * Installs an observer invoked synchronously at each semantic
+     * controller event. At most one observer; the crash injector and
+     * the sweep's probe census are the intended users. The hook must
+     * not re-enter the controller — defer any reaction (such as the
+     * power failure itself) through the event queue.
+     */
+    void
+    setEventHook(std::function<void(CtlEvent)> hook)
+    {
+        eventHook = std::move(hook);
+    }
+
     // Exposed counters for tests and benches.
     stats::Scalar dataInserts;
     stats::Scalar ctrInserts;
@@ -251,6 +298,17 @@ class MemController : public MemBackend
 
     /** Dirty counter-cache victims waiting for counter-queue space. */
     std::deque<CounterEviction> pendingCcEvictions;
+
+    /** Semantic-event observer (crash injector / sweep census). */
+    std::function<void(CtlEvent)> eventHook;
+
+    /** Fires the event hook, if any. */
+    void
+    emitEvent(CtlEvent ev)
+    {
+        if (eventHook)
+            eventHook(ev);
+    }
 
     // --- write path helpers ---
     bool haveDataSlot() const;

@@ -124,10 +124,19 @@ NvmDevice::livePlainStore(Addr byte_addr, unsigned size,
 }
 
 void
-NvmDevice::drainData(Addr line_addr, const LineData &ciphertext)
+NvmDevice::drainData(Addr line_addr, const LineData &ciphertext,
+                     std::uint64_t cipher_counter)
 {
     cnvm_assert(isLineAligned(line_addr));
     cipherImage[line_addr] = ciphertext;
+    cipherCounterOf[line_addr] = cipher_counter;
+}
+
+std::uint64_t
+NvmDevice::persistedCipherCounter(Addr line_addr) const
+{
+    auto it = cipherCounterOf.find(line_addr);
+    return it == cipherCounterOf.end() ? 0 : it->second;
 }
 
 void

@@ -85,8 +85,17 @@ class NvmDevice
     // Functional: persisted state
     // ------------------------------------------------------------------
 
-    /** Applies a drained data write to the persisted ciphertext image. */
-    void drainData(Addr line_addr, const LineData &ciphertext);
+    /**
+     * Applies a drained data write to the persisted ciphertext image.
+     *
+     * @param cipher_counter the counter the ciphertext was encrypted
+     *        with (0 for unencrypted designs). Simulator-only ground
+     *        truth: the crash oracle compares it against the persisted
+     *        counter store to detect counter/data divergence without
+     *        having to guess from garbage plaintext.
+     */
+    void drainData(Addr line_addr, const LineData &ciphertext,
+                   std::uint64_t cipher_counter = 0);
 
     /** Applies a drained counter-line write to the counter store. */
     void drainCounters(Addr ctr_line_addr, const CounterLine &values);
@@ -99,6 +108,14 @@ class NvmDevice
 
     /** Persisted counter-line values (zeros if never written). */
     CounterLine persistedCounters(Addr ctr_line_addr) const;
+
+    /**
+     * Ground truth for the crash oracle: the counter the persisted
+     * ciphertext of @p line_addr was encrypted with (0 if the line was
+     * never drained). A recovered line is decryptable iff this equals
+     * the matching slot of persistedCounters().
+     */
+    std::uint64_t persistedCipherCounter(Addr line_addr) const;
 
     /** Number of distinct lines present in the persisted image. */
     std::size_t persistedLineCount() const { return cipherImage.size(); }
@@ -158,6 +175,10 @@ class NvmDevice
     std::unordered_map<Addr, LineData> livePlain;
     std::unordered_map<Addr, LineData> cipherImage;
     std::unordered_map<Addr, CounterLine> counterStore;
+
+    /** Counter each persisted ciphertext was encrypted with (oracle
+     *  ground truth, not an architectural structure). */
+    std::unordered_map<Addr, std::uint64_t> cipherCounterOf;
 
     stats::Scalar readBytes;
     stats::Scalar writeBytes;

@@ -19,9 +19,13 @@ Event::~Event()
 EventQueue::~EventQueue()
 {
     // Orphan any still-scheduled events so their destructors do not
-    // touch a dead queue.
-    for (Event *event : events)
+    // touch a dead queue; self-owned (fire-and-forget) events have no
+    // other owner and are deleted here.
+    for (Event *event : events) {
         event->queue = nullptr;
+        if (event->_selfOwned)
+            delete event;
+    }
 }
 
 void

@@ -65,6 +65,15 @@ class Event
 
     int priority() const { return _priority; }
 
+    /**
+     * Marks this event as owned by whichever queue holds it: if the
+     * queue is destroyed while the event is still pending, the queue
+     * deletes it. Used by fire-and-forget events (sim/one_shot.hh) so
+     * that a run cut short — e.g. by a simulated power failure — does
+     * not leak its in-flight callbacks.
+     */
+    void setSelfOwned() { _selfOwned = true; }
+
   private:
     friend class EventQueue;
 
@@ -72,6 +81,7 @@ class Event
     int _priority;
     Tick _when = 0;
     std::uint64_t _seq = 0;
+    bool _selfOwned = false;
     EventQueue *queue = nullptr;
 };
 

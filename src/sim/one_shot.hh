@@ -28,7 +28,9 @@ scheduleAt(EventQueue &eq, Tick when, std::function<void()> fn,
       public:
         SelfDeletingEvent(std::function<void()> fn, int priority)
             : Event("one-shot", priority), fn(std::move(fn))
-        {}
+        {
+            setSelfOwned();
+        }
 
         void
         process() override

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * One-shot occurrence-count triggers.
+ *
+ * A CountdownTrigger observes a stream of occurrences of some model
+ * event and fires a callback exactly once, on the Nth occurrence. The
+ * crash injector uses one per semantic crash point ("power fails at the
+ * Nth counter eviction"); the same utility suits sampling hooks.
+ */
+
+#ifndef CNVM_SIM_TRIGGER_HH
+#define CNVM_SIM_TRIGGER_HH
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace cnvm
+{
+
+class CountdownTrigger
+{
+  public:
+    CountdownTrigger() = default;
+
+    /** Arms the trigger to fire on the @p count -th observe() call. */
+    void
+    arm(std::uint64_t count, std::function<void()> fn)
+    {
+        cnvm_assert(count > 0);
+        remaining = count;
+        callback = std::move(fn);
+        didFire = false;
+    }
+
+    /** Records one occurrence; fires (once) when the count is reached. */
+    void
+    observe()
+    {
+        ++seen;
+        if (remaining == 0 || didFire)
+            return;
+        if (--remaining == 0) {
+            didFire = true;
+            // Move out first: the callback may re-arm this trigger.
+            auto fn = std::move(callback);
+            callback = nullptr;
+            if (fn)
+                fn();
+        }
+    }
+
+    /** Cancels a pending firing; occurrence counting continues. */
+    void
+    disarm()
+    {
+        remaining = 0;
+        callback = nullptr;
+    }
+
+    bool armed() const { return remaining > 0; }
+    bool fired() const { return didFire; }
+
+    /** Occurrences observed over the trigger's lifetime. */
+    std::uint64_t observed() const { return seen; }
+
+  private:
+    std::uint64_t remaining = 0;
+    std::uint64_t seen = 0;
+    bool didFire = false;
+    std::function<void()> callback;
+};
+
+} // namespace cnvm
+
+#endif // CNVM_SIM_TRIGGER_HH

@@ -17,6 +17,20 @@ Workload::Workload(const WorkloadParams &params)
                            lineBytes);
 }
 
+RegionPart
+Workload::classifyAddr(Addr addr) const
+{
+    if (!inRegion(addr))
+        return RegionPart::Outside;
+    if (addr < logLayout.descBase())
+        return RegionPart::LogHeader;
+    if (addr < logLayout.backupBase())
+        return RegionPart::LogDesc;
+    if (addr < logLayout.backupAddr(logLayout.maxLines))
+        return RegionPart::LogBackup;
+    return RegionPart::Structure;
+}
+
 void
 Workload::initWrite(Addr addr, const void *data, unsigned size)
 {

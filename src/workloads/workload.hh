@@ -66,6 +66,34 @@ struct WorkloadParams
     bool recordDigests = false;
 };
 
+/**
+ * Which functional part of a workload's region an address belongs to.
+ * The crash oracle uses this to attribute a counter/data mismatch: a
+ * garbage log header loses the whole region, a garbage structure line
+ * is recoverable as long as the log still holds its backup.
+ */
+enum class RegionPart
+{
+    LogHeader,  //!< the undo log's header line (magic/valid/checksum)
+    LogDesc,    //!< undo log descriptor area
+    LogBackup,  //!< undo log backup lines
+    Structure,  //!< metadata and structure storage
+    Outside,    //!< not in this workload's region
+};
+
+inline const char *
+regionPartName(RegionPart part)
+{
+    switch (part) {
+      case RegionPart::LogHeader: return "log-header";
+      case RegionPart::LogDesc: return "log-desc";
+      case RegionPart::LogBackup: return "log-backup";
+      case RegionPart::Structure: return "structure";
+      case RegionPart::Outside: return "outside";
+    }
+    return "?";
+}
+
 /** Outcome of validating a recovered (or live) structure. */
 struct ValidationResult
 {
@@ -146,6 +174,9 @@ class Workload : public OpSource
     {
         return addr >= regionBase() && addr < regionEnd();
     }
+
+    /** Functional part of the region @p addr falls into. */
+    RegionPart classifyAddr(Addr addr) const;
 
   protected:
     /** Subclass hook: lay out and initialize the structure. */

@@ -25,7 +25,7 @@ TEST(CounterCache, InstallAndAccess)
 {
     CounterCache cc(64 * 1024, 16, nullptr);
     EXPECT_EQ(cc.access(0x1000), nullptr);
-    cc.install(0x1000, valuesOf(100), false);
+    cc.install(0x1000, valuesOf(100), 0);
     CounterCacheLine *line = cc.access(0x1000);
     ASSERT_NE(line, nullptr);
     EXPECT_EQ(line->values, valuesOf(100));
@@ -33,24 +33,27 @@ TEST(CounterCache, InstallAndAccess)
     EXPECT_EQ(line->dirtyMask, 0);
 }
 
-TEST(CounterCache, DirtyInstallSetsFullMask)
+TEST(CounterCache, DirtyInstallKeepsExactMask)
 {
+    // The mask an install carries is authoritative: the controller
+    // passes exactly the slots the triggering write dirtied, and a
+    // later flush persists only those. (Installing 0xff and patching
+    // via peek() was the old, bug-prone protocol.)
     CounterCache cc(64 * 1024, 16, nullptr);
-    cc.install(0x1000, valuesOf(1), true);
+    cc.install(0x1000, valuesOf(1), 0x04);
     CounterCacheLine *line = cc.peek(0x1000);
     ASSERT_NE(line, nullptr);
     EXPECT_TRUE(line->dirty);
-    EXPECT_EQ(line->dirtyMask, 0xff);
+    EXPECT_EQ(line->dirtyMask, 0x04);
 }
 
 TEST(CounterCache, DirtyEvictionSurfacesValuesAndMask)
 {
     // One set of two ways.
     CounterCache cc(128, 2, nullptr);
-    cc.install(0x0, valuesOf(1), true);
-    cc.peek(0x0)->dirtyMask = 0x0f;
-    cc.install(0x40, valuesOf(2), false);
-    auto victim = cc.install(0x80, valuesOf(3), false);
+    cc.install(0x0, valuesOf(1), 0x0f);
+    cc.install(0x40, valuesOf(2), 0);
+    auto victim = cc.install(0x80, valuesOf(3), 0);
     ASSERT_TRUE(victim.has_value());
     EXPECT_EQ(victim->addr, 0x0u);
     EXPECT_EQ(victim->values, valuesOf(1));
@@ -61,19 +64,19 @@ TEST(CounterCache, DirtyEvictionSurfacesValuesAndMask)
 TEST(CounterCache, CleanEvictionIsSilent)
 {
     CounterCache cc(128, 2, nullptr);
-    cc.install(0x0, valuesOf(1), false);
-    cc.install(0x40, valuesOf(2), false);
-    EXPECT_FALSE(cc.install(0x80, valuesOf(3), false).has_value());
+    cc.install(0x0, valuesOf(1), 0);
+    cc.install(0x40, valuesOf(2), 0);
+    EXPECT_FALSE(cc.install(0x80, valuesOf(3), 0).has_value());
     EXPECT_EQ(cc.dirtyEvictions.value(), 0.0);
 }
 
 TEST(CounterCache, LruPrefersUntouched)
 {
     CounterCache cc(128, 2, nullptr);
-    cc.install(0x0, valuesOf(1), true);
-    cc.install(0x40, valuesOf(2), true);
+    cc.install(0x0, valuesOf(1), 0x01);
+    cc.install(0x40, valuesOf(2), 0x01);
     cc.access(0x0); // refresh
-    auto victim = cc.install(0x80, valuesOf(3), false);
+    auto victim = cc.install(0x80, valuesOf(3), 0);
     ASSERT_TRUE(victim.has_value());
     EXPECT_EQ(victim->addr, 0x40u);
 }
@@ -81,9 +84,9 @@ TEST(CounterCache, LruPrefersUntouched)
 TEST(CounterCache, CountsValidAndDirty)
 {
     CounterCache cc(64 * 1024, 16, nullptr);
-    cc.install(0x0, valuesOf(0), false);
-    cc.install(0x40, valuesOf(1), true);
-    cc.install(0x80, valuesOf(2), true);
+    cc.install(0x0, valuesOf(0), 0);
+    cc.install(0x40, valuesOf(1), 0x01);
+    cc.install(0x80, valuesOf(2), 0x02);
     EXPECT_EQ(cc.validCount(), 3u);
     EXPECT_EQ(cc.dirtyCount(), 2u);
 }
@@ -91,7 +94,7 @@ TEST(CounterCache, CountsValidAndDirty)
 TEST(CounterCache, ResetLosesEverything)
 {
     CounterCache cc(64 * 1024, 16, nullptr);
-    cc.install(0x0, valuesOf(0), true);
+    cc.install(0x0, valuesOf(0), 0xff);
     cc.reset();
     EXPECT_EQ(cc.validCount(), 0u);
     EXPECT_EQ(cc.peek(0x0), nullptr);

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/crash_sweep.hh"
 #include "core/system.hh"
 
 namespace cnvm
@@ -144,6 +145,139 @@ TEST(CrashSweepNegative, UnsafeDesignViolatesConsistency)
     EXPECT_GT(failures, 0u)
         << "the Unsafe design should tear counter-atomic windows";
 }
+
+/**
+ * Directed semantic crash points: instead of sampling runtime
+ * fractions, arm the failure at controller states a tick can only hit
+ * by luck — a write inside the encryption pipeline, writes parked in
+ * the landing queue behind full write queues, a dirty counter
+ * eviction in flight. Every crash-consistent design must recover from
+ * each of them.
+ */
+class SemanticCrashPoints : public ::testing::TestWithParam<DesignPoint>
+{
+  protected:
+    SystemConfig
+    config()
+    {
+        SystemConfig cfg = sweepConfig({GetParam(), WorkloadKind::Queue});
+        cfg.wl.txnTarget = 20;
+        // Tiny write queues: the landing queue backs up, so the crash
+        // hits states with writes parked outside the ADR domain.
+        cfg.memctl.dataWqEntries = 4;
+        cfg.memctl.ctrWqEntries = 4;
+        // Small counter cache: dirty evictions actually happen.
+        cfg.memctl.counterCacheBytes = 16 << 10;
+        return cfg;
+    }
+};
+
+TEST_P(SemanticCrashPoints, CrashInsidePipelineRecovers)
+{
+    SystemConfig cfg = config();
+    SweepProbe probe = probeRun(cfg);
+    std::uint64_t total = probe.countOf(CtlEvent::PipelineEnter);
+    ASSERT_GT(total, 0u) << "every design funnels writes through the "
+                            "controller pipeline";
+
+    unsigned mid_pipeline = 0;
+    for (std::uint64_t nth : {std::uint64_t(1), total / 2, total}) {
+        SweepPoint p = runSweepPoint(
+            cfg, CrashSpec::atEvent(CrashTriggerKind::PipelineEnter, nth));
+        if (!p.crashed)
+            continue;
+        EXPECT_GE(p.snapshot.pipeline, 1u) << p.spec.describe();
+        mid_pipeline += p.snapshot.pipeline >= 1;
+        ASSERT_EQ(p.cls, CrashClass::Consistent)
+            << p.spec.describe() << ": " << p.detail;
+    }
+    EXPECT_GT(mid_pipeline, 0u);
+}
+
+TEST_P(SemanticCrashPoints, CrashWithBackedUpQueuesRecovers)
+{
+    SystemConfig cfg = config();
+    SweepProbe probe = probeRun(cfg);
+    std::uint64_t total = probe.countOf(CtlEvent::DataDrain);
+    ASSERT_GT(total, 0u);
+
+    unsigned busy_points = 0;
+    for (std::uint64_t nth :
+         {total / 4, total / 2, 3 * total / 4, total}) {
+        if (nth == 0)
+            continue;
+        SweepPoint p = runSweepPoint(
+            cfg, CrashSpec::atEvent(CrashTriggerKind::DataDrain, nth));
+        if (!p.crashed)
+            continue;
+        busy_points += p.snapshot.dataQueue > 0 || p.snapshot.landing > 0
+            || p.snapshot.pipeline > 0;
+        ASSERT_EQ(p.cls, CrashClass::Consistent)
+            << p.spec.describe() << ": " << p.detail;
+    }
+    // With 4-entry queues, some sampled drain must catch more work
+    // still in flight behind it.
+    EXPECT_GT(busy_points, 0u);
+}
+
+TEST_P(SemanticCrashPoints, CrashAtDirtyEvictionRecovers)
+{
+    SystemConfig cfg = config();
+    // SCA cleans deferred counters at every commit writeback, so
+    // evictions need real pressure: wide transactions dirtying more
+    // counter lines than a 4 KB cache holds before the commit point.
+    cfg.workload = WorkloadKind::ArraySwap;
+    cfg.wl.batch = 48;
+    cfg.memctl.counterCacheBytes = 4 << 10;
+    SweepProbe probe = probeRun(cfg);
+    std::uint64_t total = probe.countOf(CtlEvent::DirtyEviction);
+    if (total == 0)
+        GTEST_SKIP() << "design has no dirty counter evictions";
+
+    for (std::uint64_t nth : {std::uint64_t(1), total / 2, total}) {
+        if (nth == 0)
+            continue;
+        SweepPoint p = runSweepPoint(
+            cfg, CrashSpec::atEvent(CrashTriggerKind::DirtyEviction, nth));
+        if (!p.crashed)
+            continue;
+        ASSERT_EQ(p.cls, CrashClass::Consistent)
+            << p.spec.describe() << ": " << p.detail;
+    }
+}
+
+TEST_P(SemanticCrashPoints, CrashAtPairingRecovers)
+{
+    SystemConfig cfg = config();
+    SweepProbe probe = probeRun(cfg);
+    std::uint64_t total = probe.countOf(CtlEvent::PairAction);
+    if (total == 0)
+        GTEST_SKIP() << "design performs no ready-bit pairing";
+
+    for (std::uint64_t nth : {std::uint64_t(1), total / 2, total}) {
+        if (nth == 0)
+            continue;
+        SweepPoint p = runSweepPoint(
+            cfg, CrashSpec::atEvent(CrashTriggerKind::PairAction, nth));
+        if (!p.crashed)
+            continue;
+        ASSERT_EQ(p.cls, CrashClass::Consistent)
+            << p.spec.describe() << ": " << p.detail;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConsistentDesigns, SemanticCrashPoints,
+    ::testing::Values(DesignPoint::NoEncryption, DesignPoint::Ideal,
+                      DesignPoint::Colocated, DesignPoint::ColocatedCC,
+                      DesignPoint::FCA, DesignPoint::SCA),
+    [](const auto &info) {
+        std::string n = designName(info.param);
+        for (char &c : n)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return n;
+    });
 
 TEST(CrashSweepTiming, CrashInsideEncryptionPipelineIsSafe)
 {

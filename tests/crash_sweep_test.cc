@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Tests for the crash-point sweep harness: the countdown trigger, the
+ * injector's crash specs, the sweep planner, and a small end-to-end
+ * sweep over every design point, classified by the crash oracle.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/crash_sweep.hh"
+#include "sim/trigger.hh"
+
+namespace cnvm
+{
+namespace
+{
+
+// --- CountdownTrigger -----------------------------------------------------
+
+TEST(CountdownTrigger, FiresExactlyAtNth)
+{
+    CountdownTrigger t;
+    unsigned fired = 0;
+    t.arm(3, [&]() { ++fired; });
+    t.observe();
+    t.observe();
+    EXPECT_EQ(fired, 0u);
+    EXPECT_TRUE(t.armed());
+    t.observe();
+    EXPECT_EQ(fired, 1u);
+    EXPECT_TRUE(t.fired());
+    t.observe(); // further observations are ignored
+    EXPECT_EQ(fired, 1u);
+}
+
+TEST(CountdownTrigger, DisarmPreventsFiring)
+{
+    CountdownTrigger t;
+    bool fired = false;
+    t.arm(1, [&]() { fired = true; });
+    t.disarm();
+    t.observe();
+    EXPECT_FALSE(fired);
+    EXPECT_FALSE(t.fired());
+}
+
+TEST(CountdownTrigger, CallbackMayRearm)
+{
+    CountdownTrigger t;
+    unsigned fired = 0;
+    t.arm(1, [&]() {
+        if (++fired < 2)
+            t.arm(2, [&]() { ++fired; });
+    });
+    t.observe(); // fires #1, re-arms for two more
+    t.observe();
+    EXPECT_EQ(fired, 1u);
+    t.observe();
+    EXPECT_EQ(fired, 2u);
+}
+
+// --- CrashSpec ------------------------------------------------------------
+
+TEST(CrashSpec, DescribeNamesTickAndEvent)
+{
+    EXPECT_EQ(CrashSpec::atTick(1234).describe(), "tick 1234");
+    EXPECT_EQ(
+        CrashSpec::atEvent(CrashTriggerKind::DirtyEviction, 7).describe(),
+        "dirty-eviction #7");
+    EXPECT_FALSE(ctlEventFor(CrashTriggerKind::AtTick).has_value());
+    EXPECT_EQ(ctlEventFor(CrashTriggerKind::PairAction),
+              CtlEvent::PairAction);
+}
+
+// --- planSweep ------------------------------------------------------------
+
+SweepProbe
+fakeProbe()
+{
+    SweepProbe probe;
+    probe.endTick = 1000000;
+    probe.eventCounts[static_cast<unsigned>(CtlEvent::PipelineEnter)] = 40;
+    probe.eventCounts[static_cast<unsigned>(CtlEvent::DataDrain)] = 40;
+    probe.eventCounts[static_cast<unsigned>(CtlEvent::CtrDrain)] = 10;
+    // PairAction and DirtyEviction never observed.
+    return probe;
+}
+
+TEST(PlanSweep, ProducesExactlyKPointsOverReachableKinds)
+{
+    auto specs = planSweep(fakeProbe(), 12);
+    ASSERT_EQ(specs.size(), 12u);
+    bool saw_unreachable = false;
+    for (const CrashSpec &s : specs) {
+        if (s.kind == CrashTriggerKind::PairAction
+            || s.kind == CrashTriggerKind::DirtyEviction)
+            saw_unreachable = true;
+        if (s.kind == CrashTriggerKind::AtTick) {
+            EXPECT_GT(s.tick, 0u);
+            EXPECT_LT(s.tick, fakeProbe().endTick);
+        } else {
+            EXPECT_GE(s.count, 1u);
+            EXPECT_LE(s.count, 40u);
+        }
+    }
+    EXPECT_FALSE(saw_unreachable)
+        << "planned a trigger the probe never observed";
+}
+
+TEST(PlanSweep, IsDeterministic)
+{
+    auto a = planSweep(fakeProbe(), 20);
+    auto b = planSweep(fakeProbe(), 20);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].describe(), b[i].describe());
+}
+
+TEST(PlanSweep, TicksOnlyModeUsesNoSemanticTriggers)
+{
+    auto specs = planSweep(fakeProbe(), 8, /*semantic_triggers=*/false);
+    ASSERT_EQ(specs.size(), 8u);
+    for (const CrashSpec &s : specs)
+        EXPECT_EQ(s.kind, CrashTriggerKind::AtTick);
+}
+
+// --- end-to-end sweeps ----------------------------------------------------
+
+SystemConfig
+smallConfig(DesignPoint design)
+{
+    SystemConfig cfg;
+    cfg.design = design;
+    cfg.workload = WorkloadKind::ArraySwap;
+    cfg.wl.regionBytes = 256 << 10;
+    cfg.wl.txnTarget = 25;
+    cfg.wl.computePerTxn = 100;
+    cfg.wl.recordDigests = true;
+    cfg.wl.setupFill = 0.3;
+    // Small counter cache: dirty evictions become reachable crash
+    // states for the cached designs.
+    cfg.memctl.counterCacheBytes = 16 << 10;
+    return cfg;
+}
+
+class DesignSweep : public ::testing::TestWithParam<DesignPoint>
+{};
+
+TEST_P(DesignSweep, SmallSweepMatchesDesignGuarantee)
+{
+    SweepResult result = runSweep(smallConfig(GetParam()), 7);
+    ASSERT_EQ(result.points.size(), 7u);
+    if (designCrashConsistent(GetParam())) {
+        for (const SweepPoint &p : result.points) {
+            EXPECT_TRUE(!p.crashed || p.cls == CrashClass::Consistent)
+                << p.spec.describe() << " -> " << crashClassName(p.cls)
+                << ": " << p.detail;
+        }
+    } else {
+        // The negative control: some crash point must exhibit the
+        // paper's counter/data divergence.
+        EXPECT_GE(result.mismatchPoints(), 1u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDesigns, DesignSweep,
+                         ::testing::ValuesIn(allDesignPoints()),
+                         [](const auto &info) {
+                             std::string n = designName(info.param);
+                             for (char &c : n)
+                                 if (!std::isalnum(
+                                         static_cast<unsigned char>(c)))
+                                     c = '_';
+                             return n;
+                         });
+
+TEST(CrashSweepEndToEnd, FingerprintIsDeterministic)
+{
+    SystemConfig cfg = smallConfig(DesignPoint::Unsafe);
+    SweepResult a = runSweep(cfg, 6);
+    SweepResult b = runSweep(cfg, 6);
+    EXPECT_FALSE(a.fingerprint().empty());
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(CrashSweepEndToEnd, UnsafeFailsAsTornCounter)
+{
+    // The Unsafe design's signature: the data drains, its deferred
+    // counter update dies dirty in the volatile counter cache, so the
+    // persisted counter lags the cipher's — torn-counter, the paper's
+    // Figure 4 failure.
+    SweepResult result = runSweep(smallConfig(DesignPoint::Unsafe), 10);
+    bool saw_torn_counter = false;
+    for (const SweepPoint &p : result.points) {
+        if (!p.crashed || p.cls == CrashClass::Consistent)
+            continue;
+        EXPECT_TRUE(isCounterDataMismatch(p.cls))
+            << p.spec.describe() << " -> " << crashClassName(p.cls);
+        EXPECT_GT(p.mismatchedLines, 0u);
+        saw_torn_counter |= p.cls == CrashClass::TornCounter
+            || p.cls == CrashClass::CounterDataMismatch;
+    }
+    EXPECT_TRUE(saw_torn_counter);
+}
+
+TEST(CrashSweepEndToEnd, PipelineTriggerCrashesMidPipeline)
+{
+    SystemConfig cfg = smallConfig(DesignPoint::SCA);
+    SweepProbe probe = probeRun(cfg);
+    std::uint64_t total = probe.countOf(CtlEvent::PipelineEnter);
+    ASSERT_GT(total, 0u);
+
+    SweepPoint point = runSweepPoint(
+        cfg, CrashSpec::atEvent(CrashTriggerKind::PipelineEnter,
+                                total / 2));
+    ASSERT_TRUE(point.crashed);
+    EXPECT_GE(point.snapshot.pipeline, 1u)
+        << "the trigger should catch the write inside the pipeline";
+    EXPECT_EQ(point.cls, CrashClass::Consistent) << point.detail;
+}
+
+TEST(CrashSweepEndToEnd, UnreachedTriggerMeansNoCrash)
+{
+    SystemConfig cfg = smallConfig(DesignPoint::SCA);
+    SweepPoint point = runSweepPoint(
+        cfg, CrashSpec::atEvent(CrashTriggerKind::PairAction, 1u << 30));
+    EXPECT_FALSE(point.crashed);
+    EXPECT_FALSE(point.snapshot.valid);
+    EXPECT_EQ(point.cls, CrashClass::Consistent);
+}
+
+} // anonymous namespace
+} // namespace cnvm

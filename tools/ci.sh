@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# CI entry point: sanitized build, full test suite, and a crash-point
+# sweep across every design (20 points each, fixed seed).
+#
+#   tools/ci.sh [build-dir]
+#
+# The sanitizers matter here: the crash paths tear down controller
+# state with events still in flight, which is exactly where use-after-
+# free and leaked one-shot events would hide.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build-ci}"
+
+cmake -B "$build" -S "$repo" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+
+cmake --build "$build" -j "$(nproc)"
+
+ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
+
+"$build/tools/cnvm_crash_sweep" --points 20

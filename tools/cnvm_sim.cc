@@ -20,6 +20,7 @@
 #include <iostream>
 #include <string>
 
+#include "core/crash_sweep.hh"
 #include "core/system.hh"
 
 using namespace cnvm;
@@ -31,6 +32,7 @@ struct Options
 {
     SystemConfig cfg;
     double crashFrac = -1.0;  //!< <0: no crash
+    unsigned sweepPoints = 0; //!< 0: no sweep
     bool verify = false;
     bool dumpStats = false;
     bool quiet = false;
@@ -57,6 +59,11 @@ options:
   --cold-cc            do not pre-warm the counter cache
   --crash-at-frac F    inject a power failure at F of the expected
                        runtime (two runs: probe, then crash)
+  --crash-sweep K      sweep K crash points (ticks plus semantic
+                       controller-event triggers), recover and classify
+                       each; generalizes --crash-at-frac from one
+                       runtime fraction to the whole controller state
+                       space (see cnvm_crash_sweep for the full matrix)
   --verify             recover after the crash and verify consistency
   --stats              dump the full stat registry
   --quiet              suppress the metric summary
@@ -157,6 +164,13 @@ parseArgs(int argc, char **argv)
             opt.cfg.warmCounterCache = false;
         } else if (arg == "--crash-at-frac") {
             opt.crashFrac = std::atof(need_value(i));
+        } else if (arg == "--crash-sweep") {
+            opt.sweepPoints =
+                static_cast<unsigned>(std::atoi(need_value(i)));
+            if (opt.sweepPoints == 0) {
+                std::fprintf(stderr, "--crash-sweep needs K >= 1\n");
+                usage(2);
+            }
         } else if (arg == "--verify") {
             opt.verify = true;
         } else if (arg == "--stats") {
@@ -171,9 +185,34 @@ parseArgs(int argc, char **argv)
 
     if (read_mult != 1.0 || write_mult != 1.0)
         opt.cfg.nvm = NvmTiming::pcm().scaled(read_mult, write_mult);
-    if (opt.verify || opt.crashFrac >= 0)
+    if (opt.verify || opt.crashFrac >= 0 || opt.sweepPoints > 0)
         opt.cfg.wl.recordDigests = true;
     return opt;
+}
+
+/** --crash-sweep: K-point sweep of this one configuration. */
+int
+runCrashSweep(const Options &opt)
+{
+    if (!opt.quiet)
+        std::printf("sweeping %u crash points: %s\n", opt.sweepPoints,
+                    System(opt.cfg).describe().c_str());
+
+    SweepResult result = runSweep(opt.cfg, opt.sweepPoints);
+    for (const SweepPoint &p : result.points) {
+        if (!opt.quiet) {
+            std::printf("  %-20s %s\n", p.spec.describe().c_str(),
+                        p.crashed ? crashClassName(p.cls) : "unreached");
+        }
+    }
+    std::printf("%u points: %u reached, %u consistent, %u inconsistent "
+                "(%u counter-data mismatches)\n",
+                static_cast<unsigned>(result.points.size()),
+                static_cast<unsigned>(result.points.size()) -
+                    result.unreachedPoints(),
+                result.countOf(CrashClass::Consistent),
+                result.inconsistentPoints(), result.mismatchPoints());
+    return result.inconsistentPoints() == 0 ? 0 : 1;
 }
 
 } // anonymous namespace
@@ -182,6 +221,9 @@ int
 main(int argc, char **argv)
 {
     Options opt = parseArgs(argc, argv);
+
+    if (opt.sweepPoints > 0)
+        return runCrashSweep(opt);
 
     Tick crash_tick = 0;
     if (opt.crashFrac >= 0) {
