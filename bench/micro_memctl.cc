@@ -112,6 +112,58 @@ BENCHMARK(BM_DependentWriteBurst)
     ->Arg(static_cast<int>(DesignPoint::SCA))
     ->Arg(static_cast<int>(DesignPoint::FCA));
 
+/**
+ * Queue-pressure kernel: bursts deep enough to fill the data write
+ * queue with reads interleaved against the occupied queue — the state
+ * where every per-entry lookup (forwarding, combining, pair blocking,
+ * completion) is hottest. Arg(1) uses the indexed lookups, Arg(0) the
+ * reference linear scans, so the two rows show the index win directly.
+ */
+void
+BM_WriteReadBurstQueuePressure(benchmark::State &state)
+{
+    constexpr unsigned writesPerBurst = 224;
+    constexpr unsigned readsPerBurst = 32;
+    constexpr Addr base = 0x40000;
+    constexpr unsigned lineSpan = 4096;
+
+    EventQueue eq;
+    NvmDevice nvm(NvmTiming::pcm(), nullptr);
+    MemCtlConfig cfg;
+    cfg.design = DesignPoint::SCA;
+    cfg.dataWqEntries = 256;
+    cfg.ctrWqEntries = 64;
+    cfg.useQueueIndex = state.range(0) != 0;
+    MemController ctl(eq, nvm, cfg, nullptr);
+
+    std::uint64_t it = 0;
+    std::uint64_t readsDone = 0;
+    for (auto _ : state) {
+        auto lineAt = [&](std::uint64_t i) {
+            return base + ((it * writesPerBurst + i) % lineSpan) * lineBytes;
+        };
+        for (unsigned i = 0; i < writesPerBurst; ++i) {
+            WriteReq req;
+            req.addr = lineAt(i);
+            req.data = LineData{};
+            req.data[0] = static_cast<std::uint8_t>(i);
+            req.counterAtomic = true;
+            while (!ctl.tryWrite(req))
+                eq.step();
+        }
+        for (unsigned r = 0; r < readsPerBurst; ++r)
+            ctl.issueRead(lineAt(r * 3 % writesPerBurst), 0,
+                          [&]() { ++readsDone; });
+        eq.run();
+        ++it;
+    }
+    benchmark::DoNotOptimize(readsDone);
+    state.SetItemsProcessed(state.iterations()
+                            * (writesPerBurst + readsPerBurst));
+    state.SetLabel(cfg.useQueueIndex ? "indexed" : "reference");
+}
+BENCHMARK(BM_WriteReadBurstQueuePressure)->Arg(1)->Arg(0);
+
 } // anonymous namespace
 
 BENCHMARK_MAIN();

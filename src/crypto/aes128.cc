@@ -2,6 +2,11 @@
 
 #include <cstring>
 
+#if defined(__x86_64__) || defined(__i386__)
+#define CNVM_AES_NI_POSSIBLE 1
+#include <immintrin.h>
+#endif
+
 namespace cnvm::crypto
 {
 
@@ -56,7 +61,93 @@ xtime(std::uint8_t v)
     return static_cast<std::uint8_t>((v << 1) ^ ((v >> 7) * 0x1b));
 }
 
+#ifdef CNVM_AES_NI_POSSIBLE
+
+/**
+ * One full AES-128 encryption with the AESENC instructions. The state
+ * bytes load in memory order, which is exactly the FIPS-197 column-
+ * major state layout, so the result is bit-identical to the portable
+ * path. Compiled with a target attribute so the translation unit
+ * itself needs no -maes; the caller guards on cpuid.
+ */
+__attribute__((target("aes,sse2"))) inline __m128i
+encryptStateNi(const std::uint8_t *rk, __m128i s)
+{
+    s = _mm_xor_si128(
+        s, _mm_loadu_si128(reinterpret_cast<const __m128i *>(rk)));
+    for (unsigned r = 1; r < Aes128::rounds; ++r) {
+        s = _mm_aesenc_si128(
+            s, _mm_loadu_si128(
+                   reinterpret_cast<const __m128i *>(rk + 16 * r)));
+    }
+    return _mm_aesenclast_si128(
+        s, _mm_loadu_si128(reinterpret_cast<const __m128i *>(
+               rk + 16 * Aes128::rounds)));
+}
+
+__attribute__((target("aes,sse2"))) void
+encryptBlockNi(const std::uint8_t *rk, const std::uint8_t in[16],
+               std::uint8_t out[16])
+{
+    __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i *>(in));
+    s = encryptStateNi(rk, s);
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(out), s);
+}
+
+/** Four independent blocks interleaved to hide the aesenc latency. */
+__attribute__((target("aes,sse2"))) void
+encryptBlocks4Ni(const std::uint8_t *rk, const std::uint8_t in[64],
+                 std::uint8_t out[64])
+{
+    const __m128i *src = reinterpret_cast<const __m128i *>(in);
+    __m128i s0 = _mm_loadu_si128(src + 0);
+    __m128i s1 = _mm_loadu_si128(src + 1);
+    __m128i s2 = _mm_loadu_si128(src + 2);
+    __m128i s3 = _mm_loadu_si128(src + 3);
+
+    __m128i k = _mm_loadu_si128(reinterpret_cast<const __m128i *>(rk));
+    s0 = _mm_xor_si128(s0, k);
+    s1 = _mm_xor_si128(s1, k);
+    s2 = _mm_xor_si128(s2, k);
+    s3 = _mm_xor_si128(s3, k);
+    for (unsigned r = 1; r < Aes128::rounds; ++r) {
+        k = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(rk + 16 * r));
+        s0 = _mm_aesenc_si128(s0, k);
+        s1 = _mm_aesenc_si128(s1, k);
+        s2 = _mm_aesenc_si128(s2, k);
+        s3 = _mm_aesenc_si128(s3, k);
+    }
+    k = _mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(rk + 16 * Aes128::rounds));
+    s0 = _mm_aesenclast_si128(s0, k);
+    s1 = _mm_aesenclast_si128(s1, k);
+    s2 = _mm_aesenclast_si128(s2, k);
+    s3 = _mm_aesenclast_si128(s3, k);
+
+    __m128i *dst = reinterpret_cast<__m128i *>(out);
+    _mm_storeu_si128(dst + 0, s0);
+    _mm_storeu_si128(dst + 1, s1);
+    _mm_storeu_si128(dst + 2, s2);
+    _mm_storeu_si128(dst + 3, s3);
+}
+
+const bool haveAesNi =
+    __builtin_cpu_supports("aes") && __builtin_cpu_supports("sse2");
+
+#endif // CNVM_AES_NI_POSSIBLE
+
 } // anonymous namespace
+
+bool
+Aes128::usingHardwareAes()
+{
+#ifdef CNVM_AES_NI_POSSIBLE
+    return haveAesNi;
+#else
+    return false;
+#endif
+}
 
 Aes128::Aes128()
 {
@@ -107,6 +198,33 @@ Aes128::expandKey(const std::uint8_t key[keyBytes])
 void
 Aes128::encryptBlock(const std::uint8_t in[blockBytes],
                      std::uint8_t out[blockBytes]) const
+{
+#ifdef CNVM_AES_NI_POSSIBLE
+    if (haveAesNi) {
+        encryptBlockNi(roundKeys.data(), in, out);
+        return;
+    }
+#endif
+    encryptBlockPortable(in, out);
+}
+
+void
+Aes128::encryptBlocks4(const std::uint8_t in[4 * blockBytes],
+                       std::uint8_t out[4 * blockBytes]) const
+{
+#ifdef CNVM_AES_NI_POSSIBLE
+    if (haveAesNi) {
+        encryptBlocks4Ni(roundKeys.data(), in, out);
+        return;
+    }
+#endif
+    for (unsigned b = 0; b < 4; ++b)
+        encryptBlockPortable(in + b * blockBytes, out + b * blockBytes);
+}
+
+void
+Aes128::encryptBlockPortable(const std::uint8_t in[blockBytes],
+                             std::uint8_t out[blockBytes]) const
 {
     // State is column-major per FIPS-197; a flat byte array with the
     // standard index mapping state[r + 4c] = in[r + 4c] works because we

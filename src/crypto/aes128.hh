@@ -4,9 +4,12 @@
  *
  * Counter-mode encryption never decrypts with the block cipher — both
  * directions XOR the same one-time pad — so only the forward cipher is
- * implemented. This is a straightforward byte-oriented implementation;
- * the simulator models the engine's 40 ns latency separately, so cipher
- * throughput here only affects host-side simulation speed.
+ * implemented. Two backends produce bit-identical output: a portable
+ * byte-oriented implementation, and an AES-NI path selected at runtime
+ * when the host CPU supports it. The simulator models the engine's
+ * 40 ns latency separately, so cipher throughput here only affects
+ * host-side simulation speed — but it dominates the host profile, since
+ * every simulated line store and fill runs through the pad.
  */
 
 #ifndef CNVM_CRYPTO_AES128_HH
@@ -38,6 +41,26 @@ class Aes128
     /** Encrypts one 16-byte block; @p in and @p out may alias. */
     void encryptBlock(const std::uint8_t in[blockBytes],
                       std::uint8_t out[blockBytes]) const;
+
+    /**
+     * Encrypts four independent 16-byte blocks; @p in and @p out may
+     * alias. On the AES-NI backend the four blocks run through the
+     * cipher pipeline together, hiding the aesenc latency — this is the
+     * shape of a one-time-pad generation for a 64-byte line.
+     */
+    void encryptBlocks4(const std::uint8_t in[4 * blockBytes],
+                        std::uint8_t out[4 * blockBytes]) const;
+
+    /**
+     * The portable byte-oriented cipher, always available regardless of
+     * backend selection. Exposed so tests can cross-check the
+     * accelerated path against it.
+     */
+    void encryptBlockPortable(const std::uint8_t in[blockBytes],
+                              std::uint8_t out[blockBytes]) const;
+
+    /** True when encryptBlock dispatches to the AES-NI backend. */
+    static bool usingHardwareAes();
 
   private:
     /** Expanded key schedule: (rounds + 1) 16-byte round keys. */

@@ -10,19 +10,24 @@ CtrEngine::makePad(Addr addr, std::uint64_t counter) const
 {
     cnvm_assert(isLineAligned(addr));
 
-    LineData pad;
+    static_assert(lineBytes == 4 * Aes128::blockBytes,
+                  "pad generation assumes a four-block line");
+
+    // Tweak blocks: little-endian (address of each 16 B sub-block,
+    // per-line write counter). All four run through the cipher together
+    // so the hardware path can pipeline them.
+    LineData input;
     for (unsigned block = 0; block < lineBytes / Aes128::blockBytes;
          ++block) {
-        // Tweak block: little-endian (address of this 16 B sub-block,
-        // per-line write counter).
-        std::uint8_t input[Aes128::blockBytes];
+        std::uint8_t *tweak = &input[block * Aes128::blockBytes];
         std::uint64_t tweak_addr = addr + block * Aes128::blockBytes;
         for (unsigned i = 0; i < 8; ++i) {
-            input[i] = static_cast<std::uint8_t>(tweak_addr >> (8 * i));
-            input[8 + i] = static_cast<std::uint8_t>(counter >> (8 * i));
+            tweak[i] = static_cast<std::uint8_t>(tweak_addr >> (8 * i));
+            tweak[8 + i] = static_cast<std::uint8_t>(counter >> (8 * i));
         }
-        cipher.encryptBlock(input, &pad[block * Aes128::blockBytes]);
     }
+    LineData pad;
+    cipher.encryptBlocks4(input.data(), pad.data());
     return pad;
 }
 

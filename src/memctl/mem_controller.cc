@@ -45,6 +45,12 @@ MemController::MemController(EventQueue &eq, NvmDevice &nvm,
         counterCache = std::make_unique<CounterCache>(
             cfg.counterCacheBytes, cfg.counterCacheAssoc, registry);
     }
+    // The queue indexes are bounded by the queue capacities; sizing
+    // their tables up front keeps rehashing out of the hot path.
+    dataBySeq.reserve(cfg.dataWqEntries * 2);
+    dataByAddr.reserve(cfg.dataWqEntries * 2);
+    ctrBySeq.reserve(cfg.ctrWqEntries * 2);
+    ctrByAddr.reserve(cfg.ctrWqEntries * 2);
     if (registry != nullptr) {
         registry->registerStat(dataInserts);
         registry->registerStat(ctrInserts);
@@ -96,18 +102,197 @@ MemController::functionalStore(Addr addr, unsigned size,
     nvm.livePlainStore(addr, size, bytes);
 }
 
+// ----------------------------------------------------------------------
+// Queue indexes
+// ----------------------------------------------------------------------
+
+void
+MemController::indexDataEntry(DataIter it)
+{
+    dataBySeq.emplace(it->seq, it);
+    dataByAddr[it->addr].push_back(it);
+}
+
+void
+MemController::unindexDataEntry(DataIter it)
+{
+    dataBySeq.erase(it->seq);
+    auto vec_it = dataByAddr.find(it->addr);
+    cnvm_assert(vec_it != dataByAddr.end());
+    auto &vec = vec_it->second;
+    vec.erase(std::find(vec.begin(), vec.end(), it));
+    if (vec.empty())
+        dataByAddr.erase(vec_it);
+}
+
+void
+MemController::indexCtrEntry(CtrIter it)
+{
+    ctrBySeq.emplace(it->seq, it);
+    ctrByAddr[it->addr].push_back(it);
+}
+
+void
+MemController::unindexCtrEntry(CtrIter it)
+{
+    ctrBySeq.erase(it->seq);
+    auto vec_it = ctrByAddr.find(it->addr);
+    cnvm_assert(vec_it != ctrByAddr.end());
+    auto &vec = vec_it->second;
+    vec.erase(std::find(vec.begin(), vec.end(), it));
+    if (vec.empty())
+        ctrByAddr.erase(vec_it);
+}
+
+MemController::DataIter
+MemController::locateDataEntry(std::uint64_t seq)
+{
+    if (cfg.useQueueIndex) {
+        auto map_it = dataBySeq.find(seq);
+        DataIter found =
+            map_it == dataBySeq.end() ? dataQ.end() : map_it->second;
+#ifndef NDEBUG
+        DataIter ref = dataQ.begin();
+        while (ref != dataQ.end() && ref->seq != seq)
+            ++ref;
+        cnvm_assert(found == ref);
+#endif
+        return found;
+    }
+    for (DataIter it = dataQ.begin(); it != dataQ.end(); ++it) {
+        if (it->seq == seq)
+            return it;
+    }
+    return dataQ.end();
+}
+
+MemController::CtrIter
+MemController::locateCtrEntry(std::uint64_t seq)
+{
+    if (cfg.useQueueIndex) {
+        auto map_it = ctrBySeq.find(seq);
+        CtrIter found =
+            map_it == ctrBySeq.end() ? ctrQ.end() : map_it->second;
+#ifndef NDEBUG
+        CtrIter ref = ctrQ.begin();
+        while (ref != ctrQ.end() && ref->seq != seq)
+            ++ref;
+        cnvm_assert(found == ref);
+#endif
+        return found;
+    }
+    for (CtrIter it = ctrQ.begin(); it != ctrQ.end(); ++it) {
+        if (it->seq == seq)
+            return it;
+    }
+    return ctrQ.end();
+}
+
+bool
+MemController::dataQueueHas(Addr addr) const
+{
+    if (cfg.useQueueIndex) {
+        bool found = dataByAddr.find(addr) != dataByAddr.end();
+#ifndef NDEBUG
+        bool ref = false;
+        for (const DataEntry &entry : dataQ)
+            ref = ref || entry.addr == addr;
+        cnvm_assert(found == ref);
+#endif
+        return found;
+    }
+    for (const DataEntry &entry : dataQ) {
+        if (entry.addr == addr)
+            return true;
+    }
+    return false;
+}
+
+bool
+MemController::ctrQueueHasIssued(Addr ctr_addr) const
+{
+    bool found = false;
+    if (cfg.useQueueIndex) {
+        auto vec_it = ctrByAddr.find(ctr_addr);
+        if (vec_it != ctrByAddr.end()) {
+            for (CtrIter it : vec_it->second)
+                found = found || it->issued;
+        }
+#ifndef NDEBUG
+        bool ref = false;
+        for (const CtrEntry &entry : ctrQ)
+            ref = ref || (entry.issued && entry.addr == ctr_addr);
+        cnvm_assert(found == ref);
+#endif
+        return found;
+    }
+    for (const CtrEntry &entry : ctrQ) {
+        if (entry.issued && entry.addr == ctr_addr)
+            return true;
+    }
+    return false;
+}
+
+void
+MemController::verifyIndexes() const
+{
+#ifndef NDEBUG
+    cnvm_assert(dataBySeq.size() == dataQ.size());
+    cnvm_assert(ctrBySeq.size() == ctrQ.size());
+    std::unordered_map<Addr, std::size_t> cursor;
+    for (auto it = dataQ.begin(); it != dataQ.end(); ++it) {
+        auto seq_it = dataBySeq.find(it->seq);
+        cnvm_assert(seq_it != dataBySeq.end()
+                    && &*seq_it->second == &*it);
+        // The per-address vector must list this address's entries in
+        // queue (age) order; walk each vector with a cursor.
+        auto vec_it = dataByAddr.find(it->addr);
+        cnvm_assert(vec_it != dataByAddr.end());
+        std::size_t pos = cursor[it->addr]++;
+        cnvm_assert(pos < vec_it->second.size()
+                    && &*vec_it->second[pos] == &*it);
+    }
+    for (const auto &[addr, vec] : dataByAddr)
+        cnvm_assert(cursor[addr] == vec.size());
+    cursor.clear();
+    for (auto it = ctrQ.begin(); it != ctrQ.end(); ++it) {
+        auto seq_it = ctrBySeq.find(it->seq);
+        cnvm_assert(seq_it != ctrBySeq.end()
+                    && &*seq_it->second == &*it);
+        auto vec_it = ctrByAddr.find(it->addr);
+        cnvm_assert(vec_it != ctrByAddr.end());
+        std::size_t pos = cursor[it->addr]++;
+        cnvm_assert(pos < vec_it->second.size()
+                    && &*vec_it->second[pos] == &*it);
+    }
+    for (const auto &[addr, vec] : ctrByAddr)
+        cnvm_assert(cursor[addr] == vec.size());
+#endif
+}
+
 CounterLine
 MemController::memoryViewCounters(Addr ctr_addr) const
 {
     CounterLine values = nvm.persistedCounters(ctr_addr);
     // Pending counter-queue entries and not-yet-queued evictions are
     // newer than the image; counters only grow, so merging by max
-    // yields the youngest value per slot.
-    for (const CtrEntry &entry : ctrQ) {
-        if (entry.addr != ctr_addr)
-            continue;
-        for (unsigned s = 0; s < countersPerLine; ++s)
-            values[s] = std::max(values[s], entry.values[s]);
+    // yields the youngest value per slot (and makes the merge order
+    // irrelevant, which is why the indexed path can skip the scan).
+    if (cfg.useQueueIndex) {
+        auto vec_it = ctrByAddr.find(ctr_addr);
+        if (vec_it != ctrByAddr.end()) {
+            for (CtrIter it : vec_it->second) {
+                for (unsigned s = 0; s < countersPerLine; ++s)
+                    values[s] = std::max(values[s], it->values[s]);
+            }
+        }
+    } else {
+        for (const CtrEntry &entry : ctrQ) {
+            if (entry.addr != ctr_addr)
+                continue;
+            for (unsigned s = 0; s < countersPerLine; ++s)
+                values[s] = std::max(values[s], entry.values[s]);
+        }
     }
     for (const CounterEviction &ev : pendingCcEvictions) {
         if (ev.addr != ctr_addr)
@@ -172,13 +357,17 @@ MemController::issueRead(Addr addr, unsigned core_id, ReadCallback done)
     addr = lineAlign(addr);
     Tick now = eventq.curTick();
 
-    // Forward from the newest matching data write-queue entry.
-    for (auto it = dataQ.rbegin(); it != dataQ.rend(); ++it) {
-        if (it->addr == addr) {
-            ++readForwards;
-            finishRead(now + cfg.forwardLatency, std::move(done));
-            return;
-        }
+    // Forward from a matching data write-queue entry — or from a write
+    // still inside the encryption pipeline / landing buffer. The
+    // latter matters: an accepted write is architecturally younger
+    // than this read, so fetching the line from the device instead
+    // would return stale data (and mis-time the read). Tracking
+    // in-flight lines in pendingLineWrites closes that window.
+    if (dataQueueHas(addr)
+        || pendingLineWrites.find(addr) != pendingLineWrites.end()) {
+        ++readForwards;
+        finishRead(now + cfg.forwardLatency, std::move(done));
+        return;
     }
 
     Tick data_arrival = nvm.scheduleRead(addr, now);
@@ -296,6 +485,29 @@ MemController::writesIdle() const
 MemController::CtrEntry *
 MemController::findUnissuedCtr(Addr ctr_addr)
 {
+    if (cfg.useQueueIndex) {
+        CtrEntry *found = nullptr;
+        auto vec_it = ctrByAddr.find(ctr_addr);
+        if (vec_it != ctrByAddr.end()) {
+            for (CtrIter it : vec_it->second) {
+                if (!it->issued) {
+                    found = &*it;
+                    break;
+                }
+            }
+        }
+#ifndef NDEBUG
+        CtrEntry *ref = nullptr;
+        for (CtrEntry &entry : ctrQ) {
+            if (!entry.issued && entry.addr == ctr_addr) {
+                ref = &entry;
+                break;
+            }
+        }
+        cnvm_assert(found == ref);
+#endif
+        return found;
+    }
     for (CtrEntry &entry : ctrQ) {
         if (!entry.issued && entry.addr == ctr_addr)
             return &entry;
@@ -306,6 +518,29 @@ MemController::findUnissuedCtr(Addr ctr_addr)
 MemController::DataEntry *
 MemController::findUnissuedData(Addr addr)
 {
+    if (cfg.useQueueIndex) {
+        DataEntry *found = nullptr;
+        auto vec_it = dataByAddr.find(addr);
+        if (vec_it != dataByAddr.end()) {
+            for (DataIter it : vec_it->second) {
+                if (!it->issued) {
+                    found = &*it;
+                    break;
+                }
+            }
+        }
+#ifndef NDEBUG
+        DataEntry *ref = nullptr;
+        for (DataEntry &entry : dataQ) {
+            if (!entry.issued && entry.addr == addr) {
+                ref = &entry;
+                break;
+            }
+        }
+        cnvm_assert(found == ref);
+#endif
+        return found;
+    }
     for (DataEntry &entry : dataQ) {
         if (!entry.issued && entry.addr == addr)
             return &entry;
@@ -337,13 +572,9 @@ MemController::tryWrite(const WriteReq &req)
     // wait until that write completes — an in-flight transfer cannot
     // absorb new values. (A still-queued entry is no obstacle: the new
     // counter merges into it in the same atomic pairing action.)
-    if (pair) {
-        for (const CtrEntry &e : ctrQ) {
-            if (e.issued && e.addr == counterLineAddr(req.addr)) {
-                ++pairBlocks;
-                return false;
-            }
-        }
+    if (pair && ctrQueueHasIssued(counterLineAddr(req.addr))) {
+        ++pairBlocks;
+        return false;
     }
 
     // The controller input buffer in front of the encryption pipeline
@@ -370,13 +601,22 @@ MemController::tryWrite(const WriteReq &req)
     Tick lat = cfg.design == DesignPoint::NoEncryption
         ? cfg.acceptLatency : cfg.encLatency;
     ++pipelineWrites;
+    ++pendingLineWrites[req.addr];
     emitEvent(CtlEvent::PipelineEnter);
     scheduleAt(eventq, now + lat, [this, epoch, req, counter, pair]() {
         if (epoch != pipelineEpoch)
             return;
         --pipelineWrites;
         landingQ.push_back([this, req, counter, pair]() {
-            return landDataWrite(req, counter, pair);
+            if (!landDataWrite(req, counter, pair))
+                return false;
+            // The line is now visible through the data-queue index;
+            // stop tracking it as in-pipeline.
+            auto pending = pendingLineWrites.find(req.addr);
+            cnvm_assert(pending != pendingLineWrites.end());
+            if (--pending->second == 0)
+                pendingLineWrites.erase(pending);
+            return true;
         });
         processLandings();
     });
@@ -455,6 +695,7 @@ MemController::landDataWrite(const WriteReq &req, std::uint64_t counter,
         entry->busBytes =
             colocated ? lineBytes + counterBytes : lineBytes;
         ++dataInserts;
+        indexDataEntry(std::prev(dataQ.end()));
     }
 
     if (pair) {
@@ -509,6 +750,7 @@ MemController::landDataWrite(const WriteReq &req, std::uint64_t counter,
         }
     }
     scheduleDrainKick();
+    verifyIndexes();
     return true;
 }
 
@@ -536,6 +778,7 @@ MemController::enqueueCtrValues(Addr ctr_addr, const CounterLine &values,
     entry.dirtyMask = dirty_mask;
     ctrQ.push_back(entry);
     ++ctrInserts;
+    indexCtrEntry(std::prev(ctrQ.end()));
 }
 
 void
@@ -861,12 +1104,12 @@ MemController::persistDataEntry(const DataEntry &entry)
 void
 MemController::completeDataDrain(std::uint64_t seq)
 {
-    for (auto it = dataQ.begin(); it != dataQ.end(); ++it) {
-        if (it->seq == seq) {
-            persistDataEntry(*it);
-            dataQ.erase(it);
-            break;
-        }
+    DataIter it = locateDataEntry(seq);
+    if (it != dataQ.end()) {
+        persistDataEntry(*it);
+        unindexDataEntry(it);
+        dataQ.erase(it);
+        verifyIndexes();
     }
     cnvm_assert(inflightWrites > 0);
     --inflightWrites;
@@ -880,12 +1123,12 @@ MemController::completeDataDrain(std::uint64_t seq)
 void
 MemController::completeCtrDrain(std::uint64_t seq)
 {
-    for (auto it = ctrQ.begin(); it != ctrQ.end(); ++it) {
-        if (it->seq == seq) {
-            nvm.drainCounters(it->addr, it->values);
-            ctrQ.erase(it);
-            break;
-        }
+    CtrIter it = locateCtrEntry(seq);
+    if (it != ctrQ.end()) {
+        nvm.drainCounters(it->addr, it->values);
+        unindexCtrEntry(it);
+        ctrQ.erase(it);
+        verifyIndexes();
     }
     cnvm_assert(inflightWrites > 0);
     --inflightWrites;
@@ -963,10 +1206,37 @@ MemController::crash()
     landingQ.clear();
     dataQ.clear();
     ctrQ.clear();
+    dataBySeq.clear();
+    ctrBySeq.clear();
+    dataByAddr.clear();
+    ctrByAddr.clear();
+    pendingLineWrites.clear();
     inflightWrites = 0;
     outstandingReads = 0;
     pendingCcEvictions.clear();
     retryCallbacks.clear();
+
+    // The encryption engine's counter registers are volatile and die
+    // with the power failure; what survives is the persisted counter
+    // region. Model the recovery-time counter scan here: rebuild the
+    // per-line current counters from the persisted store and restart
+    // the global counter strictly above every persisted value, so a
+    // post-crash write can never re-pair a persisted counter with new
+    // ciphertext (see DESIGN.md, "Counter state across a power
+    // failure").
+    currentCounter.clear();
+    globalCounter = 0;
+    for (const auto &[ctr_addr, values] : nvm.persistedCounterLines()) {
+        std::uint64_t first_line =
+            (ctr_addr - cfg.counterRegionBase) / lineBytes
+            * countersPerLine;
+        for (unsigned s = 0; s < countersPerLine; ++s) {
+            if (values[s] == 0)
+                continue;
+            currentCounter[(first_line + s) * lineBytes] = values[s];
+            globalCounter = std::max(globalCounter, values[s]);
+        }
+    }
     // Pending kick events from before the failure are epoch-guarded
     // no-ops, so they will never clear these flags themselves; left
     // set, they would wedge the drain engine of the post-crash state.

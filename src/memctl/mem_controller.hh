@@ -111,6 +111,15 @@ struct MemCtlConfig
      */
     bool writeCombining = true;
 
+    /**
+     * Selects the O(1)/O(log n) indexed lookups over the write queues
+     * (address and sequence maps) instead of the reference linear
+     * scans. Both paths are maintained and must be observably
+     * identical; the reference path exists for the bench harness to
+     * prove it (and as the arbiter when the debug cross-check fires).
+     */
+    bool useQueueIndex = true;
+
     /** AES-128 key used by the encryption engine. */
     std::array<std::uint8_t, 16> key{
         0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
@@ -260,6 +269,32 @@ class MemController : public MemBackend
     std::list<CtrEntry> ctrQ;
     std::uint64_t nextSeq = 1;
 
+    using DataIter = std::list<DataEntry>::iterator;
+    using CtrIter = std::list<CtrEntry>::iterator;
+
+    /**
+     * Queue indexes. Hot paths — read forwarding, write combining,
+     * pair blocking, drain completion — were linear scans over the
+     * queues; these maps make them O(1) in the queue depth. The
+     * per-address vectors hold iterators in insertion (age) order, so
+     * "first unissued entry for this address" keeps its meaning. The
+     * maps are maintained unconditionally; cfg.useQueueIndex only
+     * selects which lookup algorithm answers queries.
+     */
+    std::unordered_map<std::uint64_t, DataIter> dataBySeq;
+    std::unordered_map<std::uint64_t, CtrIter> ctrBySeq;
+    std::unordered_map<Addr, std::vector<DataIter>> dataByAddr;
+    std::unordered_map<Addr, std::vector<CtrIter>> ctrByAddr;
+
+    /**
+     * Line addresses of writes accepted by tryWrite() but not yet
+     * landed in the data queue (still in the encryption pipeline or
+     * the landing buffer), with multiplicity. Read forwarding must
+     * consult these too: a read racing a write through the pipeline
+     * would otherwise fetch stale data from the device.
+     */
+    std::unordered_map<Addr, unsigned> pendingLineWrites;
+
     /**
      * Writes that have left the encryption pipeline but found their
      * target queue full: they claim slots in FIFO order as drains free
@@ -309,6 +344,18 @@ class MemController : public MemBackend
         if (eventHook)
             eventHook(ev);
     }
+
+    // --- queue index maintenance ---
+    void indexDataEntry(DataIter it);
+    void unindexDataEntry(DataIter it);
+    void indexCtrEntry(CtrIter it);
+    void unindexCtrEntry(CtrIter it);
+    DataIter locateDataEntry(std::uint64_t seq);
+    CtrIter locateCtrEntry(std::uint64_t seq);
+    bool dataQueueHas(Addr addr) const;
+    bool ctrQueueHasIssued(Addr ctr_addr) const;
+    /** Debug-build invariant: indexes mirror the queues exactly. */
+    void verifyIndexes() const;
 
     // --- write path helpers ---
     bool haveDataSlot() const;

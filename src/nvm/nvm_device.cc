@@ -61,6 +61,11 @@ NvmDevice::scheduleRead(Addr addr, Tick now)
     if (paused) {
         // The interrupted recovery still owes its remaining time.
         bankFreeAt[bank] += done - start;
+        // The resumed programming is pausable again only after it has
+        // run for tPause past this read; leaving the old (already
+        // elapsed) mark in place would let back-to-back reads preempt
+        // the same write with no re-entry delay at all.
+        pausableFrom[bank] = done;
     } else {
         bankFreeAt[bank] = done;
         pausableFrom[bank] = done;

@@ -110,6 +110,18 @@ class NvmDevice
     CounterLine persistedCounters(Addr ctr_line_addr) const;
 
     /**
+     * The whole persisted counter store. The controller's crash path
+     * models recovery's counter-region scan with it, rebuilding the
+     * encryption engine's volatile counter registers from persistent
+     * state only.
+     */
+    const std::unordered_map<Addr, CounterLine> &
+    persistedCounterLines() const
+    {
+        return counterStore;
+    }
+
+    /**
      * Ground truth for the crash oracle: the counter the persisted
      * ciphertext of @p line_addr was encrypted with (0 if the line was
      * never drained). A recovered line is decryptable iff this equals

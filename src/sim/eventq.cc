@@ -21,11 +21,82 @@ EventQueue::~EventQueue()
     // Orphan any still-scheduled events so their destructors do not
     // touch a dead queue; self-owned (fire-and-forget) events have no
     // other owner and are deleted here.
-    for (Event *event : events) {
-        event->queue = nullptr;
-        if (event->_selfOwned)
-            delete event;
+    for (const HeapEntry &entry : heap) {
+        if (entry.ev == nullptr)
+            continue;
+        entry.ev->queue = nullptr;
+        if (entry.ev->_selfOwned)
+            delete entry.ev;
     }
+}
+
+void
+EventQueue::siftUp(std::size_t i)
+{
+    HeapEntry e = heap[i];
+    while (i > 0) {
+        std::size_t parent = (i - 1) / 2;
+        if (!before(e, heap[parent]))
+            break;
+        place(i, heap[parent]);
+        i = parent;
+    }
+    place(i, e);
+}
+
+void
+EventQueue::siftDown(std::size_t i)
+{
+    HeapEntry e = heap[i];
+    const std::size_t n = heap.size();
+    for (;;) {
+        std::size_t child = 2 * i + 1;
+        if (child >= n)
+            break;
+        if (child + 1 < n && before(heap[child + 1], heap[child]))
+            ++child;
+        if (!before(heap[child], e))
+            break;
+        place(i, heap[child]);
+        i = child;
+    }
+    place(i, e);
+}
+
+void
+EventQueue::popTop()
+{
+    if (heap.size() > 1) {
+        place(0, heap.back());
+        heap.pop_back();
+        siftDown(0);
+    } else {
+        heap.pop_back();
+    }
+}
+
+void
+EventQueue::purgeStale()
+{
+    while (!heap.empty() && heap.front().ev == nullptr) {
+        popTop();
+        --stale;
+    }
+}
+
+void
+EventQueue::compact()
+{
+    std::size_t live = 0;
+    for (std::size_t i = 0; i < heap.size(); ++i) {
+        if (heap[i].ev != nullptr)
+            heap[live++] = heap[i];
+    }
+    heap.resize(live);
+    stale = 0;
+    // Floyd heapify; place() restores every event's back-link.
+    for (std::size_t i = live; i-- > 0;)
+        siftDown(i);
 }
 
 void
@@ -41,15 +112,25 @@ EventQueue::schedule(Event &event, Tick when)
     event._when = when;
     event._seq = nextSeq++;
     event.queue = this;
-    events.insert(&event);
+    heap.push_back(HeapEntry{when, event._priority, event._seq, &event});
+    event._heapIndex = heap.size() - 1;
+    siftUp(heap.size() - 1);
 }
 
 void
 EventQueue::deschedule(Event &event)
 {
     cnvm_assert(event.queue == this);
-    events.erase(&event);
+    cnvm_assert(event._heapIndex < heap.size()
+                && heap[event._heapIndex].ev == &event);
+    // Lazy deletion: disown the slot in place — its ordering key stays
+    // valid, and the slot is discarded when it surfaces at the root.
+    heap[event._heapIndex].ev = nullptr;
+    ++stale;
     event.queue = nullptr;
+    // Keep memory bounded under deschedule-heavy load.
+    if (stale > 64 && stale * 2 > heap.size())
+        compact();
 }
 
 void
@@ -63,12 +144,12 @@ EventQueue::reschedule(Event &event, Tick when)
 bool
 EventQueue::step()
 {
-    if (events.empty())
+    purgeStale();
+    if (heap.empty())
         return false;
 
-    auto it = events.begin();
-    Event *event = *it;
-    events.erase(it);
+    Event *event = heap.front().ev;
+    popTop();
     event->queue = nullptr;
 
     _curTick = event->_when;
@@ -81,9 +162,11 @@ Tick
 EventQueue::run(Tick limit)
 {
     stopRequested = false;
-    while (!events.empty() && !stopRequested) {
-        Event *head = *events.begin();
-        if (head->_when > limit)
+    for (;;) {
+        purgeStale();
+        if (heap.empty() || stopRequested)
+            break;
+        if (heap.front().when > limit)
             break;
         step();
     }

@@ -13,8 +13,8 @@
 
 #include <cstdint>
 #include <functional>
-#include <set>
 #include <string>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -83,6 +83,9 @@ class Event
     std::uint64_t _seq = 0;
     bool _selfOwned = false;
     EventQueue *queue = nullptr;
+
+    /** Slot in the owning queue's heap, maintained by the queue. */
+    std::size_t _heapIndex = 0;
 };
 
 /**
@@ -107,6 +110,15 @@ class EventFunctionWrapper : public Event
 /**
  * The event queue: a total order over pending events and the simulated
  * clock. One queue drives one simulated system (no cross-queue sync).
+ *
+ * Internally a binary min-heap over (tick, priority, sequence) — the
+ * dominant operations, schedule and pop-next, are O(log n) with no
+ * per-event allocation (unlike the former std::set, which paid one node
+ * allocation per insert). Deschedule is O(1) lazy deletion: the heap
+ * slot is disowned in place and discarded when it surfaces; each event
+ * tracks its slot, so no stale Event pointer is ever dereferenced (a
+ * descheduled event may be destroyed immediately). A compaction pass
+ * rebuilds the heap when disowned slots outnumber live ones.
  */
 class EventQueue
 {
@@ -133,9 +145,9 @@ class EventQueue
     void reschedule(Event &event, Tick when);
 
     /** Number of pending events. */
-    std::size_t size() const { return events.size(); }
+    std::size_t size() const { return heap.size() - stale; }
 
-    bool empty() const { return events.empty(); }
+    bool empty() const { return size() == 0; }
 
     /** Processes a single event; returns false if the queue was empty. */
     bool step();
@@ -153,24 +165,59 @@ class EventQueue
     std::uint64_t processedCount() const { return processed; }
 
   private:
-    struct Compare
+    /**
+     * One heap slot. The ordering key is copied out of the event at
+     * schedule time so that a lazily-deleted slot (ev == nullptr)
+     * keeps its position without touching the — possibly destroyed —
+     * event object.
+     */
+    struct HeapEntry
     {
-        bool
-        operator()(const Event *a, const Event *b) const
-        {
-            if (a->_when != b->_when)
-                return a->_when < b->_when;
-            if (a->_priority != b->_priority)
-                return a->_priority < b->_priority;
-            return a->_seq < b->_seq;
-        }
+        Tick when;
+        int priority;
+        std::uint64_t seq;
+        Event *ev;
     };
+
+    static bool
+    before(const HeapEntry &a, const HeapEntry &b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        if (a.priority != b.priority)
+            return a.priority < b.priority;
+        return a.seq < b.seq;
+    }
+
+    /** Writes @p e into slot @p i and updates the event's back-link. */
+    void
+    place(std::size_t i, const HeapEntry &e)
+    {
+        heap[i] = e;
+        if (e.ev != nullptr)
+            e.ev->_heapIndex = i;
+    }
+
+    void siftUp(std::size_t i);
+    void siftDown(std::size_t i);
+
+    /** Removes the root slot (heap must be non-empty). */
+    void popTop();
+
+    /** Discards lazily-deleted slots that have surfaced at the root. */
+    void purgeStale();
+
+    /** Rebuilds the heap from its live slots only. */
+    void compact();
 
     Tick _curTick = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t processed = 0;
     bool stopRequested = false;
-    std::set<Event *, Compare> events;
+    std::vector<HeapEntry> heap;
+
+    /** Number of disowned (lazily-deleted) slots still in the heap. */
+    std::size_t stale = 0;
 };
 
 } // namespace cnvm

@@ -6,7 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/clocked.hh"
@@ -199,6 +202,167 @@ TEST(EventQueue, DestructorDeschedulesEvent)
     }
     eq.run();
     EXPECT_TRUE(log.empty());
+}
+
+// --- lazy-deletion heap internals ----------------------------------------
+
+TEST(EventQueue, SizeExcludesDescheduledEntries)
+{
+    EventQueue eq;
+    std::vector<std::string> log;
+    RecordingEvent a(log, "a"), b(log, "b"), c(log, "c");
+    eq.schedule(a, 10);
+    eq.schedule(b, 20);
+    eq.schedule(c, 30);
+    EXPECT_EQ(eq.size(), 3u);
+    eq.deschedule(b);
+    // The heap slot is only lazily discarded, but size() must report
+    // live events.
+    EXPECT_EQ(eq.size(), 2u);
+    EXPECT_FALSE(eq.empty());
+    eq.run();
+    EXPECT_EQ(log, (std::vector<std::string>{"a", "c"}));
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, DescheduleThenDestroyThenReuseSlot)
+{
+    // The destroyed event's heap slot must never be dereferenced, even
+    // when later schedules reuse and re-sift the heap around it.
+    EventQueue eq;
+    std::vector<std::string> log;
+    auto victim = std::make_unique<RecordingEvent>(log, "victim");
+    eq.schedule(*victim, 50);
+    eq.deschedule(*victim);
+    victim.reset();
+    RecordingEvent a(log, "a"), b(log, "b");
+    eq.schedule(a, 40); // sifts past the disowned slot
+    eq.schedule(b, 60);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(EventQueue, DescheduleThenRescheduleKeepsOneInstance)
+{
+    EventQueue eq;
+    std::vector<std::string> log;
+    RecordingEvent a(log, "a");
+    eq.schedule(a, 10);
+    eq.deschedule(a);
+    eq.schedule(a, 30);
+    eq.deschedule(a);
+    eq.schedule(a, 20);
+    EXPECT_EQ(eq.size(), 1u);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<std::string>{"a"}));
+    EXPECT_EQ(eq.curTick(), 20u);
+}
+
+TEST(EventQueue, CompactionPreservesOrderUnderHeavyDeschedule)
+{
+    // Drive deschedule count past the compaction threshold and verify
+    // the surviving events still fire in exact (tick, seq) order.
+    EventQueue eq;
+    std::vector<std::string> log;
+    std::vector<std::unique_ptr<RecordingEvent>> events;
+    for (int i = 0; i < 400; ++i) {
+        events.push_back(std::make_unique<RecordingEvent>(
+            log, std::to_string(i)));
+        // Scatter ticks; collisions fall back to insertion order.
+        eq.schedule(*events.back(), (i * 7919) % 97);
+    }
+    std::vector<std::string> expected;
+    for (int i = 0; i < 400; ++i) {
+        if (i % 4 != 0) {
+            eq.deschedule(*events[i]);
+        }
+    }
+    // Expected order: by (tick, insertion seq) over the survivors.
+    std::vector<std::pair<std::pair<Tick, int>, std::string>> keyed;
+    for (int i = 0; i < 400; i += 4)
+        keyed.push_back({{(i * 7919) % 97, i}, std::to_string(i)});
+    std::sort(keyed.begin(), keyed.end());
+    for (auto &k : keyed)
+        expected.push_back(k.second);
+    eq.run();
+    EXPECT_EQ(log, expected);
+}
+
+TEST(EventQueue, RandomizedAgainstReferenceModel)
+{
+    // Model check: random schedule/deschedule/reschedule/step traffic
+    // against a sorted-vector reference holding the same (tick,
+    // priority, seq) keys.
+    struct Ref
+    {
+        Tick when;
+        int priority;
+        std::uint64_t seq;
+        int id;
+        bool
+        operator<(const Ref &o) const
+        {
+            if (when != o.when)
+                return when < o.when;
+            if (priority != o.priority)
+                return priority < o.priority;
+            return seq < o.seq;
+        }
+    };
+
+    EventQueue eq;
+    std::vector<int> fired;
+    std::vector<std::unique_ptr<EventFunctionWrapper>> events;
+    const int numEvents = 64;
+    int priorities[3] = {Event::MinPriority, Event::DefaultPriority,
+                         Event::MaxPriority};
+    std::uint64_t rng = 12345;
+    auto next_rand = [&rng]() {
+        rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+        return rng >> 33;
+    };
+    for (int i = 0; i < numEvents; ++i) {
+        events.push_back(std::make_unique<EventFunctionWrapper>(
+            [&fired, i]() { fired.push_back(i); }, "e",
+            priorities[i % 3]));
+    }
+
+    std::vector<Ref> model;
+    std::vector<int> modelFired;
+    std::uint64_t seq = 0;
+    for (int round = 0; round < 2000; ++round) {
+        int id = static_cast<int>(next_rand() % numEvents);
+        Event &ev = *events[id];
+        unsigned action = next_rand() % 4;
+        if (action == 0 && !ev.scheduled()) {
+            Tick when = eq.curTick() + next_rand() % 1000;
+            eq.schedule(ev, when);
+            model.push_back(Ref{when, ev.priority(), seq++, id});
+        } else if (action == 1 && ev.scheduled()) {
+            eq.deschedule(ev);
+            model.erase(std::find_if(model.begin(), model.end(),
+                [&](const Ref &r) { return r.id == id; }));
+        } else if (action == 2) {
+            Tick when = eq.curTick() + next_rand() % 1000;
+            eq.reschedule(ev, when);
+            auto it = std::find_if(model.begin(), model.end(),
+                [&](const Ref &r) { return r.id == id; });
+            if (it != model.end())
+                model.erase(it);
+            model.push_back(Ref{when, ev.priority(), seq++, id});
+        } else if (action == 3 && !model.empty()) {
+            auto it = std::min_element(model.begin(), model.end());
+            modelFired.push_back(it->id);
+            model.erase(it);
+            ASSERT_TRUE(eq.step());
+        }
+        ASSERT_EQ(eq.size(), model.size()) << "round " << round;
+    }
+    eq.run();
+    std::sort(model.begin(), model.end());
+    for (const Ref &r : model)
+        modelFired.push_back(r.id);
+    EXPECT_EQ(fired, modelFired);
 }
 
 TEST(EventQueue, ScheduleAfterUsesCurrentTick)

@@ -130,6 +130,26 @@ TEST(NvmDevice, PausedRecoveryResumesAfterRead)
     EXPECT_GE(w2, wdone + t.tWR);
 }
 
+TEST(NvmDevice, SecondPausingReadPaysReentryDelay)
+{
+    // Regression: the paused path used to leave pausableFrom at its
+    // pre-read value, so a second read issued while the same write
+    // recovery was still owed could pause it again "for free" and
+    // complete a burst after the first (hiding the array access
+    // entirely). Pausing re-entry must be re-armed from the end of the
+    // preempting read.
+    NvmTiming t = simpleTiming();
+    t.writePause = true;
+    NvmDevice nvm(t, nullptr);
+    Tick wdone = nvm.scheduleWrite(0x0, 0, lineBytes);
+    Tick r1 = nvm.scheduleRead(0x0, wdone);
+    Tick r2 = nvm.scheduleRead(0x0, wdone);
+    // The second read pauses the resumed programming no earlier than
+    // tPause after the first read ends, then pays the full array
+    // access again.
+    EXPECT_GE(r2, r1 + t.tPause + t.tRCD + t.tCL);
+}
+
 TEST(NvmDevice, WriteToReadTurnaround)
 {
     // With the array latencies zeroed, the read's burst contends with

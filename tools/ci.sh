@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# CI entry point: sanitized build, full test suite, and a crash-point
-# sweep across every design (20 points each, fixed seed).
+# CI entry point: sanitized build, full test suite, a crash-point
+# sweep across every design (20 points each, fixed seed), and a
+# Release bench smoke.
 #
-#   tools/ci.sh [build-dir]
+#   tools/ci.sh [build-dir] [release-build-dir]
 #
 # The sanitizers matter here: the crash paths tear down controller
 # state with events still in flight, which is exactly where use-after-
@@ -11,6 +12,7 @@ set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$repo/build-ci}"
+release="${2:-$repo/build-ci-rel}"
 
 cmake -B "$build" -S "$repo" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -21,3 +23,11 @@ cmake --build "$build" -j "$(nproc)"
 ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
 
 "$build/tools/cnvm_crash_sweep" --points 20
+
+# Bench smoke in Release: cnvm_bench runs each kernel a few iterations
+# and, more importantly, exits non-zero if the indexed queue lookups
+# diverge from the reference linear scans (byte-compared stats dumps
+# and crash-sweep fingerprints), or if any kernel drops work.
+cmake -B "$release" -S "$repo" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$release" -j "$(nproc)"
+"$release/tools/cnvm_bench" --quick --repeat 1

@@ -1,0 +1,535 @@
+/**
+ * @file
+ * cnvm_bench — machine-readable performance harness.
+ *
+ * Times the simulator's hot paths with the same access patterns as the
+ * google-benchmark micros (bench/micro_eventq.cc, bench/micro_memctl.cc)
+ * plus one figure-style System run, and emits a JSON report:
+ *
+ *   - ns/op of each micro kernel (host time per simulated operation),
+ *   - simulated-ticks-per-host-second of a full System run,
+ *   - host wall time of every section.
+ *
+ * The committed BENCH_PR<N>.json files are produced by this tool in a
+ * Release build; each one extends the perf trajectory the ROADMAP asks
+ * for. A previous report can be embedded for comparison with
+ * --baseline FILE (the file's JSON object is inlined verbatim).
+ *
+ *   tools/cnvm_bench --out BENCH_PR2.json [--quick] [--baseline PRE.json]
+ *
+ * Exit status: 0 on success, 1 if any self-check fails (see the
+ * behavior-preservation checks added with the queue indexes).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/crash_sweep.hh"
+#include "core/system.hh"
+#include "memctl/mem_controller.hh"
+#include "sim/one_shot.hh"
+
+using namespace cnvm;
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+        .count();
+}
+
+/** One measured kernel: ns per simulated operation. */
+struct KernelResult
+{
+    std::string name;
+    double nsPerOp = 0;
+    std::uint64_t ops = 0;
+    double hostMs = 0;
+};
+
+/** One measured System run: simulation rate. */
+struct SystemResult
+{
+    std::string name;
+    double simTicksPerSec = 0;
+    std::uint64_t simTicks = 0;
+    std::uint64_t txns = 0;
+    double hostMs = 0;
+};
+
+// ----------------------------------------------------------------------
+// micro_eventq kernels
+// ----------------------------------------------------------------------
+
+/**
+ * Schedule a batch of preallocated events at scattered ticks, run.
+ * Events are preallocated so the kernel times the queue itself, not
+ * the one-shot allocator (which both implementations pay identically).
+ */
+KernelResult
+benchEventqScheduleProcess(unsigned iters)
+{
+    constexpr int batch = 256;
+    std::uint64_t sink = 0;
+    std::vector<std::unique_ptr<EventFunctionWrapper>> events;
+    events.reserve(batch);
+    for (int i = 0; i < batch; ++i) {
+        events.push_back(std::make_unique<EventFunctionWrapper>(
+            [&]() { ++sink; }, "bench-event"));
+    }
+    auto start = Clock::now();
+    for (unsigned it = 0; it < iters; ++it) {
+        EventQueue eq;
+        // Deterministic scattered ticks (LCG) to avoid in-order bias.
+        std::uint64_t state = 0x123456789abcdef5ull + it;
+        for (int i = 0; i < batch; ++i) {
+            state = state * 6364136223846793005ull + 1442695040888963407ull;
+            eq.schedule(*events[i], (state >> 33) % 1000000);
+        }
+        eq.run();
+    }
+    KernelResult r;
+    r.name = "micro_eventq.schedule_process";
+    r.hostMs = msSince(start);
+    r.ops = static_cast<std::uint64_t>(iters) * batch;
+    r.nsPerOp = r.hostMs * 1e6 / static_cast<double>(r.ops);
+    if (sink != r.ops)
+        std::fprintf(stderr, "eventq kernel dropped events!\n");
+    return r;
+}
+
+/** Mirror of BM_MemberEventReschedule. */
+KernelResult
+benchEventqReschedule(std::uint64_t ops)
+{
+    class Tickless : public Event
+    {
+      public:
+        void process() override {}
+    } event;
+
+    EventQueue eq;
+    Tick when = 1;
+    auto start = Clock::now();
+    for (std::uint64_t i = 0; i < ops; ++i) {
+        eq.reschedule(event, when++);
+        eq.step();
+    }
+    KernelResult r;
+    r.name = "micro_eventq.reschedule";
+    r.hostMs = msSince(start);
+    r.ops = ops;
+    r.nsPerOp = r.hostMs * 1e6 / static_cast<double>(r.ops);
+    return r;
+}
+
+/** Schedule a batch, deschedule every other event, run the rest. */
+KernelResult
+benchEventqDeschedule(unsigned iters)
+{
+    constexpr int batch = 256;
+    std::uint64_t processed = 0;
+    std::vector<std::unique_ptr<EventFunctionWrapper>> events;
+    events.reserve(batch);
+    for (int i = 0; i < batch; ++i) {
+        events.push_back(std::make_unique<EventFunctionWrapper>(
+            [&]() { ++processed; }, "bench-event"));
+    }
+    auto start = Clock::now();
+    for (unsigned it = 0; it < iters; ++it) {
+        EventQueue eq;
+        // Deterministic scattered ticks (LCG) to avoid in-order bias.
+        std::uint64_t state = 0x9e3779b97f4a7c15ull + it;
+        for (int i = 0; i < batch; ++i) {
+            state = state * 6364136223846793005ull + 1442695040888963407ull;
+            eq.schedule(*events[i], (state >> 33) % 100000);
+        }
+        for (int i = 0; i < batch; i += 2)
+            eq.deschedule(*events[i]);
+        eq.run();
+    }
+    KernelResult r;
+    r.name = "micro_eventq.sched_desched";
+    r.hostMs = msSince(start);
+    r.ops = static_cast<std::uint64_t>(iters) * batch;
+    r.nsPerOp = r.hostMs * 1e6 / static_cast<double>(r.ops);
+    if (processed != r.ops / 2)
+        std::fprintf(stderr, "deschedule kernel miscounted!\n");
+    return r;
+}
+
+// ----------------------------------------------------------------------
+// micro_memctl kernel
+// ----------------------------------------------------------------------
+
+MemCtlConfig
+benchMemctlConfig()
+{
+    MemCtlConfig cfg;
+    cfg.design = DesignPoint::SCA;
+    return cfg;
+}
+
+/**
+ * Queue-pressure companion of BM_SimulatedWriteDrain: bursts of
+ * counter-atomic writes pushed through the occupied data write queue,
+ * with reads against it (the forward path) interleaved. Exercises the
+ * whole accept/encrypt/land/drain pipeline, so it moves with the event
+ * queue and cipher as well as with the per-entry queue lookups.
+ */
+KernelResult
+benchMemctlWriteReadBurst(unsigned iters)
+{
+    constexpr unsigned writesPerBurst = 48;
+    constexpr unsigned readsPerBurst = 16;
+    constexpr Addr base = 0x40000;
+    constexpr unsigned lineSpan = 4096; // footprint: 4096 lines
+
+    EventQueue eq;
+    NvmDevice nvm(NvmTiming::pcm(), nullptr);
+    MemCtlConfig cfg = benchMemctlConfig();
+    MemController ctl(eq, nvm, cfg, nullptr);
+
+    std::uint64_t readsDone = 0;
+    auto start = Clock::now();
+    for (unsigned it = 0; it < iters; ++it) {
+        auto lineAt = [&](std::uint64_t i) {
+            std::uint64_t n =
+                (static_cast<std::uint64_t>(it) * writesPerBurst + i)
+                % lineSpan;
+            return base + n * lineBytes;
+        };
+        for (unsigned i = 0; i < writesPerBurst; ++i) {
+            WriteReq req;
+            req.addr = lineAt(i);
+            req.data = LineData{};
+            req.data[0] = static_cast<std::uint8_t>(i);
+            req.counterAtomic = true;
+            while (!ctl.tryWrite(req))
+                eq.step();
+        }
+        // Reads against the occupied queue: most hit a queued line
+        // (forward path), the rest take the full read path.
+        for (unsigned r = 0; r < readsPerBurst; ++r) {
+            ctl.issueRead(lineAt(r * 3 % writesPerBurst), 0,
+                          [&]() { ++readsDone; });
+        }
+        eq.run();
+    }
+    KernelResult r;
+    r.name = "micro_memctl.write_read_burst";
+    r.hostMs = msSince(start);
+    r.ops = static_cast<std::uint64_t>(iters)
+          * (writesPerBurst + readsPerBurst);
+    r.nsPerOp = r.hostMs * 1e6 / static_cast<double>(r.ops);
+    if (readsDone != static_cast<std::uint64_t>(iters) * readsPerBurst)
+        std::fprintf(stderr, "memctl kernel lost reads!\n");
+    return r;
+}
+
+// ----------------------------------------------------------------------
+// Figure-style System run
+// ----------------------------------------------------------------------
+
+SystemConfig
+figConfig(unsigned txns)
+{
+    SystemConfig cfg;
+    cfg.design = DesignPoint::SCA;
+    cfg.workload = WorkloadKind::ArraySwap;
+    cfg.numCores = 1;
+    cfg.wl.regionBytes = 2ull << 20;
+    cfg.wl.txnTarget = txns;
+    cfg.wl.batch = 1;
+    cfg.wl.computePerTxn = 1000;
+    cfg.wl.setupFill = 0.5;
+    cfg.wl.seed = 1;
+    return cfg;
+}
+
+/** One fig12-style single-core SCA run; reports the simulation rate. */
+SystemResult
+benchFigRun(unsigned txns)
+{
+    auto start = Clock::now();
+    System sys(figConfig(txns));
+    RunResult result = sys.run();
+    SystemResult r;
+    r.name = "fig12_single_core.sca_arrayswap";
+    r.hostMs = msSince(start);
+    r.simTicks = result.endTick;
+    r.txns = result.txnsIssued;
+    r.simTicksPerSec =
+        static_cast<double>(r.simTicks) / (r.hostMs / 1e3);
+    return r;
+}
+
+// ----------------------------------------------------------------------
+// Behavior-preservation checks
+// ----------------------------------------------------------------------
+
+struct CheckResult
+{
+    std::string name;
+    bool ok = true;
+};
+
+/**
+ * The indexed queue lookups (MemCtlConfig::useQueueIndex) must be
+ * observably identical to the reference linear scans. Two probes per
+ * design: a byte-identical stats dump over a fixed-seed System run,
+ * and a byte-identical crash-sweep fingerprint.
+ */
+std::vector<CheckResult>
+runEquivalenceChecks(bool quick)
+{
+    std::vector<CheckResult> checks;
+
+    for (DesignPoint d : {DesignPoint::SCA, DesignPoint::FCA}) {
+        CheckResult c;
+        c.name = std::string("stats_identity.") + designName(d);
+        std::string dumps[2];
+        for (int pass = 0; pass < 2; ++pass) {
+            SystemConfig cfg = figConfig(quick ? 20 : 60);
+            cfg.design = d;
+            cfg.memctl.useQueueIndex = pass == 0;
+            System sys(cfg);
+            RunResult result = sys.run();
+            std::ostringstream os;
+            sys.statsRegistry().dump(os);
+            os << "endTick=" << result.endTick
+               << " txns=" << result.txnsIssued << "\n";
+            dumps[pass] = os.str();
+        }
+        c.ok = dumps[0] == dumps[1];
+        if (!c.ok)
+            std::fprintf(stderr,
+                         "CHECK FAILED: %s — indexed and reference "
+                         "stats dumps differ\n", c.name.c_str());
+        checks.push_back(c);
+    }
+
+    for (DesignPoint d : {DesignPoint::SCA, DesignPoint::Unsafe}) {
+        CheckResult c;
+        c.name = std::string("sweep_fingerprint.") + designName(d);
+        unsigned points = quick ? 6 : 12;
+        std::string fps[2];
+        for (int pass = 0; pass < 2; ++pass) {
+            SystemConfig cfg = figConfig(quick ? 15 : 40);
+            cfg.design = d;
+            cfg.memctl.useQueueIndex = pass == 0;
+            fps[pass] = runSweep(cfg, points).fingerprint();
+        }
+        c.ok = fps[0] == fps[1];
+        if (!c.ok)
+            std::fprintf(stderr,
+                         "CHECK FAILED: %s — crash-sweep fingerprints "
+                         "differ\n  indexed:   %s\n  reference: %s\n",
+                         c.name.c_str(), fps[0].c_str(), fps[1].c_str());
+        checks.push_back(c);
+    }
+
+    return checks;
+}
+
+// ----------------------------------------------------------------------
+// Repetition: the host is shared and noisy, so each kernel runs
+// --repeat times and the fastest run is kept (noise only adds time).
+// ----------------------------------------------------------------------
+
+template <typename Fn>
+KernelResult
+bestKernel(unsigned repeat, Fn fn)
+{
+    KernelResult best = fn();
+    for (unsigned i = 1; i < repeat; ++i) {
+        KernelResult r = fn();
+        if (r.nsPerOp < best.nsPerOp)
+            best = r;
+    }
+    return best;
+}
+
+template <typename Fn>
+SystemResult
+bestSystem(unsigned repeat, Fn fn)
+{
+    SystemResult best = fn();
+    for (unsigned i = 1; i < repeat; ++i) {
+        SystemResult r = fn();
+        if (r.simTicksPerSec > best.simTicksPerSec)
+            best = r;
+    }
+    return best;
+}
+
+// ----------------------------------------------------------------------
+// JSON emission
+// ----------------------------------------------------------------------
+
+void
+emitJson(std::ostream &os, const std::vector<KernelResult> &kernels,
+         const std::vector<SystemResult> &systems, bool quick,
+         const std::string &baseline_json,
+         const std::vector<CheckResult> &checks, bool checks_ok)
+{
+    char buf[256];
+    os << "{\n";
+    os << "  \"bench\": \"cnvm_bench\",\n";
+    os << "  \"mode\": \"" << (quick ? "quick" : "full") << "\",\n";
+    os << "  \"checks_ok\": " << (checks_ok ? "true" : "false") << ",\n";
+    os << "  \"checks\": {";
+    for (std::size_t i = 0; i < checks.size(); ++i) {
+        os << "\"" << checks[i].name << "\": "
+           << (checks[i].ok ? "true" : "false")
+           << (i + 1 < checks.size() ? ", " : "");
+    }
+    os << "},\n";
+    os << "  \"kernels\": {\n";
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+        const KernelResult &k = kernels[i];
+        std::snprintf(buf, sizeof(buf),
+                      "    \"%s\": {\"ns_per_op\": %.2f, \"ops\": %llu, "
+                      "\"host_ms\": %.2f}%s\n",
+                      k.name.c_str(), k.nsPerOp,
+                      static_cast<unsigned long long>(k.ops), k.hostMs,
+                      i + 1 < kernels.size() ? "," : "");
+        os << buf;
+    }
+    os << "  },\n";
+    os << "  \"systems\": {\n";
+    for (std::size_t i = 0; i < systems.size(); ++i) {
+        const SystemResult &s = systems[i];
+        std::snprintf(buf, sizeof(buf),
+                      "    \"%s\": {\"sim_ticks_per_sec\": %.0f, "
+                      "\"sim_ticks\": %llu, \"txns\": %llu, "
+                      "\"host_ms\": %.2f}%s\n",
+                      s.name.c_str(), s.simTicksPerSec,
+                      static_cast<unsigned long long>(s.simTicks),
+                      static_cast<unsigned long long>(s.txns), s.hostMs,
+                      i + 1 < systems.size() ? "," : "");
+        os << buf;
+    }
+    os << "  }";
+    if (!baseline_json.empty())
+        os << ",\n  \"baseline\": " << baseline_json;
+    os << "\n}\n";
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path;
+    std::string baseline_path;
+    bool quick = false;
+    unsigned repeat = 3;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto need_value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n", argv[i]);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--out") {
+            out_path = need_value();
+        } else if (arg == "--baseline") {
+            baseline_path = need_value();
+        } else if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--repeat") {
+            repeat = static_cast<unsigned>(std::atoi(need_value()));
+            if (repeat < 1)
+                repeat = 1;
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "cnvm_bench [--out FILE] [--baseline FILE] [--quick]\n"
+                "           [--repeat N]\n");
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            return 2;
+        }
+    }
+
+    std::string baseline_json;
+    if (!baseline_path.empty()) {
+        std::ifstream in(baseline_path);
+        if (!in) {
+            std::fprintf(stderr, "cannot read baseline '%s'\n",
+                         baseline_path.c_str());
+            return 2;
+        }
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        baseline_json = ss.str();
+        // Strip the trailing newline so the embedding stays tidy.
+        while (!baseline_json.empty()
+               && (baseline_json.back() == '\n'
+                   || baseline_json.back() == '\r'))
+            baseline_json.pop_back();
+    }
+
+    std::vector<KernelResult> kernels;
+    kernels.push_back(bestKernel(repeat, [&]() {
+        return benchEventqScheduleProcess(quick ? 200 : 2000); }));
+    kernels.push_back(bestKernel(repeat, [&]() {
+        return benchEventqReschedule(quick ? 100000 : 2000000); }));
+    kernels.push_back(bestKernel(repeat, [&]() {
+        return benchEventqDeschedule(quick ? 200 : 2000); }));
+    kernels.push_back(bestKernel(repeat, [&]() {
+        return benchMemctlWriteReadBurst(quick ? 100 : 1000); }));
+
+    std::vector<SystemResult> systems;
+    systems.push_back(bestSystem(repeat, [&]() {
+        return benchFigRun(quick ? 40 : 200); }));
+
+    std::vector<CheckResult> checks = runEquivalenceChecks(quick);
+    bool checks_ok = true;
+    for (const CheckResult &c : checks) {
+        checks_ok = checks_ok && c.ok;
+        std::printf("check %-32s %s\n", c.name.c_str(),
+                    c.ok ? "ok" : "FAILED");
+    }
+
+    for (const KernelResult &k : kernels)
+        std::printf("%-34s %10.2f ns/op  (%llu ops, %.1f ms)\n",
+                    k.name.c_str(), k.nsPerOp,
+                    static_cast<unsigned long long>(k.ops), k.hostMs);
+    for (const SystemResult &s : systems)
+        std::printf("%-34s %10.3g sim-ticks/s (%llu txns, %.1f ms)\n",
+                    s.name.c_str(), s.simTicksPerSec,
+                    static_cast<unsigned long long>(s.txns), s.hostMs);
+
+    if (out_path.empty()) {
+        emitJson(std::cout, kernels, systems, quick, baseline_json,
+                 checks, checks_ok);
+    } else {
+        std::ofstream out(out_path);
+        if (!out) {
+            std::fprintf(stderr, "cannot write '%s'\n", out_path.c_str());
+            return 2;
+        }
+        emitJson(out, kernels, systems, quick, baseline_json, checks,
+                 checks_ok);
+        std::printf("wrote %s\n", out_path.c_str());
+    }
+    return checks_ok ? 0 : 1;
+}
