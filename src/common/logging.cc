@@ -1,5 +1,6 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdint>
 
@@ -9,8 +10,10 @@ namespace cnvm
 namespace
 {
 
-std::uint64_t warnCounter = 0;
-bool quietMode = false;
+// Atomics: the parallel crash sweep runs Systems on pool workers, and
+// any of them may warn or consult the quiet flag concurrently.
+std::atomic<std::uint64_t> warnCounter{0};
+std::atomic<bool> quietMode{false};
 
 const char *
 levelName(LogLevel level)
@@ -33,10 +36,10 @@ void
 logMessage(LogLevel level, const char *file, int line, const char *fmt, ...)
 {
     if (level == LogLevel::Warn)
-        ++warnCounter;
+        warnCounter.fetch_add(1, std::memory_order_relaxed);
 
     bool is_error = level == LogLevel::Panic || level == LogLevel::Fatal;
-    if (quietMode && !is_error)
+    if (quietMode.load(std::memory_order_relaxed) && !is_error)
         return;
 
     std::FILE *out = is_error ? stderr : stdout;
@@ -63,13 +66,13 @@ logMessage(LogLevel level, const char *file, int line, const char *fmt, ...)
 std::uint64_t
 warnCount()
 {
-    return warnCounter;
+    return warnCounter.load(std::memory_order_relaxed);
 }
 
 void
 setQuiet(bool quiet)
 {
-    quietMode = quiet;
+    quietMode.store(quiet, std::memory_order_relaxed);
 }
 
 } // namespace cnvm

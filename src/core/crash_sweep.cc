@@ -95,7 +95,8 @@ planSweep(const SweepProbe &probe, unsigned points, bool semantic_triggers)
 }
 
 SweepPoint
-runSweepPoint(const SystemConfig &cfg, const CrashSpec &spec)
+runSweepPoint(const SystemConfig &cfg, const CrashSpec &spec,
+              bool collect_stats)
 {
     SweepPoint point;
     point.spec = spec;
@@ -104,29 +105,68 @@ runSweepPoint(const SystemConfig &cfg, const CrashSpec &spec)
     RunResult result = sys.runWithCrash(spec);
     point.crashed = result.crashed;
     point.snapshot = sys.crashSnapshot();
-    if (!point.crashed)
-        return point;
 
-    for (const OracleReport &report : sys.examineAll()) {
-        if (severity(report.cls) > severity(point.cls)) {
-            point.cls = report.cls;
-            point.detail = report.recovery.detail;
+    if (point.crashed) {
+        for (const OracleReport &report : sys.examineAll()) {
+            if (severity(report.cls) > severity(point.cls)) {
+                point.cls = report.cls;
+                point.detail = report.recovery.detail;
+            }
+            point.mismatchedLines += report.mismatchedLines();
+            point.committedTxns += report.recovery.committedTxns;
         }
-        point.mismatchedLines += report.mismatchedLines();
-        point.committedTxns += report.recovery.committedTxns;
+    }
+
+    if (collect_stats) {
+        std::ostringstream os;
+        sys.statsRegistry().dump(os);
+        point.statsDump = os.str();
     }
     return point;
 }
 
 SweepResult
-runSweep(const SystemConfig &cfg, unsigned points, bool semantic_triggers)
+runSweep(const SystemConfig &cfg, const SweepOptions &opt, WorkPool *pool)
 {
     SweepResult result;
     result.probe = probeRun(cfg);
-    for (const CrashSpec &spec :
-         planSweep(result.probe, points, semantic_triggers))
-        result.points.push_back(runSweepPoint(cfg, spec));
+    std::vector<CrashSpec> plan =
+        planSweep(result.probe, opt.points, opt.semanticTriggers);
+
+    if (pool == nullptr && opt.jobs == 1) {
+        // Serial reference path: identical to the historical loop.
+        result.points.reserve(plan.size());
+        for (const CrashSpec &spec : plan)
+            result.points.push_back(
+                runSweepPoint(cfg, spec, opt.collectStatsDumps));
+        return result;
+    }
+
+    // Each point owns its System/CrashInjector/CrashOracle, so the
+    // Execute phase is embarrassingly parallel; map() collects each
+    // SweepPoint into its plan-order slot, keeping fingerprint()
+    // byte-identical to the serial path at any job count.
+    auto execute = [&](WorkPool &p) {
+        result.points = p.map<SweepPoint>(plan.size(), [&](std::size_t i) {
+            return runSweepPoint(cfg, plan[i], opt.collectStatsDumps);
+        });
+    };
+    if (pool != nullptr) {
+        execute(*pool);
+    } else {
+        WorkPool local(opt.jobs);
+        execute(local);
+    }
     return result;
+}
+
+SweepResult
+runSweep(const SystemConfig &cfg, unsigned points, bool semantic_triggers)
+{
+    SweepOptions opt;
+    opt.points = points;
+    opt.semanticTriggers = semantic_triggers;
+    return runSweep(cfg, opt);
 }
 
 std::string

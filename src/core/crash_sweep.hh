@@ -17,6 +17,11 @@
  *
  *  3. Execute: one fresh System per point, same seed, crash armed at
  *     that point, then recover and classify with the CrashOracle.
+ *     Each point owns its System, CrashInjector and CrashOracle, so
+ *     points are independent and the Execute phase fans out over a
+ *     WorkPool (SweepOptions::jobs); results are merged in plan order,
+ *     so the outcome is byte-identical to the serial loop at any job
+ *     count.
  *
  * Everything is derived from the configuration and the probe, so a
  * sweep is exactly reproducible for a fixed seed — fingerprint()
@@ -33,6 +38,7 @@
 #include "core/crash_injector.hh"
 #include "core/crash_oracle.hh"
 #include "core/system.hh"
+#include "runner/runner.hh"
 
 namespace cnvm
 {
@@ -71,6 +77,30 @@ struct SweepPoint
 
     std::uint64_t mismatchedLines = 0;
     std::uint64_t committedTxns = 0;
+
+    /** Full stats dump of the point's System, collected only when
+     *  SweepOptions::collectStatsDumps is set (determinism checks). */
+    std::string statsDump;
+};
+
+/** How to run a sweep (step 2 shape and step 3 execution). */
+struct SweepOptions
+{
+    unsigned points = 20;
+
+    /** False restricts the plan to absolute ticks (legacy sampling). */
+    bool semanticTriggers = true;
+
+    /**
+     * Concurrency of the Execute phase. 1 is the serial reference
+     * loop; 0 asks for WorkPool::hardwareJobs(). Results are merged
+     * in plan order, so fingerprints and stats are identical at any
+     * value.
+     */
+    unsigned jobs = 1;
+
+    /** Capture each point's full stats dump into SweepPoint. */
+    bool collectStatsDumps = false;
 };
 
 /** Aggregate sweep outcome. */
@@ -134,9 +164,19 @@ std::vector<CrashSpec> planSweep(const SweepProbe &probe, unsigned points,
                                  bool semantic_triggers = true);
 
 /** Executes one planned crash point against a fresh System (step 3). */
-SweepPoint runSweepPoint(const SystemConfig &cfg, const CrashSpec &spec);
+SweepPoint runSweepPoint(const SystemConfig &cfg, const CrashSpec &spec,
+                         bool collect_stats = false);
 
-/** Probe + plan + execute. */
+/**
+ * Probe + plan + execute. When @p pool is given it runs the Execute
+ * phase (its jobs() overrides @p opt.jobs); otherwise a pool is
+ * created per SweepOptions::jobs, with jobs == 1 staying the plain
+ * serial loop.
+ */
+SweepResult runSweep(const SystemConfig &cfg, const SweepOptions &opt,
+                     WorkPool *pool = nullptr);
+
+/** Convenience overload with serial execution (jobs == 1). */
 SweepResult runSweep(const SystemConfig &cfg, unsigned points,
                      bool semantic_triggers = true);
 

@@ -132,8 +132,20 @@ encryptBlocks4Ni(const std::uint8_t *rk, const std::uint8_t in[64],
     _mm_storeu_si128(dst + 3, s3);
 }
 
-const bool haveAesNi =
-    __builtin_cpu_supports("aes") && __builtin_cpu_supports("sse2");
+/**
+ * Runtime backend choice, probed exactly once. The magic static makes
+ * the CPUID probe init-once and thread-safe no matter which thread
+ * encrypts first (the parallel crash sweep constructs Systems — and
+ * hence ciphers — on pool workers) and independent of static
+ * initialization order across translation units.
+ */
+bool
+haveAesNi()
+{
+    static const bool have =
+        __builtin_cpu_supports("aes") && __builtin_cpu_supports("sse2");
+    return have;
+}
 
 #endif // CNVM_AES_NI_POSSIBLE
 
@@ -143,7 +155,7 @@ bool
 Aes128::usingHardwareAes()
 {
 #ifdef CNVM_AES_NI_POSSIBLE
-    return haveAesNi;
+    return haveAesNi();
 #else
     return false;
 #endif
@@ -200,7 +212,7 @@ Aes128::encryptBlock(const std::uint8_t in[blockBytes],
                      std::uint8_t out[blockBytes]) const
 {
 #ifdef CNVM_AES_NI_POSSIBLE
-    if (haveAesNi) {
+    if (haveAesNi()) {
         encryptBlockNi(roundKeys.data(), in, out);
         return;
     }
@@ -213,7 +225,7 @@ Aes128::encryptBlocks4(const std::uint8_t in[4 * blockBytes],
                        std::uint8_t out[4 * blockBytes]) const
 {
 #ifdef CNVM_AES_NI_POSSIBLE
-    if (haveAesNi) {
+    if (haveAesNi()) {
         encryptBlocks4Ni(roundKeys.data(), in, out);
         return;
     }

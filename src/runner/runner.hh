@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Fixed-size work pool over an indexed task queue.
+ *
+ * The crash-point sweep's Execute phase runs K independent System
+ * instances — one per planned crash point — and the bench harness runs
+ * independent per-design probes. Both are embarrassingly parallel, but
+ * both must stay byte-identical to their serial reference loops: sweep
+ * fingerprints and stats dumps are diffed across runs. The pool
+ * therefore hands out *indices* from a shared cursor and callers
+ * collect each result into its own slot, so the merged output is in
+ * plan order no matter which worker finished first.
+ *
+ * jobs() == 1 runs every index inline on the calling thread with no
+ * worker threads at all: the serial reference path.
+ *
+ * A pool is reusable — forEachIndex()/map() may be called any number
+ * of times — but is single-owner: only one batch may be in flight at a
+ * time, driven from one thread.
+ */
+
+#ifndef CNVM_RUNNER_RUNNER_HH
+#define CNVM_RUNNER_RUNNER_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace cnvm
+{
+
+class WorkPool
+{
+  public:
+    /** @param jobs concurrency (including the caller); 0 picks
+     *  hardwareJobs(). */
+    explicit WorkPool(unsigned jobs = 0);
+    ~WorkPool();
+
+    WorkPool(const WorkPool &) = delete;
+    WorkPool &operator=(const WorkPool &) = delete;
+
+    /** Concurrency of the pool, always >= 1. */
+    unsigned jobs() const { return njobs; }
+
+    /** std::thread::hardware_concurrency(), never 0. */
+    static unsigned hardwareJobs();
+
+    /**
+     * Runs task(i) for every i in [0, n), blocking until the batch is
+     * complete. The calling thread participates, so jobs() == 1 is a
+     * plain serial loop. If a task throws, no *new* indices are
+     * claimed (in-flight ones finish), and after the batch settles the
+     * exception from the lowest-numbered failed index is rethrown.
+     */
+    void forEachIndex(std::size_t n,
+                      const std::function<void(std::size_t)> &task);
+
+    /**
+     * forEachIndex() that collects task(i) into slot i of the result:
+     * deterministic in-order collection at any jobs() value.
+     */
+    template <typename R>
+    std::vector<R>
+    map(std::size_t n, const std::function<R(std::size_t)> &task)
+    {
+        std::vector<R> out(n);
+        forEachIndex(n, [&](std::size_t i) { out[i] = task(i); });
+        return out;
+    }
+
+  private:
+    /** One in-flight batch: an indexed queue [0, n) plus completion
+     *  and error state, all guarded by mtx. */
+    struct Batch
+    {
+        std::size_t n = 0;
+        const std::function<void(std::size_t)> *task = nullptr;
+        std::size_t next = 0; //!< next unclaimed index
+        std::size_t done = 0; //!< indices finished (ok or thrown)
+        unsigned active = 0;  //!< workers currently attached
+        std::vector<std::pair<std::size_t, std::exception_ptr>> errors;
+    };
+
+    unsigned njobs;
+    std::vector<std::thread> workers;
+
+    std::mutex mtx;
+    std::condition_variable wake; //!< workers: a batch arrived / stop
+    std::condition_variable idle; //!< owner: the batch completed
+    Batch *batch = nullptr;       //!< current batch (null when idle)
+    std::uint64_t generation = 0; //!< bumped when a batch is posted
+    bool stopping = false;
+
+    void workerLoop();
+
+    /** Claims and runs indices until the batch (or its error cutoff)
+     *  is exhausted; returns with mtx unlocked. */
+    void drainBatch(Batch &b);
+};
+
+} // namespace cnvm
+
+#endif // CNVM_RUNNER_RUNNER_HH

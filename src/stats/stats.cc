@@ -53,8 +53,23 @@ Histogram::dump(std::ostream &os) const
 {
     os << name() << "::count " << samples << " # " << desc() << "\n";
     os << name() << "::mean " << mean() << "\n";
-    os << name() << "::min " << minValue() << "\n";
-    os << name() << "::max " << maxValue() << "\n";
+    // An unsampled histogram has no extremes: dump "-" instead of a
+    // fabricated 0 (indistinguishable from a real zero-valued sample).
+    if (samples == 0) {
+        os << name() << "::min -\n";
+        os << name() << "::max -\n";
+    } else {
+        os << name() << "::min " << minValue() << "\n";
+        os << name() << "::max " << maxValue() << "\n";
+    }
+    // Per-bucket counts, the actual distribution; the saturating last
+    // bucket dumps as ::overflow.
+    for (std::size_t i = 0; i + 1 < buckets.size(); ++i) {
+        os << name() << "::bucket_" << i << " " << buckets[i] << " # ["
+           << i * width << ", " << (i + 1) * width << ")\n";
+    }
+    os << name() << "::overflow " << buckets.back() << " # [>= "
+       << (buckets.size() - 1) * width << "]\n";
 }
 
 void

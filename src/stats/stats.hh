@@ -9,6 +9,7 @@
 #ifndef CNVM_STATS_STATS_HH
 #define CNVM_STATS_STATS_HH
 
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -50,21 +51,69 @@ class Stat
     std::string _desc;
 };
 
-/** A monotonically adjustable scalar counter. */
+/**
+ * A monotonically adjustable scalar counter.
+ *
+ * Accumulates in a uint64/double split: whole non-negative increments
+ * land in an exact 64-bit integer, everything else in a double
+ * remainder. A pure counter therefore never loses increments to
+ * floating-point rounding — a double accumulator silently absorbs ++
+ * once it passes 2^53 — while fractional adds keep their historical
+ * behavior. value() (and hence dump()) still reports the combined
+ * double, so the text format is unchanged.
+ */
 class Scalar : public Stat
 {
   public:
     using Stat::Stat;
 
-    Scalar &operator++() { ++val; return *this; }
-    Scalar &operator+=(double v) { val += v; return *this; }
+    Scalar &operator++() { ++whole; return *this; }
 
-    void set(double v) { val = v; }
-    double value() const override { return val; }
-    void reset() override { val = 0; }
+    Scalar &
+    operator+=(double v)
+    {
+        // Integer fast path: exact accumulation for counter-style
+        // adds. 2^64 is the largest increment the integer half can
+        // take without overflowing on its own.
+        double ip;
+        if (v >= 0 && std::modf(v, &ip) == 0.0 && ip < 18446744073709551616.0)
+            whole += static_cast<std::uint64_t>(ip);
+        else
+            frac += v;
+        return *this;
+    }
+
+    void
+    set(double v)
+    {
+        whole = 0;
+        frac = 0;
+        *this += v;
+    }
+
+    double
+    value() const override
+    {
+        return static_cast<double>(whole) + frac;
+    }
+
+    /**
+     * The exact integer accumulation. For a stat only ever touched by
+     * ++ and whole-valued +=, this is the exact count even past 2^53,
+     * where value()'s double correctly rounds.
+     */
+    std::uint64_t exactCount() const { return whole; }
+
+    void
+    reset() override
+    {
+        whole = 0;
+        frac = 0;
+    }
 
   private:
-    double val = 0;
+    std::uint64_t whole = 0;
+    double frac = 0;
 };
 
 /** A derived value computed on demand from other stats. */

@@ -183,6 +183,55 @@ TEST(CrashSweepEndToEnd, FingerprintIsDeterministic)
     EXPECT_EQ(a.fingerprint(), b.fingerprint());
 }
 
+TEST(CrashSweepEndToEnd, ParallelExecuteIsByteIdenticalToSerial)
+{
+    // The work-pool Execute phase must be invisible in the results:
+    // sweep fingerprints and every point's full stats dump must be
+    // byte-identical across --jobs 1/2/8 for each design.
+    for (DesignPoint d : {DesignPoint::ColocatedCC, DesignPoint::FCA,
+                          DesignPoint::SCA, DesignPoint::Unsafe}) {
+        SystemConfig cfg = smallConfig(d);
+
+        std::string fingerprints[3];
+        std::string stats[3];
+        const unsigned jobs_values[3] = {1, 2, 8};
+        for (int i = 0; i < 3; ++i) {
+            SweepOptions opt;
+            opt.points = 6;
+            opt.jobs = jobs_values[i];
+            opt.collectStatsDumps = true;
+            SweepResult result = runSweep(cfg, opt);
+            fingerprints[i] = result.fingerprint();
+            for (const SweepPoint &p : result.points) {
+                EXPECT_FALSE(p.statsDump.empty());
+                stats[i] += p.statsDump;
+            }
+        }
+        EXPECT_FALSE(fingerprints[0].empty()) << designName(d);
+        EXPECT_EQ(fingerprints[0], fingerprints[1]) << designName(d);
+        EXPECT_EQ(fingerprints[0], fingerprints[2]) << designName(d);
+        EXPECT_EQ(stats[0], stats[1]) << designName(d);
+        EXPECT_EQ(stats[0], stats[2]) << designName(d);
+    }
+}
+
+TEST(CrashSweepEndToEnd, ExternalPoolMatchesInternalPool)
+{
+    SystemConfig cfg = smallConfig(DesignPoint::SCA);
+    SweepOptions opt;
+    opt.points = 6;
+    opt.jobs = 4;
+    std::string internal = runSweep(cfg, opt).fingerprint();
+
+    WorkPool pool(4);
+    // The same pool drives two sweeps in a row (reuse across designs,
+    // as the CLI tools do).
+    std::string first = runSweep(cfg, opt, &pool).fingerprint();
+    std::string second = runSweep(cfg, opt, &pool).fingerprint();
+    EXPECT_EQ(internal, first);
+    EXPECT_EQ(first, second);
+}
+
 TEST(CrashSweepEndToEnd, UnsafeFailsAsTornCounter)
 {
     // The Unsafe design's signature: the data drains, its deferred

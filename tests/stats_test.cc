@@ -38,6 +38,54 @@ TEST(Scalar, SetAndReset)
     EXPECT_EQ(s.value(), 0.0);
 }
 
+TEST(Scalar, IntegerAccumulationIsExactPast2To53)
+{
+    // A double accumulator silently absorbs ++ once the count passes
+    // 2^53 (the increment rounds away); the uint64/double split keeps
+    // pure counters exact.
+    constexpr std::uint64_t big = 1ull << 53;
+    Scalar s("s", "desc");
+    s.set(static_cast<double>(big));
+    ++s;
+    ++s;
+    EXPECT_EQ(s.exactCount(), big + 2);
+    s += 5;
+    EXPECT_EQ(s.exactCount(), big + 7);
+}
+
+TEST(Scalar, LargeWholeAddsStayExact)
+{
+    // += of a large whole value must not round: 2^53 + 1 is not
+    // representable in double, so it must arrive via the integer path
+    // in two exact pieces.
+    Scalar s("s", "desc");
+    s += static_cast<double>(1ull << 53);
+    s += 1;
+    EXPECT_EQ(s.exactCount(), (1ull << 53) + 1);
+}
+
+TEST(Scalar, FractionalAddsKeepDoubleSemantics)
+{
+    Scalar s("s", "desc");
+    s += 0.25;
+    s += 3;
+    ++s;
+    EXPECT_DOUBLE_EQ(s.value(), 4.25);
+    EXPECT_EQ(s.exactCount(), 4u);
+    s.reset();
+    EXPECT_EQ(s.value(), 0.0);
+    EXPECT_EQ(s.exactCount(), 0u);
+}
+
+TEST(Scalar, DumpFormatUnchangedForSmallCounts)
+{
+    Scalar s("writes", "lines written");
+    s += 42;
+    std::ostringstream os;
+    s.dump(os);
+    EXPECT_EQ(os.str(), "writes 42 # lines written\n");
+}
+
 TEST(Formula, ComputesOnDemand)
 {
     Scalar hits("h", ""), misses("m", "");
@@ -101,6 +149,52 @@ TEST(Histogram, Reset)
     h.reset();
     EXPECT_EQ(h.count(), 0u);
     EXPECT_EQ(h.bucketCount(0), 0u);
+}
+
+TEST(Histogram, DumpEmitsPerBucketCounts)
+{
+    Histogram h("lat", "latency", 10, 4);
+    h.sample(0);
+    h.sample(9);
+    h.sample(10);
+    h.sample(39);
+    h.sample(1000); // overflow
+    std::ostringstream os;
+    h.dump(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("lat::bucket_0 2"), std::string::npos) << out;
+    EXPECT_NE(out.find("lat::bucket_1 1"), std::string::npos) << out;
+    EXPECT_NE(out.find("lat::bucket_2 0"), std::string::npos) << out;
+    EXPECT_NE(out.find("lat::bucket_3 1"), std::string::npos) << out;
+    EXPECT_NE(out.find("lat::overflow 1"), std::string::npos) << out;
+    // Pre-existing lines stay for baseline-diff compatibility.
+    EXPECT_NE(out.find("lat::count 5"), std::string::npos) << out;
+    EXPECT_NE(out.find("lat::mean"), std::string::npos) << out;
+}
+
+TEST(Histogram, EmptyDumpReportsNoExtremes)
+{
+    // Regression: sample -> reset -> dump used to report "min 0" /
+    // "max 0", indistinguishable from a histogram that really sampled
+    // the value zero. An unsampled histogram dumps "-" instead.
+    Histogram h("lat", "latency", 10, 4);
+    h.sample(25);
+    h.reset();
+    std::ostringstream os;
+    h.dump(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("lat::count 0"), std::string::npos) << out;
+    EXPECT_NE(out.find("lat::min -"), std::string::npos) << out;
+    EXPECT_NE(out.find("lat::max -"), std::string::npos) << out;
+    EXPECT_EQ(out.find("lat::min 0"), std::string::npos) << out;
+    EXPECT_EQ(out.find("lat::max 0"), std::string::npos) << out;
+
+    // And a sampled histogram still reports real extremes.
+    h.sample(25);
+    std::ostringstream os2;
+    h.dump(os2);
+    EXPECT_NE(os2.str().find("lat::min 25"), std::string::npos);
+    EXPECT_NE(os2.str().find("lat::max 25"), std::string::npos);
 }
 
 TEST(Registry, FindAndLookup)

@@ -1,18 +1,22 @@
 #!/usr/bin/env bash
 # CI entry point: sanitized build, full test suite, a crash-point
-# sweep across every design (20 points each, fixed seed), and a
-# Release bench smoke.
+# sweep across every design (20 points each, fixed seed, parallel
+# Execute phase), a ThreadSanitizer pass over the parallel sweep, and
+# a Release bench smoke.
 #
-#   tools/ci.sh [build-dir] [release-build-dir]
+#   tools/ci.sh [build-dir] [release-build-dir] [tsan-build-dir]
 #
 # The sanitizers matter here: the crash paths tear down controller
 # state with events still in flight, which is exactly where use-after-
-# free and leaked one-shot events would hide.
+# free and leaked one-shot events would hide — and the work pool runs
+# whole Systems on worker threads, which is exactly where an unnoticed
+# mutable global would race.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$repo/build-ci}"
 release="${2:-$repo/build-ci-rel}"
+tsan="${3:-$repo/build-ci-tsan}"
 
 cmake -B "$build" -S "$repo" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -22,12 +26,28 @@ cmake --build "$build" -j "$(nproc)"
 
 ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
 
-"$build/tools/cnvm_crash_sweep" --points 20
+# Sweep smoke with the pooled Execute phase: --jobs 4 regardless of
+# host width — the point is to exercise the parallel path, and the
+# fingerprint-identity checks in cnvm_bench and the test suite pin its
+# results to the serial reference.
+"$build/tools/cnvm_crash_sweep" --points 20 --jobs 4
+
+# ThreadSanitizer over the concurrent paths: the runner unit tests and
+# a parallel multi-design sweep. ASan/TSan cannot share a build, so
+# this is its own configuration; only the needed targets are built.
+cmake -B "$tsan" -S "$repo" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all"
+cmake --build "$tsan" -j "$(nproc)" \
+    --target cnvm_crash_sweep runner_test
+"$tsan/tests/runner_test"
+"$tsan/tools/cnvm_crash_sweep" --points 8 --jobs 4
 
 # Bench smoke in Release: cnvm_bench runs each kernel a few iterations
 # and, more importantly, exits non-zero if the indexed queue lookups
-# diverge from the reference linear scans (byte-compared stats dumps
-# and crash-sweep fingerprints), or if any kernel drops work.
+# diverge from the reference linear scans, if the parallel sweep's
+# fingerprint diverges from the serial loop's at any --jobs value, or
+# if any kernel drops work.
 cmake -B "$release" -S "$repo" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$release" -j "$(nproc)"
-"$release/tools/cnvm_bench" --quick --repeat 1
+"$release/tools/cnvm_bench" --quick --repeat 1 --jobs 4

@@ -26,6 +26,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -35,6 +36,7 @@
 #include "core/crash_sweep.hh"
 #include "core/system.hh"
 #include "memctl/mem_controller.hh"
+#include "runner/runner.hh"
 #include "sim/one_shot.hh"
 
 using namespace cnvm;
@@ -289,60 +291,147 @@ struct CheckResult
 
 /**
  * The indexed queue lookups (MemCtlConfig::useQueueIndex) must be
- * observably identical to the reference linear scans. Two probes per
- * design: a byte-identical stats dump over a fixed-seed System run,
- * and a byte-identical crash-sweep fingerprint.
+ * observably identical to the reference linear scans, and the parallel
+ * sweep Execute phase must be byte-identical to the serial loop. Three
+ * probes per design: a byte-identical stats dump over a fixed-seed
+ * System run, a byte-identical crash-sweep fingerprint across the
+ * index modes, and a byte-identical fingerprint across --jobs values.
+ *
+ * The checks themselves are independent per-design runs, so they fan
+ * out over the pool; each closure writes only its own slot.
  */
 std::vector<CheckResult>
-runEquivalenceChecks(bool quick)
+runEquivalenceChecks(bool quick, WorkPool &pool)
 {
-    std::vector<CheckResult> checks;
+    std::vector<std::function<CheckResult()>> probes;
 
     for (DesignPoint d : {DesignPoint::SCA, DesignPoint::FCA}) {
-        CheckResult c;
-        c.name = std::string("stats_identity.") + designName(d);
-        std::string dumps[2];
-        for (int pass = 0; pass < 2; ++pass) {
-            SystemConfig cfg = figConfig(quick ? 20 : 60);
-            cfg.design = d;
-            cfg.memctl.useQueueIndex = pass == 0;
-            System sys(cfg);
-            RunResult result = sys.run();
-            std::ostringstream os;
-            sys.statsRegistry().dump(os);
-            os << "endTick=" << result.endTick
-               << " txns=" << result.txnsIssued << "\n";
-            dumps[pass] = os.str();
-        }
-        c.ok = dumps[0] == dumps[1];
-        if (!c.ok)
-            std::fprintf(stderr,
-                         "CHECK FAILED: %s — indexed and reference "
-                         "stats dumps differ\n", c.name.c_str());
-        checks.push_back(c);
+        probes.push_back([d, quick]() {
+            CheckResult c;
+            c.name = std::string("stats_identity.") + designName(d);
+            std::string dumps[2];
+            for (int pass = 0; pass < 2; ++pass) {
+                SystemConfig cfg = figConfig(quick ? 20 : 60);
+                cfg.design = d;
+                cfg.memctl.useQueueIndex = pass == 0;
+                System sys(cfg);
+                RunResult result = sys.run();
+                std::ostringstream os;
+                sys.statsRegistry().dump(os);
+                os << "endTick=" << result.endTick
+                   << " txns=" << result.txnsIssued << "\n";
+                dumps[pass] = os.str();
+            }
+            c.ok = dumps[0] == dumps[1];
+            if (!c.ok)
+                std::fprintf(stderr,
+                             "CHECK FAILED: %s — indexed and reference "
+                             "stats dumps differ\n", c.name.c_str());
+            return c;
+        });
     }
 
     for (DesignPoint d : {DesignPoint::SCA, DesignPoint::Unsafe}) {
-        CheckResult c;
-        c.name = std::string("sweep_fingerprint.") + designName(d);
-        unsigned points = quick ? 6 : 12;
-        std::string fps[2];
-        for (int pass = 0; pass < 2; ++pass) {
-            SystemConfig cfg = figConfig(quick ? 15 : 40);
-            cfg.design = d;
-            cfg.memctl.useQueueIndex = pass == 0;
-            fps[pass] = runSweep(cfg, points).fingerprint();
-        }
-        c.ok = fps[0] == fps[1];
-        if (!c.ok)
-            std::fprintf(stderr,
-                         "CHECK FAILED: %s — crash-sweep fingerprints "
-                         "differ\n  indexed:   %s\n  reference: %s\n",
-                         c.name.c_str(), fps[0].c_str(), fps[1].c_str());
-        checks.push_back(c);
+        probes.push_back([d, quick]() {
+            CheckResult c;
+            c.name = std::string("sweep_fingerprint.") + designName(d);
+            unsigned points = quick ? 6 : 12;
+            std::string fps[2];
+            for (int pass = 0; pass < 2; ++pass) {
+                SystemConfig cfg = figConfig(quick ? 15 : 40);
+                cfg.design = d;
+                cfg.memctl.useQueueIndex = pass == 0;
+                fps[pass] = runSweep(cfg, points).fingerprint();
+            }
+            c.ok = fps[0] == fps[1];
+            if (!c.ok)
+                std::fprintf(stderr,
+                             "CHECK FAILED: %s — crash-sweep "
+                             "fingerprints differ\n  indexed:   %s\n"
+                             "  reference: %s\n",
+                             c.name.c_str(), fps[0].c_str(),
+                             fps[1].c_str());
+            return c;
+        });
     }
 
-    return checks;
+    for (DesignPoint d : {DesignPoint::SCA, DesignPoint::Unsafe}) {
+        probes.push_back([d, quick]() {
+            CheckResult c;
+            c.name = std::string("sweep_jobs_identity.") + designName(d);
+            SystemConfig cfg = figConfig(quick ? 15 : 40);
+            cfg.design = d;
+            SweepOptions serial, parallel;
+            serial.points = parallel.points = quick ? 6 : 12;
+            serial.jobs = 1;
+            parallel.jobs = 4;
+            std::string fp1 = runSweep(cfg, serial).fingerprint();
+            std::string fpN = runSweep(cfg, parallel).fingerprint();
+            c.ok = fp1 == fpN;
+            if (!c.ok)
+                std::fprintf(stderr,
+                             "CHECK FAILED: %s — serial and parallel "
+                             "sweep fingerprints differ\n  jobs=1: %s\n"
+                             "  jobs=4: %s\n",
+                             c.name.c_str(), fp1.c_str(), fpN.c_str());
+            return c;
+        });
+    }
+
+    return pool.map<CheckResult>(
+        probes.size(), [&](std::size_t i) { return probes[i](); });
+}
+
+// ----------------------------------------------------------------------
+// Sweep scaling: serial vs parallel Execute-phase wall clock
+// ----------------------------------------------------------------------
+
+struct SweepScalingResult
+{
+    unsigned points = 0;
+    unsigned jobs = 0;
+    unsigned hostConcurrency = 0;
+    double serialMs = 0;
+    double parallelMs = 0;
+    double speedup = 0;
+    bool identical = false; //!< fingerprints byte-identical
+};
+
+/**
+ * Times the same SCA sweep with the serial reference loop and with the
+ * pooled Execute phase. The fingerprints must match byte-for-byte; the
+ * wall-clock ratio is the recorded speedup. On a host with a single
+ * hardware thread the ratio is expected to hover around 1.0 —
+ * host_concurrency is recorded alongside so the number can be read in
+ * context.
+ */
+SweepScalingResult
+benchSweepScaling(bool quick, unsigned jobs)
+{
+    SweepScalingResult r;
+    r.points = quick ? 8 : 24;
+    r.jobs = jobs;
+    r.hostConcurrency = WorkPool::hardwareJobs();
+
+    SystemConfig cfg = figConfig(quick ? 20 : 60);
+    cfg.design = DesignPoint::SCA;
+
+    SweepOptions opt;
+    opt.points = r.points;
+
+    opt.jobs = 1;
+    auto t0 = Clock::now();
+    std::string fp1 = runSweep(cfg, opt).fingerprint();
+    r.serialMs = msSince(t0);
+
+    opt.jobs = jobs;
+    auto t1 = Clock::now();
+    std::string fpN = runSweep(cfg, opt).fingerprint();
+    r.parallelMs = msSince(t1);
+
+    r.speedup = r.parallelMs > 0 ? r.serialMs / r.parallelMs : 0;
+    r.identical = fp1 == fpN;
+    return r;
 }
 
 // ----------------------------------------------------------------------
@@ -384,13 +473,23 @@ void
 emitJson(std::ostream &os, const std::vector<KernelResult> &kernels,
          const std::vector<SystemResult> &systems, bool quick,
          const std::string &baseline_json,
-         const std::vector<CheckResult> &checks, bool checks_ok)
+         const std::vector<CheckResult> &checks, bool checks_ok,
+         const SweepScalingResult &scaling)
 {
     char buf[256];
     os << "{\n";
     os << "  \"bench\": \"cnvm_bench\",\n";
     os << "  \"mode\": \"" << (quick ? "quick" : "full") << "\",\n";
     os << "  \"checks_ok\": " << (checks_ok ? "true" : "false") << ",\n";
+    std::snprintf(buf, sizeof(buf),
+                  "  \"sweep_scaling\": {\"points\": %u, \"jobs\": %u, "
+                  "\"host_concurrency\": %u, \"serial_ms\": %.2f, "
+                  "\"parallel_ms\": %.2f, \"speedup\": %.2f, "
+                  "\"fingerprints_identical\": %s},\n",
+                  scaling.points, scaling.jobs, scaling.hostConcurrency,
+                  scaling.serialMs, scaling.parallelMs, scaling.speedup,
+                  scaling.identical ? "true" : "false");
+    os << buf;
     os << "  \"checks\": {";
     for (std::size_t i = 0; i < checks.size(); ++i) {
         os << "\"" << checks[i].name << "\": "
@@ -438,6 +537,7 @@ main(int argc, char **argv)
     std::string baseline_path;
     bool quick = false;
     unsigned repeat = 3;
+    unsigned jobs = 0; // 0 = hardware concurrency
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -458,10 +558,16 @@ main(int argc, char **argv)
             repeat = static_cast<unsigned>(std::atoi(need_value()));
             if (repeat < 1)
                 repeat = 1;
+        } else if (arg == "--jobs") {
+            jobs = static_cast<unsigned>(std::atoi(need_value()));
+            if (jobs == 0) {
+                std::fprintf(stderr, "--jobs needs N >= 1\n");
+                return 2;
+            }
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
                 "cnvm_bench [--out FILE] [--baseline FILE] [--quick]\n"
-                "           [--repeat N]\n");
+                "           [--repeat N] [--jobs N]\n");
             return 0;
         } else {
             std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
@@ -487,6 +593,11 @@ main(int argc, char **argv)
             baseline_json.pop_back();
     }
 
+    // The timed kernels and System runs stay serial — they measure
+    // host-side speed and concurrent timing would only add noise. The
+    // pool runs the untimed per-design equivalence checks.
+    WorkPool pool(jobs);
+
     std::vector<KernelResult> kernels;
     kernels.push_back(bestKernel(repeat, [&]() {
         return benchEventqScheduleProcess(quick ? 200 : 2000); }));
@@ -501,13 +612,23 @@ main(int argc, char **argv)
     systems.push_back(bestSystem(repeat, [&]() {
         return benchFigRun(quick ? 40 : 200); }));
 
-    std::vector<CheckResult> checks = runEquivalenceChecks(quick);
+    std::vector<CheckResult> checks = runEquivalenceChecks(quick, pool);
     bool checks_ok = true;
     for (const CheckResult &c : checks) {
         checks_ok = checks_ok && c.ok;
         std::printf("check %-32s %s\n", c.name.c_str(),
                     c.ok ? "ok" : "FAILED");
     }
+
+    SweepScalingResult scaling = benchSweepScaling(quick, 4);
+    checks_ok = checks_ok && scaling.identical;
+    std::printf("sweep scaling: %u points, serial %.1f ms, "
+                "jobs=%u %.1f ms (%.2fx, host concurrency %u, "
+                "fingerprints %s)\n",
+                scaling.points, scaling.serialMs, scaling.jobs,
+                scaling.parallelMs, scaling.speedup,
+                scaling.hostConcurrency,
+                scaling.identical ? "identical" : "DIFFER");
 
     for (const KernelResult &k : kernels)
         std::printf("%-34s %10.2f ns/op  (%llu ops, %.1f ms)\n",
@@ -520,7 +641,7 @@ main(int argc, char **argv)
 
     if (out_path.empty()) {
         emitJson(std::cout, kernels, systems, quick, baseline_json,
-                 checks, checks_ok);
+                 checks, checks_ok, scaling);
     } else {
         std::ofstream out(out_path);
         if (!out) {
@@ -528,7 +649,7 @@ main(int argc, char **argv)
             return 2;
         }
         emitJson(out, kernels, systems, quick, baseline_json, checks,
-                 checks_ok);
+                 checks_ok, scaling);
         std::printf("wrote %s\n", out_path.c_str());
     }
     return checks_ok ? 0 : 1;

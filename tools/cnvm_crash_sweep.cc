@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/crash_sweep.hh"
+#include "runner/runner.hh"
 
 using namespace cnvm;
 
@@ -38,6 +39,7 @@ struct Options
     SystemConfig cfg;
     std::vector<DesignPoint> designs;
     unsigned points = 20;
+    unsigned jobs = 0; //!< 0 = hardware concurrency
     bool semanticTriggers = true;
     bool verbose = false;
     bool printFingerprint = false;
@@ -52,6 +54,9 @@ usage(int code)
 options:
   --design NAME     sweep one design (default: all of them)
   --points K        crash points per design (default 20)
+  --jobs N          worker threads for the Execute phase (default:
+                    hardware concurrency; 1 = the serial reference
+                    loop; results are identical at any N)
   --workload NAME   array | queue | hash | btree | rbtree (default array)
   --cores N         number of cores (default 1)
   --txns N          transactions per core (default 40)
@@ -110,6 +115,12 @@ parseArgs(int argc, char **argv)
             opt.designs.push_back(*d);
         } else if (arg == "--points") {
             opt.points = static_cast<unsigned>(std::atoi(need_value(i)));
+        } else if (arg == "--jobs") {
+            opt.jobs = static_cast<unsigned>(std::atoi(need_value(i)));
+            if (opt.jobs == 0) {
+                std::fprintf(stderr, "--jobs needs N >= 1\n");
+                usage(2);
+            }
         } else if (arg == "--workload") {
             opt.cfg.workload = workloadKindFromName(need_value(i));
         } else if (arg == "--cores") {
@@ -151,12 +162,15 @@ parseArgs(int argc, char **argv)
 
 /** Sweeps one design; returns whether it behaved as designed. */
 bool
-sweepDesign(const Options &opt, DesignPoint design)
+sweepDesign(const Options &opt, DesignPoint design, WorkPool &pool)
 {
     SystemConfig cfg = opt.cfg;
     cfg.design = design;
 
-    SweepResult result = runSweep(cfg, opt.points, opt.semanticTriggers);
+    SweepOptions sweep_opt;
+    sweep_opt.points = opt.points;
+    sweep_opt.semanticTriggers = opt.semanticTriggers;
+    SweepResult result = runSweep(cfg, sweep_opt, &pool);
 
     if (opt.verbose) {
         for (const SweepPoint &p : result.points) {
@@ -209,11 +223,15 @@ main(int argc, char **argv)
 {
     Options opt = parseArgs(argc, argv);
 
+    // One pool, reused across every design's Execute phase.
+    WorkPool pool(opt.jobs);
+
     std::printf("crash-point sweep: %u points/design, workload %s, "
-                "%u core(s), %u txns, seed %llu%s\n",
+                "%u core(s), %u txns, seed %llu, %u job(s)%s\n",
                 opt.points, workloadKindName(opt.cfg.workload),
                 opt.cfg.numCores, opt.cfg.wl.txnTarget,
                 static_cast<unsigned long long>(opt.cfg.wl.seed),
+                pool.jobs(),
                 opt.semanticTriggers ? "" : ", ticks only");
     std::printf("%-13s %7s %8s %11s %10s %9s %9s %9s\n", "design",
                 "points", "reached", "consistent", "torn-data",
@@ -221,7 +239,7 @@ main(int argc, char **argv)
 
     bool all_ok = true;
     for (DesignPoint d : opt.designs) {
-        if (!sweepDesign(opt, d)) {
+        if (!sweepDesign(opt, d, pool)) {
             all_ok = false;
             std::printf("  ^^ %s did not behave as designed\n",
                         shortDesignName(d));

@@ -22,6 +22,7 @@
 
 #include "core/crash_sweep.hh"
 #include "core/system.hh"
+#include "runner/runner.hh"
 
 using namespace cnvm;
 
@@ -33,6 +34,7 @@ struct Options
     SystemConfig cfg;
     double crashFrac = -1.0;  //!< <0: no crash
     unsigned sweepPoints = 0; //!< 0: no sweep
+    unsigned jobs = 0;        //!< sweep concurrency; 0 = hardware
     bool verify = false;
     bool dumpStats = false;
     bool quiet = false;
@@ -64,6 +66,9 @@ options:
                        each; generalizes --crash-at-frac from one
                        runtime fraction to the whole controller state
                        space (see cnvm_crash_sweep for the full matrix)
+  --jobs N             worker threads for --crash-sweep (default:
+                       hardware concurrency; 1 = serial; results are
+                       identical at any N)
   --verify             recover after the crash and verify consistency
   --stats              dump the full stat registry
   --quiet              suppress the metric summary
@@ -171,6 +176,12 @@ parseArgs(int argc, char **argv)
                 std::fprintf(stderr, "--crash-sweep needs K >= 1\n");
                 usage(2);
             }
+        } else if (arg == "--jobs") {
+            opt.jobs = static_cast<unsigned>(std::atoi(need_value(i)));
+            if (opt.jobs == 0) {
+                std::fprintf(stderr, "--jobs needs N >= 1\n");
+                usage(2);
+            }
         } else if (arg == "--verify") {
             opt.verify = true;
         } else if (arg == "--stats") {
@@ -194,11 +205,16 @@ parseArgs(int argc, char **argv)
 int
 runCrashSweep(const Options &opt)
 {
+    SweepOptions sweep_opt;
+    sweep_opt.points = opt.sweepPoints;
+    sweep_opt.jobs = opt.jobs == 0 ? WorkPool::hardwareJobs() : opt.jobs;
+
     if (!opt.quiet)
-        std::printf("sweeping %u crash points: %s\n", opt.sweepPoints,
+        std::printf("sweeping %u crash points (%u jobs): %s\n",
+                    opt.sweepPoints, sweep_opt.jobs,
                     System(opt.cfg).describe().c_str());
 
-    SweepResult result = runSweep(opt.cfg, opt.sweepPoints);
+    SweepResult result = runSweep(opt.cfg, sweep_opt);
     for (const SweepPoint &p : result.points) {
         if (!opt.quiet) {
             std::printf("  %-20s %s\n", p.spec.describe().c_str(),
