@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Micro-benchmark for the crash-point sweep's Execute phase: host time
+ * per crash point in Replay mode (one dedicated crashed simulation per
+ * point) versus Fork mode (one trunk run, K captured persistent-state
+ * forks classified off-trunk), at growing K on the queue workload.
+ *
+ * Replay's per-point cost is a full simulation to the crash tick, so
+ * ns/point stays roughly flat in K. Fork amortizes the one trunk run
+ * over all K points, leaving only a recovery per point — its ns/point
+ * falls as K grows, which is the whole argument for the mode.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/crash_sweep.hh"
+
+using namespace cnvm;
+
+namespace
+{
+
+SystemConfig
+sweepConfig()
+{
+    SystemConfig cfg;
+    cfg.design = DesignPoint::SCA;
+    cfg.workload = WorkloadKind::Queue;
+    cfg.wl.regionBytes = 256u << 10;
+    cfg.wl.txnTarget = 30;
+    cfg.wl.computePerTxn = 100;
+    cfg.wl.recordDigests = true;
+    cfg.wl.setupFill = 0.3;
+    cfg.memctl.counterCacheBytes = 16u << 10;
+    return cfg;
+}
+
+void
+runSweepBench(benchmark::State &state, SweepMode mode)
+{
+    SystemConfig cfg = sweepConfig();
+    SweepOptions opt;
+    opt.points = static_cast<unsigned>(state.range(0));
+    opt.mode = mode;
+    // jobs = 1 isolates the algorithmic cost: no thread scheduling in
+    // the measurement, and Replay vs Fork differ only in work done.
+    opt.jobs = 1;
+
+    std::uint64_t points = 0;
+    for (auto _ : state) {
+        SweepResult result = runSweep(cfg, opt);
+        points += result.points.size();
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(points));
+    state.SetLabel(sweepModeName(mode));
+}
+
+void
+BM_SweepReplay(benchmark::State &state)
+{
+    runSweepBench(state, SweepMode::Replay);
+}
+BENCHMARK(BM_SweepReplay)->Arg(8)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_SweepFork(benchmark::State &state)
+{
+    runSweepBench(state, SweepMode::Fork);
+}
+BENCHMARK(BM_SweepFork)->Arg(8)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

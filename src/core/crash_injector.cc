@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "common/logging.hh"
+
 namespace cnvm
 {
 
@@ -46,52 +48,84 @@ CrashSpec::describe() const
     return os.str();
 }
 
+CrashInjector::CrashInjector(EventQueue &eq, std::vector<CrashSpec> specs,
+                             FireFn fire_fn)
+    : eventq(eq),
+      fire(std::move(fire_fn))
+{
+    armed.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        Armed a;
+        a.spec = specs[i];
+        a.fireEvent = std::make_unique<EventFunctionWrapper>(
+            [this, i]() {
+                armed[i].didFire = true;
+                ++firedCount;
+                fire(i);
+            },
+            "power-failure", Event::MinPriority);
+        armed.push_back(std::move(a));
+
+        auto watched = ctlEventFor(specs[i].kind);
+        if (watched) {
+            cnvm_assert(specs[i].count >= 1);
+            ++semanticSpecs;
+            pendingByEvent[static_cast<std::size_t>(*watched)]
+                .emplace(specs[i].count, i);
+        }
+    }
+}
+
 CrashInjector::CrashInjector(EventQueue &eq, const CrashSpec &spec,
                              std::function<void()> fire_fn)
-    : eventq(eq),
-      armedSpec(spec),
-      fire(std::move(fire_fn)),
-      crashEvent([this]() {
-                     didFire = true;
-                     fire();
-                 },
-                 "power-failure", Event::MinPriority)
+    : CrashInjector(eq, std::vector<CrashSpec>{spec},
+                    [fn = std::move(fire_fn)](std::size_t) { fn(); })
 {
-    if (armedSpec.kind != CrashTriggerKind::AtTick)
-        trigger.arm(armedSpec.count, [this]() { fireSoon(); });
 }
 
 void
 CrashInjector::start()
 {
-    if (armedSpec.kind == CrashTriggerKind::AtTick)
-        eventq.schedule(crashEvent, armedSpec.tick);
+    for (Armed &a : armed)
+        if (a.spec.kind == CrashTriggerKind::AtTick)
+            eventq.schedule(*a.fireEvent, a.spec.tick);
 }
 
 void
 CrashInjector::onCtlEvent(CtlEvent ev)
 {
-    auto watched = ctlEventFor(armedSpec.kind);
-    if (watched && ev == *watched)
-        trigger.observe();
+    auto &pending = pendingByEvent[static_cast<std::size_t>(ev)];
+    std::uint64_t nth = ++seen[static_cast<std::size_t>(ev)];
+    if (pending.empty())
+        return;
+    // All specs armed on this event's Nth occurrence fire now; the
+    // multimap keeps later ordinals pending.
+    auto range = pending.equal_range(nth);
+    for (auto it = range.first; it != range.second; ++it)
+        fireSoon(it->second);
+    pending.erase(range.first, range.second);
 }
 
 void
-CrashInjector::fireSoon()
+CrashInjector::fireSoon(std::size_t i)
 {
-    if (didFire || crashEvent.scheduled())
+    Armed &a = armed[i];
+    if (disarmed || a.didFire || a.fireEvent->scheduled())
         return;
     // MinPriority: the failure observes the triggering controller state
     // before any other model event pending for this tick runs.
-    eventq.schedule(crashEvent, eventq.curTick());
+    eventq.schedule(*a.fireEvent, eventq.curTick());
 }
 
 void
 CrashInjector::disarm()
 {
-    trigger.disarm();
-    if (crashEvent.scheduled())
-        eventq.deschedule(crashEvent);
+    disarmed = true;
+    for (auto &pending : pendingByEvent)
+        pending.clear();
+    for (Armed &a : armed)
+        if (a.fireEvent->scheduled())
+            eventq.deschedule(*a.fireEvent);
 }
 
 } // namespace cnvm

@@ -10,24 +10,36 @@
  * the encryption pipeline, the Nth ready-bit pairing), and the injector
  * fires the system's power-failure path exactly there.
  *
+ * One injector arms any number of CrashSpecs against a single run. The
+ * classic use is one spec whose fire callback tears the system down
+ * (System::doCrash); the fork-based sweep instead arms the *whole
+ * plan* and fires a side-effect-free capture callback per spec, so the
+ * run keeps going — each spec still fires at exactly the tick and
+ * ordinal it would have fired at alone, because observing events and
+ * capturing forks perturbs nothing.
+ *
  * Firing is deferred through the event queue at minimum priority: the
  * hook that observes the triggering event runs deep inside controller
- * code, and tearing the controller down under its own feet would
- * corrupt the very state the sweep wants to examine. Scheduling at the
- * current tick crashes "immediately after the triggering action",
- * before any other pending model activity of the same tick.
+ * code, and tearing the controller down (or snapshotting it) under its
+ * own feet would corrupt the very state the sweep wants to examine.
+ * Scheduling at the current tick crashes "immediately after the
+ * triggering action", before any other pending model activity of the
+ * same tick.
  */
 
 #ifndef CNVM_CORE_CRASH_INJECTOR_HH
 #define CNVM_CORE_CRASH_INJECTOR_HH
 
+#include <array>
 #include <functional>
+#include <map>
+#include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "memctl/mem_controller.hh"
 #include "sim/eventq.hh"
-#include "sim/trigger.hh"
 
 namespace cnvm
 {
@@ -83,41 +95,81 @@ struct CrashSpec
 };
 
 /**
- * Arms one CrashSpec against one run. The owning System wires
- * onCtlEvent() into MemController::setEventHook() for semantic specs
- * and calls start() before the run; the injector invokes the supplied
- * fire callback (System::doCrash) at most once.
+ * Arms one or more CrashSpecs against one run. The owning System wires
+ * onCtlEvent() into MemController::setEventHook() when any spec is
+ * semantic and calls start() before the run; the injector invokes the
+ * supplied fire callback (with the index of the triggering spec) at
+ * most once per spec. Specs are independent: each fires at its own
+ * tick/ordinal regardless of how many others fired first.
  */
 class CrashInjector
 {
   public:
+    /** Per-spec fire callback: receives the index into specs(). */
+    using FireFn = std::function<void(std::size_t)>;
+
+    CrashInjector(EventQueue &eq, std::vector<CrashSpec> specs,
+                  FireFn fire);
+
+    /** Single-spec convenience (the classic teardown use). */
     CrashInjector(EventQueue &eq, const CrashSpec &spec,
                   std::function<void()> fire);
 
-    /** Schedules the tick trigger (no-op for semantic specs). */
+    /** Schedules the tick triggers (no-op for semantic specs). */
     void start();
 
     /** Observer for MemController semantic events. */
     void onCtlEvent(CtlEvent ev);
 
-    /** Cancels a not-yet-fired crash (run completed first). */
+    /** Cancels every not-yet-fired spec (run completed first). */
     void disarm();
 
-    /** True once the power failure has been delivered. */
-    bool fired() const { return didFire; }
+    /** True once any spec's power failure has been delivered. */
+    bool fired() const { return firedCount > 0; }
 
-    const CrashSpec &spec() const { return armedSpec; }
+    /** True once spec @p i has been delivered. */
+    bool fired(std::size_t i) const { return armed.at(i).didFire; }
+
+    /** Number of specs that have been delivered. */
+    std::size_t deliveredCount() const { return firedCount; }
+
+    /** True when any armed spec watches semantic controller events. */
+    bool wantsCtlEvents() const { return semanticSpecs > 0; }
+
+    std::size_t specCount() const { return armed.size(); }
+    const CrashSpec &spec(std::size_t i = 0) const
+    { return armed.at(i).spec; }
 
   private:
-    /** Schedules the failure for the current tick (idempotent). */
-    void fireSoon();
+    /** One armed spec and its deferred-firing event. */
+    struct Armed
+    {
+        CrashSpec spec;
+        std::unique_ptr<EventFunctionWrapper> fireEvent;
+        bool didFire = false;
+    };
+
+    /** Schedules spec @p i's failure for the current tick. */
+    void fireSoon(std::size_t i);
 
     EventQueue &eventq;
-    CrashSpec armedSpec;
-    std::function<void()> fire;
-    CountdownTrigger trigger;
-    EventFunctionWrapper crashEvent;
-    bool didFire = false;
+    FireFn fire;
+    std::vector<Armed> armed;
+    std::size_t firedCount = 0;
+    std::size_t semanticSpecs = 0;
+    bool disarmed = false;
+
+    /** Occurrences of each CtlEvent observed so far. */
+    std::array<std::uint64_t, numCtlEvents> seen{};
+
+    /**
+     * Pending semantic specs, per watched event: ordinal -> spec
+     * index. A multimap because a plan may legitimately contain
+     * duplicate points (kind and ordinal both equal); each duplicate
+     * fires once, at the same instant.
+     */
+    std::array<std::multimap<std::uint64_t, std::size_t>, numCtlEvents>
+        pendingByEvent;
 };
 
 } // namespace cnvm

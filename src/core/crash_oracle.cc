@@ -16,18 +16,25 @@ crashClassName(CrashClass cls)
     return "?";
 }
 
+CrashOracle::CrashOracle(const PersistSource &src,
+                         const MemController &ctl)
+    : src(src), ctl(ctl)
+{
+}
+
 CrashOracle::CrashOracle(const NvmDevice &nvm, const MemController &ctl)
-    : nvm(nvm), ctl(ctl)
+    : CrashOracle(nvm.persistedState(), ctl)
 {
 }
 
 OracleReport
-CrashOracle::examine(const Workload &workload) const
+CrashOracle::examine(const Workload &workload,
+                     const std::vector<std::uint64_t> *digests) const
 {
     OracleReport report;
 
-    RecoveryEngine engine(nvm, ctl);
-    report.recovery = engine.recover(workload);
+    RecoveryEngine engine(src, ctl);
+    report.recovery = engine.recover(workload, digests);
 
     // Counter census. Unencrypted lines have no counter to diverge
     // from; the census trivially passes (cipher counters are recorded
@@ -36,9 +43,9 @@ CrashOracle::examine(const Workload &workload) const
         for (Addr addr = workload.regionBase(); addr < workload.regionEnd();
              addr += lineBytes) {
             ++report.linesChecked;
-            std::uint64_t cc = nvm.persistedCipherCounter(addr);
+            std::uint64_t cc = src.persistedCipherCounter(addr);
             std::uint64_t pc =
-                nvm.persistedCounters(ctl.counterLineAddr(addr))
+                src.persistedCounters(ctl.counterLineAddr(addr))
                     [ctl.counterSlot(addr)];
             if (pc == cc)
                 continue;

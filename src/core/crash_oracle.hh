@@ -81,17 +81,32 @@ struct OracleReport
     { return tornDataLines + tornCounterLines; }
 };
 
-/** Classifies crashed images for workloads of one system. */
+/**
+ * Classifies crashed images for workloads of one system. Like the
+ * recovery engine it works against any PersistSource — the live device
+ * after an in-place crash, or a PersistFork's captured image — and
+ * reads only immutable configuration from the controller.
+ */
 class CrashOracle
 {
   public:
+    CrashOracle(const PersistSource &src, const MemController &ctl);
+
+    /** Convenience: examine the live device's persisted state. */
     CrashOracle(const NvmDevice &nvm, const MemController &ctl);
 
-    /** Recovers and classifies one workload's region. */
-    OracleReport examine(const Workload &workload) const;
+    /**
+     * Recovers and classifies one workload's region.
+     *
+     * @param digests optional committed-digest log override for the
+     *        recovery step (see RecoveryEngine::recover).
+     */
+    OracleReport examine(const Workload &workload,
+                         const std::vector<std::uint64_t> *digests
+                             = nullptr) const;
 
   private:
-    const NvmDevice &nvm;
+    const PersistSource &src;
     const MemController &ctl;
 };
 

@@ -1,5 +1,6 @@
 #include "core/crash_sweep.hh"
 
+#include <memory>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -34,6 +35,16 @@ constexpr CrashTriggerKind semanticKinds[] = {
 };
 
 } // anonymous namespace
+
+const char *
+sweepModeName(SweepMode mode)
+{
+    switch (mode) {
+      case SweepMode::Replay: return "replay";
+      case SweepMode::Fork: return "fork";
+    }
+    return "?";
+}
 
 SweepProbe
 probeRun(const SystemConfig &cfg)
@@ -125,6 +136,66 @@ runSweepPoint(const SystemConfig &cfg, const CrashSpec &spec,
     return point;
 }
 
+SweepPoint
+classifyFork(const System &trunk, const CrashSpec &spec,
+             const PersistFork &fork)
+{
+    SweepPoint point;
+    point.spec = spec;
+    point.crashed = true;
+    point.snapshot = fork.snapshot;
+
+    CrashOracle oracle(fork.image, trunk.controller());
+    for (unsigned c = 0; c < trunk.numCores(); ++c) {
+        OracleReport report =
+            oracle.examine(trunk.workload(c), &fork.coreDigests.at(c));
+        if (severity(report.cls) > severity(point.cls)) {
+            point.cls = report.cls;
+            point.detail = report.recovery.detail;
+        }
+        point.mismatchedLines += report.mismatchedLines();
+        point.committedTxns += report.recovery.committedTxns;
+    }
+    return point;
+}
+
+namespace
+{
+
+/**
+ * Fork-mode Execute: arm the whole plan on one trunk System; every
+ * firing spec captures a PersistFork and is classified off-trunk on
+ * the pool, pipelined with the still-running trunk. Points whose
+ * trigger never fires keep their preset unreached state — the same
+ * semantics a Replay run that completes before its trigger has.
+ */
+void
+executeForkSweep(const SystemConfig &cfg,
+                 const std::vector<CrashSpec> &plan, WorkPool &pool,
+                 SweepResult &result)
+{
+    result.points.resize(plan.size());
+    for (std::size_t i = 0; i < plan.size(); ++i)
+        result.points[i].spec = plan[i];
+
+    System trunk(cfg);
+    trunk.runWithForkCapture(
+        plan, [&](std::size_t i, PersistFork fork) {
+            // The fork moves into shared ownership: the capture
+            // callback returns (the trunk resumes) while a worker may
+            // still be classifying.
+            auto owned = std::make_shared<PersistFork>(std::move(fork));
+            pool.submit([&trunk, &plan, &result, i, owned]() {
+                result.points[i] = classifyFork(trunk, plan[i], *owned);
+            });
+        });
+    // The trunk has finished; drain the classification tail before it
+    // goes out of scope (classifyFork reads its immutable config).
+    pool.waitSubmitted();
+}
+
+} // anonymous namespace
+
 SweepResult
 runSweep(const SystemConfig &cfg, const SweepOptions &opt, WorkPool *pool)
 {
@@ -132,6 +203,16 @@ runSweep(const SystemConfig &cfg, const SweepOptions &opt, WorkPool *pool)
     result.probe = probeRun(cfg);
     std::vector<CrashSpec> plan =
         planSweep(result.probe, opt.points, opt.semanticTriggers);
+
+    if (opt.mode == SweepMode::Fork) {
+        if (pool != nullptr) {
+            executeForkSweep(cfg, plan, *pool, result);
+        } else {
+            WorkPool local(opt.jobs);
+            executeForkSweep(cfg, plan, local, result);
+        }
+        return result;
+    }
 
     if (pool == nullptr && opt.jobs == 1) {
         // Serial reference path: identical to the historical loop.

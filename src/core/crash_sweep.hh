@@ -15,13 +15,28 @@
  *     the crash to states (mid-pipeline, mid-pairing, mid-eviction)
  *     that tick-fraction sampling hits only by luck.
  *
- *  3. Execute: one fresh System per point, same seed, crash armed at
- *     that point, then recover and classify with the CrashOracle.
- *     Each point owns its System, CrashInjector and CrashOracle, so
- *     points are independent and the Execute phase fans out over a
- *     WorkPool (SweepOptions::jobs); results are merged in plan order,
- *     so the outcome is byte-identical to the serial loop at any job
- *     count.
+ *  3. Execute, in one of two modes (SweepOptions::mode):
+ *
+ *     - Replay (the reference): one fresh System per point, same seed,
+ *       crash armed at that point, then recover and classify with the
+ *       CrashOracle. Each point owns its System, CrashInjector and
+ *       CrashOracle, so points are independent and the Execute phase
+ *       fans out over a WorkPool (SweepOptions::jobs); results are
+ *       merged in plan order, so the outcome is byte-identical to the
+ *       serial loop at any job count.
+ *
+ *     - Fork: ONE trunk System runs with every planned spec armed at
+ *       once; each firing captures a PersistFork (persisted image with
+ *       the ADR drain overlaid, controller snapshot, frozen digest
+ *       logs) and the trunk keeps going. Forks are classified
+ *       off-trunk by classifyFork(), pipelined over the WorkPool
+ *       while the trunk is still producing. K points cost one
+ *       simulation plus K recoveries instead of K simulations — yet
+ *       because recovery depends only on persisted state (paper
+ *       section 2.2.2) and capture is side-effect free, the
+ *       fingerprint is byte-identical to Replay's. The one Replay
+ *       feature fork mode cannot offer is collectStatsDumps: a
+ *       per-point stats dump is the property of a full dedicated run.
  *
  * Everything is derived from the configuration and the probe, so a
  * sweep is exactly reproducible for a fixed seed — fingerprint()
@@ -83,6 +98,16 @@ struct SweepPoint
     std::string statsDump;
 };
 
+/** Execute-phase strategy (see the file header). */
+enum class SweepMode
+{
+    Replay, //!< one dedicated crashed simulation per point (reference)
+    Fork,   //!< one trunk run; capture persistent-state forks, classify
+            //!< them off-trunk
+};
+
+const char *sweepModeName(SweepMode mode);
+
 /** How to run a sweep (step 2 shape and step 3 execution). */
 struct SweepOptions
 {
@@ -90,6 +115,10 @@ struct SweepOptions
 
     /** False restricts the plan to absolute ticks (legacy sampling). */
     bool semanticTriggers = true;
+
+    /** Execute-phase strategy. Fork is the fast path; Replay the
+     *  reference it is regression-tested against. */
+    SweepMode mode = SweepMode::Replay;
 
     /**
      * Concurrency of the Execute phase. 1 is the serial reference
@@ -99,7 +128,9 @@ struct SweepOptions
      */
     unsigned jobs = 1;
 
-    /** Capture each point's full stats dump into SweepPoint. */
+    /** Capture each point's full stats dump into SweepPoint.
+     *  Replay mode only: a fork has no dedicated System to dump, so
+     *  fork-mode points leave statsDump empty. */
     bool collectStatsDumps = false;
 };
 
@@ -163,9 +194,22 @@ SweepProbe probeRun(const SystemConfig &cfg);
 std::vector<CrashSpec> planSweep(const SweepProbe &probe, unsigned points,
                                  bool semantic_triggers = true);
 
-/** Executes one planned crash point against a fresh System (step 3). */
+/** Executes one planned crash point against a fresh System (step 3,
+ *  Replay mode). */
 SweepPoint runSweepPoint(const SystemConfig &cfg, const CrashSpec &spec,
                          bool collect_stats = false);
+
+/**
+ * Classifies one captured crash point off-trunk (step 3, Fork mode):
+ * recovery + oracle census over the fork's persisted image and frozen
+ * digest logs. Reads only immutable configuration from @p trunk (the
+ * controller's design/layout/engine and each workload's region
+ * layout), so it is safe to call from a worker thread while the trunk
+ * is still simulating. Produces the same SweepPoint a Replay-mode
+ * runSweepPoint() of @p spec would.
+ */
+SweepPoint classifyFork(const System &trunk, const CrashSpec &spec,
+                        const PersistFork &fork);
 
 /**
  * Probe + plan + execute. When @p pool is given it runs the Execute

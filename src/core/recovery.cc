@@ -7,16 +7,22 @@
 namespace cnvm
 {
 
+RecoveredImage::RecoveredImage(const PersistSource &src,
+                               const MemController &ctl)
+    : src(src), ctl(ctl)
+{
+}
+
 RecoveredImage::RecoveredImage(const NvmDevice &nvm,
                                const MemController &ctl)
-    : nvm(nvm), ctl(ctl)
+    : RecoveredImage(nvm.persistedState(), ctl)
 {
 }
 
 LineData
 RecoveredImage::decryptLine(Addr line_addr) const
 {
-    const LineData *cipher = nvm.persistedLine(line_addr);
+    const LineData *cipher = src.persistedLine(line_addr);
 
     if (ctl.design() == DesignPoint::NoEncryption)
         return cipher != nullptr ? *cipher : LineData{};
@@ -31,7 +37,7 @@ RecoveredImage::decryptLine(Addr line_addr) const
     }
 
     std::uint64_t counter =
-        nvm.persistedCounters(ctl.counterLineAddr(line_addr))
+        src.persistedCounters(ctl.counterLineAddr(line_addr))
             [ctl.counterSlot(line_addr)];
 
     // Equation 3: plaintext = OTP(addr, stored counter) xor ciphertext.
@@ -85,17 +91,24 @@ RecoveredImage::line(Addr line_addr) const
     return cachedLine(lineAlign(line_addr));
 }
 
+RecoveryEngine::RecoveryEngine(const PersistSource &src,
+                               const MemController &ctl)
+    : src(src), ctl(ctl)
+{
+}
+
 RecoveryEngine::RecoveryEngine(const NvmDevice &nvm,
                                const MemController &ctl)
-    : nvm(nvm), ctl(ctl)
+    : RecoveryEngine(nvm.persistedState(), ctl)
 {
 }
 
 RecoveryReport
-RecoveryEngine::recover(const Workload &workload)
+RecoveryEngine::recover(const Workload &workload,
+                        const std::vector<std::uint64_t> *digests_in)
 {
     RecoveryReport report;
-    RecoveredImage image(nvm, ctl);
+    RecoveredImage image(src, ctl);
     const LogLayout &log = workload.log();
 
     // --- Step 1: examine the undo log header -------------------------
@@ -145,7 +158,8 @@ RecoveryEngine::recover(const Workload &workload)
     }
 
     // --- Step 3: committed-prefix check -------------------------------
-    const auto &digests = workload.digests();
+    const auto &digests =
+        digests_in != nullptr ? *digests_in : workload.digests();
     if (!digests.empty()) {
         report.digestChecked = true;
         std::uint64_t recovered_digest = workload.digest(image);

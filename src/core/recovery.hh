@@ -12,11 +12,14 @@
 #ifndef CNVM_CORE_RECOVERY_HH
 #define CNVM_CORE_RECOVERY_HH
 
+#include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "memctl/mem_controller.hh"
 #include "nvm/nvm_device.hh"
+#include "nvm/persist_image.hh"
 #include "workloads/workload.hh"
 
 namespace cnvm
@@ -25,10 +28,19 @@ namespace cnvm
 /**
  * A decrypted, mutable view of the persisted NVM image, as recovery
  * software would see it after a power failure.
+ *
+ * Works against any PersistSource: the live device after an in-place
+ * crash, or a PersistFork's image captured from a running trunk. The
+ * controller reference supplies only immutable configuration (design
+ * point, counter layout, encryption engine) — never volatile state,
+ * which a real crash would have destroyed anyway.
  */
 class RecoveredImage : public ByteReader
 {
   public:
+    RecoveredImage(const PersistSource &src, const MemController &ctl);
+
+    /** Convenience: recover from the live device's persisted state. */
     RecoveredImage(const NvmDevice &nvm, const MemController &ctl);
 
     void read(Addr addr, unsigned size, void *out) const override;
@@ -40,7 +52,7 @@ class RecoveredImage : public ByteReader
     LineData line(Addr line_addr) const;
 
   private:
-    const NvmDevice &nvm;
+    const PersistSource &src;
     const MemController &ctl;
 
     /** Decrypted lines plus rollback overlays. */
@@ -75,17 +87,27 @@ struct RecoveryReport
 class RecoveryEngine
 {
   public:
+    RecoveryEngine(const PersistSource &src, const MemController &ctl);
+
+    /** Convenience: recover from the live device's persisted state. */
     RecoveryEngine(const NvmDevice &nvm, const MemController &ctl);
 
     /**
      * Recovers one workload's region: decrypt, roll back the undo log
      * if a valid entry exists, validate structure invariants, and (when
      * digests were recorded) match against a committed prefix.
+     *
+     * @param digests when non-null, the committed-digest log to match
+     *        against instead of the workload's own — a PersistFork's
+     *        snapshot, frozen at the capture tick while the workload's
+     *        live log keeps growing on the trunk.
      */
-    RecoveryReport recover(const Workload &workload);
+    RecoveryReport recover(const Workload &workload,
+                           const std::vector<std::uint64_t> *digests
+                               = nullptr);
 
   private:
-    const NvmDevice &nvm;
+    const PersistSource &src;
     const MemController &ctl;
 };
 

@@ -170,6 +170,57 @@ System::runWithCrash(const CrashSpec &spec)
     return runInternal();
 }
 
+PersistFork
+System::captureFork() const
+{
+    PersistFork fork;
+    fork.snapshot.valid = true;
+    fork.snapshot.tick = eventq.curTick();
+    fork.snapshot.dataQueue = memCtl->dataQueueOccupancy();
+    fork.snapshot.ctrQueue = memCtl->ctrQueueOccupancy();
+    fork.snapshot.landing = memCtl->landingDepth();
+    fork.snapshot.pipeline = memCtl->pipelineDepth();
+    fork.snapshot.inflight = memCtl->inflightDepth();
+    fork.snapshot.outstandingReads = memCtl->outstandingReadCount();
+
+    // Persisted state as a crash here would leave it: the device's
+    // image, then the ADR drain of the controller's ready queue
+    // entries overlaid on the copy (the trunk's own image stays
+    // untouched).
+    fork.image = nvmDev.persistedState();
+    memCtl->captureCrashState(fork.image);
+
+    // Digest logs snapshot: the trunk keeps committing after the
+    // capture, and the committed-prefix search must not see the fork's
+    // future.
+    fork.coreDigests.reserve(workloads.size());
+    for (const auto &wl : workloads)
+        fork.coreDigests.push_back(wl->digests());
+    return fork;
+}
+
+RunResult
+System::runWithForkCapture(const std::vector<CrashSpec> &specs,
+                           ForkSink sink)
+{
+    bool semantic = false;
+    for (const CrashSpec &spec : specs)
+        semantic = semantic || ctlEventFor(spec.kind).has_value();
+
+    injector = std::make_unique<CrashInjector>(
+        eventq, specs, [this, sink = std::move(sink)](std::size_t i) {
+            PersistFork fork = captureFork();
+            fork.planIndex = i;
+            sink(i, std::move(fork));
+        });
+    if (semantic) {
+        memCtl->setEventHook(
+            [this](CtlEvent ev) { injector->onCtlEvent(ev); });
+    }
+    injector->start();
+    return runInternal();
+}
+
 std::vector<RecoveryReport>
 System::recoverAll()
 {

@@ -23,6 +23,7 @@
 #include "core/config.hh"
 #include "core/crash_injector.hh"
 #include "core/crash_oracle.hh"
+#include "core/persist_fork.hh"
 #include "core/recovery.hh"
 #include "cpu/core.hh"
 #include "mem/core_mem_path.hh"
@@ -45,24 +46,6 @@ struct RunResult
 
     /** Transactions issued across all cores by the end of the run. */
     std::uint64_t txnsIssued = 0;
-};
-
-/**
- * Controller state at the instant the power failed, captured before
- * crash() tears it down. Lets tests assert that a semantic trigger
- * really crashed in the intended state (non-empty pipeline, occupied
- * landing queue, ...), and feeds the sweep report.
- */
-struct CrashSnapshot
-{
-    bool valid = false; //!< a crash actually happened
-    Tick tick = 0;
-    unsigned dataQueue = 0;
-    unsigned ctrQueue = 0;
-    std::size_t landing = 0;
-    unsigned pipeline = 0;
-    unsigned inflight = 0;
-    unsigned outstandingReads = 0;
 };
 
 class System
@@ -91,6 +74,25 @@ class System
      * no crash happens.
      */
     RunResult runWithCrash(const CrashSpec &spec);
+
+    /** Consumer of captured forks: (plan index, the fork). */
+    using ForkSink = std::function<void(std::size_t, PersistFork)>;
+
+    /**
+     * The trunk side of a fork-based crash sweep: arms *all* of
+     * @p specs against this one run, and whenever one fires, hands a
+     * self-contained PersistFork to @p sink instead of crashing —
+     * the run continues to completion. Each fork carries exactly the
+     * persisted state an in-place crash at that point would have left
+     * behind (ADR drain included), so classifying it off-trunk is
+     * equivalent to a dedicated replay crash there. Capture is
+     * side-effect free: the run's timing, stats and results are
+     * byte-identical to an unarmed run(). Specs that never trigger
+     * (workloads finish first) are simply never delivered — the same
+     * "unreached" semantics a replay run has.
+     */
+    RunResult runWithForkCapture(const std::vector<CrashSpec> &specs,
+                                 ForkSink sink);
 
     /** Controller state at the power-failure instant (valid=false when
      *  the run completed without crashing). */
@@ -125,8 +127,12 @@ class System
 
     stats::StatRegistry &statsRegistry() { return registry; }
     MemController &controller() { return *memCtl; }
+    const MemController &controller() const { return *memCtl; }
     NvmDevice &nvm() { return nvmDev; }
+    const NvmDevice &nvm() const { return nvmDev; }
     Workload &workload(unsigned core) { return *workloads.at(core); }
+    const Workload &workload(unsigned core) const
+    { return *workloads.at(core); }
     unsigned numCores() const { return cfg.numCores; }
     const SystemConfig &config() const { return cfg; }
     EventQueue &eventQueue() { return eventq; }
@@ -152,6 +158,12 @@ class System
     void build();
     void doCrash();
     RunResult runInternal();
+
+    /** Deep-copies the crash closure of the current instant (see
+     *  PersistFork): persisted image + ADR overlay, controller
+     *  snapshot, per-core digest logs. const — must not perturb the
+     *  still-running trunk. */
+    PersistFork captureFork() const;
 };
 
 } // namespace cnvm

@@ -1076,28 +1076,52 @@ MemController::issueOneWrite()
 void
 MemController::persistDataEntry(const DataEntry &entry)
 {
-    nvm.drainData(entry.addr, entry.cipher, entry.counter);
+    persistDataEntryTo(nvm.persistedState(), entry);
+}
+
+void
+MemController::persistDataEntryTo(PersistImage &img,
+                                  const DataEntry &entry) const
+{
+    img.drainData(entry.addr, entry.cipher, entry.counter);
 
     // Designs whose counter persistence accompanies the data write.
     switch (cfg.design) {
       case DesignPoint::Colocated:
       case DesignPoint::ColocatedCC: {
         Addr ctr_addr = counterLineAddr(entry.addr);
-        CounterLine values = nvm.persistedCounters(ctr_addr);
+        CounterLine values = img.persistedCounters(ctr_addr);
         values[counterSlot(entry.addr)] = entry.counter;
-        nvm.drainCounters(ctr_addr, values);
+        img.drainCounters(ctr_addr, values);
         break;
       }
       case DesignPoint::Ideal: {
         Addr ctr_addr = counterLineAddr(entry.addr);
-        CounterLine values = nvm.persistedCounters(ctr_addr);
+        CounterLine values = img.persistedCounters(ctr_addr);
         values[counterSlot(entry.addr)] =
             std::max(values[counterSlot(entry.addr)], entry.counter);
-        nvm.drainCounters(ctr_addr, values);
+        img.drainCounters(ctr_addr, values);
         break;
       }
       default:
         break;
+    }
+}
+
+void
+MemController::captureCrashState(PersistImage &img) const
+{
+    // Same ADR semantics and the same order as crash(): every ready
+    // data entry in queue (age) order, then every fully-paired ready
+    // counter entry — the order matters for the co-located designs,
+    // whose data drains read-modify-write the counter store.
+    for (const DataEntry &entry : dataQ) {
+        if (entry.ready)
+            persistDataEntryTo(img, entry);
+    }
+    for (const CtrEntry &entry : ctrQ) {
+        if (entry.ready && entry.pendingPartners == 0)
+            img.drainCounters(entry.addr, entry.values);
     }
 }
 

@@ -157,6 +157,19 @@ class MemController : public MemBackend
     void crash();
 
     /**
+     * The fork-capture half of crash(): applies the ADR drain of the
+     * ready-marked queue entries to @p img — a *copy* of the device's
+     * persisted state — instead of to the device itself, and tears
+     * nothing down. After this overlay, @p img holds exactly what
+     * recovery would find had the power failed at this instant, while
+     * the live controller keeps running untouched. Deliberately
+     * side-effect free: no stats counters (crashDroppedData/Ctr stay
+     * put) and no queue or cache mutation, so a trunk run with any
+     * number of captures is byte-identical to an unarmed run.
+     */
+    void captureCrashState(PersistImage &img) const;
+
+    /**
      * Zero-time setup helper: installs a line into the persisted image
      * (encrypted, with its counter persisted alongside), as a freshly
      * initialized system would hold it. Not part of the timing model.
@@ -390,6 +403,11 @@ class MemController : public MemBackend
     void completeDataDrain(std::uint64_t seq);
     void completeCtrDrain(std::uint64_t seq);
     void persistDataEntry(const DataEntry &entry);
+
+    /** Drain-time persistence of one data entry, applied to an
+     *  arbitrary persisted image (the device's own, or a fork's). */
+    void persistDataEntryTo(PersistImage &img,
+                            const DataEntry &entry) const;
     void notifyRetries();
 
     // --- read path ---

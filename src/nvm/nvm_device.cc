@@ -128,43 +128,4 @@ NvmDevice::livePlainStore(Addr byte_addr, unsigned size,
     std::memcpy(line.data() + (byte_addr - line_addr), bytes, size);
 }
 
-void
-NvmDevice::drainData(Addr line_addr, const LineData &ciphertext,
-                     std::uint64_t cipher_counter)
-{
-    cnvm_assert(isLineAligned(line_addr));
-    cipherImage[line_addr] = ciphertext;
-    cipherCounterOf[line_addr] = cipher_counter;
-}
-
-std::uint64_t
-NvmDevice::persistedCipherCounter(Addr line_addr) const
-{
-    auto it = cipherCounterOf.find(line_addr);
-    return it == cipherCounterOf.end() ? 0 : it->second;
-}
-
-void
-NvmDevice::drainCounters(Addr ctr_line_addr, const CounterLine &values)
-{
-    cnvm_assert(isLineAligned(ctr_line_addr));
-    counterStore[ctr_line_addr] = values;
-}
-
-const LineData *
-NvmDevice::persistedLine(Addr line_addr) const
-{
-    auto it = cipherImage.find(line_addr);
-    return it == cipherImage.end() ? nullptr : &it->second;
-}
-
-CounterLine
-NvmDevice::persistedCounters(Addr ctr_line_addr) const
-{
-    auto it = counterStore.find(ctr_line_addr);
-    if (it == counterStore.end())
-        return CounterLine{};
-    return it->second;
-}
-
 } // namespace cnvm

@@ -32,13 +32,11 @@
 #include "common/types.hh"
 #include "crypto/ctr_engine.hh"
 #include "nvm/nvm_timing.hh"
+#include "nvm/persist_image.hh"
 #include "stats/stats.hh"
 
 namespace cnvm
 {
-
-/** Values of one persisted counter line (8 counters of 8 B). */
-using CounterLine = std::array<std::uint64_t, countersPerLine>;
 
 class NvmDevice
 {
@@ -85,52 +83,67 @@ class NvmDevice
     // Functional: persisted state
     // ------------------------------------------------------------------
 
-    /**
-     * Applies a drained data write to the persisted ciphertext image.
-     *
-     * @param cipher_counter the counter the ciphertext was encrypted
-     *        with (0 for unencrypted designs). Simulator-only ground
-     *        truth: the crash oracle compares it against the persisted
-     *        counter store to detect counter/data divergence without
-     *        having to guess from garbage plaintext.
-     */
-    void drainData(Addr line_addr, const LineData &ciphertext,
-                   std::uint64_t cipher_counter = 0);
+    /** @copydoc PersistImage::drainData */
+    void
+    drainData(Addr line_addr, const LineData &ciphertext,
+              std::uint64_t cipher_counter = 0)
+    {
+        persisted.drainData(line_addr, ciphertext, cipher_counter);
+    }
 
     /** Applies a drained counter-line write to the counter store. */
-    void drainCounters(Addr ctr_line_addr, const CounterLine &values);
+    void
+    drainCounters(Addr ctr_line_addr, const CounterLine &values)
+    {
+        persisted.drainCounters(ctr_line_addr, values);
+    }
 
-    /**
-     * Persisted ciphertext of a line, or nullptr if never written
-     * (never-written lines decrypt as all-zero plaintext at counter 0).
-     */
-    const LineData *persistedLine(Addr line_addr) const;
+    /** @copydoc PersistSource::persistedLine */
+    const LineData *
+    persistedLine(Addr line_addr) const
+    {
+        return persisted.persistedLine(line_addr);
+    }
 
-    /** Persisted counter-line values (zeros if never written). */
-    CounterLine persistedCounters(Addr ctr_line_addr) const;
+    /** @copydoc PersistSource::persistedCounters */
+    CounterLine
+    persistedCounters(Addr ctr_line_addr) const
+    {
+        return persisted.persistedCounters(ctr_line_addr);
+    }
 
-    /**
-     * The whole persisted counter store. The controller's crash path
-     * models recovery's counter-region scan with it, rebuilding the
-     * encryption engine's volatile counter registers from persistent
-     * state only.
-     */
+    /** @copydoc PersistImage::counterLines */
     const std::unordered_map<Addr, CounterLine> &
     persistedCounterLines() const
     {
-        return counterStore;
+        return persisted.counterLines();
     }
 
-    /**
-     * Ground truth for the crash oracle: the counter the persisted
-     * ciphertext of @p line_addr was encrypted with (0 if the line was
-     * never drained). A recovered line is decryptable iff this equals
-     * the matching slot of persistedCounters().
-     */
-    std::uint64_t persistedCipherCounter(Addr line_addr) const;
+    /** @copydoc PersistSource::persistedCipherCounter */
+    std::uint64_t
+    persistedCipherCounter(Addr line_addr) const
+    {
+        return persisted.persistedCipherCounter(line_addr);
+    }
 
     /** Number of distinct lines present in the persisted image. */
-    std::size_t persistedLineCount() const { return cipherImage.size(); }
+    std::size_t persistedLineCount() const
+    { return persisted.lineCount(); }
+
+    /**
+     * The whole persisted half of the device, as one object.
+     *
+     * The const view is the fork-capture entry point: copying it (a
+     * sparse copy — cost scales with the touched footprint) plus the
+     * controller's ADR overlay is exactly the state recovery may rely
+     * on after a power failure at this instant. The accessor has no
+     * side effects: no stats counters move and no timing state is
+     * touched, so capturing a fork cannot perturb the trunk run.
+     */
+    const PersistImage &persistedState() const { return persisted; }
+
+    /** Mutable persisted state (the drain paths and the crash path). */
+    PersistImage &persistedState() { return persisted; }
 
     /** True if the bank serving @p addr can start a new access now. */
     bool
@@ -185,12 +198,9 @@ class NvmDevice
     bool lastWasWrite = false;
 
     std::unordered_map<Addr, LineData> livePlain;
-    std::unordered_map<Addr, LineData> cipherImage;
-    std::unordered_map<Addr, CounterLine> counterStore;
 
-    /** Counter each persisted ciphertext was encrypted with (oracle
-     *  ground truth, not an architectural structure). */
-    std::unordered_map<Addr, std::uint64_t> cipherCounterOf;
+    /** Everything that survives a power failure (paper section 2.2.2). */
+    PersistImage persisted;
 
     stats::Scalar readBytes;
     stats::Scalar writeBytes;

@@ -1,0 +1,47 @@
+#include "nvm/persist_image.hh"
+
+#include "common/logging.hh"
+
+namespace cnvm
+{
+
+void
+PersistImage::drainData(Addr line_addr, const LineData &ciphertext,
+                        std::uint64_t cipher_counter)
+{
+    cnvm_assert(isLineAligned(line_addr));
+    cipherImage[line_addr] = ciphertext;
+    cipherCounterOf[line_addr] = cipher_counter;
+}
+
+void
+PersistImage::drainCounters(Addr ctr_line_addr, const CounterLine &values)
+{
+    cnvm_assert(isLineAligned(ctr_line_addr));
+    counterStore[ctr_line_addr] = values;
+}
+
+const LineData *
+PersistImage::persistedLine(Addr line_addr) const
+{
+    auto it = cipherImage.find(line_addr);
+    return it == cipherImage.end() ? nullptr : &it->second;
+}
+
+CounterLine
+PersistImage::persistedCounters(Addr ctr_line_addr) const
+{
+    auto it = counterStore.find(ctr_line_addr);
+    if (it == counterStore.end())
+        return CounterLine{};
+    return it->second;
+}
+
+std::uint64_t
+PersistImage::persistedCipherCounter(Addr line_addr) const
+{
+    auto it = cipherCounterOf.find(line_addr);
+    return it == cipherCounterOf.end() ? 0 : it->second;
+}
+
+} // namespace cnvm

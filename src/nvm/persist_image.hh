@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The persisted half of the NVM device, separated from the timing
+ * model so it can be snapshotted.
+ *
+ * By the paper's recovery model (section 2.2.2), a power failure
+ * discards every volatile structure; what recovery works from is
+ * exactly the persisted ciphertext image, the persisted counter store,
+ * and (simulator-only) the ground-truth record of which counter each
+ * ciphertext was encrypted with. PersistImage bundles those three maps
+ * behind the PersistSource interface that the recovery engine and the
+ * crash oracle consume, so the same classification code runs against
+ * the live device after an in-place crash *and* against a PersistFork
+ * captured from a still-running trunk simulation.
+ */
+
+#ifndef CNVM_NVM_PERSIST_IMAGE_HH
+#define CNVM_NVM_PERSIST_IMAGE_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace cnvm
+{
+
+/** Values of one persisted counter line (8 counters of 8 B). */
+using CounterLine = std::array<std::uint64_t, countersPerLine>;
+
+/**
+ * Read-only view of persisted NVM state, sufficient for post-crash
+ * recovery and classification. Implemented by PersistImage (and hence
+ * by the live device and by captured forks alike).
+ */
+class PersistSource
+{
+  public:
+    virtual ~PersistSource() = default;
+
+    /**
+     * Persisted ciphertext of a line, or nullptr if never written
+     * (never-written lines decrypt as all-zero plaintext at counter 0).
+     */
+    virtual const LineData *persistedLine(Addr line_addr) const = 0;
+
+    /** Persisted counter-line values (zeros if never written). */
+    virtual CounterLine persistedCounters(Addr ctr_line_addr) const = 0;
+
+    /**
+     * Ground truth for the crash oracle: the counter the persisted
+     * ciphertext of @p line_addr was encrypted with (0 if the line was
+     * never drained). A recovered line is decryptable iff this equals
+     * the matching slot of persistedCounters().
+     */
+    virtual std::uint64_t persistedCipherCounter(Addr line_addr) const = 0;
+};
+
+/**
+ * The state that survives a power failure: ciphertext image, counter
+ * store, and the oracle's cipher-counter record. Copyable — the maps
+ * hold only lines ever drained, so a copy is sparse in the region
+ * size: its cost scales with the touched footprint, not the address
+ * space.
+ */
+class PersistImage final : public PersistSource
+{
+  public:
+    // ------------------------------------------------------------------
+    // Drain-time mutation
+    // ------------------------------------------------------------------
+
+    /**
+     * Applies a drained data write to the persisted ciphertext image.
+     *
+     * @param cipher_counter the counter the ciphertext was encrypted
+     *        with (0 for unencrypted designs). Simulator-only ground
+     *        truth: the crash oracle compares it against the persisted
+     *        counter store to detect counter/data divergence without
+     *        having to guess from garbage plaintext.
+     */
+    void drainData(Addr line_addr, const LineData &ciphertext,
+                   std::uint64_t cipher_counter = 0);
+
+    /** Applies a drained counter-line write to the counter store. */
+    void drainCounters(Addr ctr_line_addr, const CounterLine &values);
+
+    // ------------------------------------------------------------------
+    // PersistSource
+    // ------------------------------------------------------------------
+
+    const LineData *persistedLine(Addr line_addr) const override;
+    CounterLine persistedCounters(Addr ctr_line_addr) const override;
+    std::uint64_t persistedCipherCounter(Addr line_addr) const override;
+
+    /**
+     * The whole persisted counter store. The controller's crash path
+     * models recovery's counter-region scan with it, rebuilding the
+     * encryption engine's volatile counter registers from persistent
+     * state only.
+     */
+    const std::unordered_map<Addr, CounterLine> &
+    counterLines() const
+    {
+        return counterStore;
+    }
+
+    /** Number of distinct lines present in the persisted image. */
+    std::size_t lineCount() const { return cipherImage.size(); }
+
+  private:
+    std::unordered_map<Addr, LineData> cipherImage;
+    std::unordered_map<Addr, CounterLine> counterStore;
+
+    /** Counter each persisted ciphertext was encrypted with (oracle
+     *  ground truth, not an architectural structure). */
+    std::unordered_map<Addr, std::uint64_t> cipherCounterOf;
+};
+
+} // namespace cnvm
+
+#endif // CNVM_NVM_PERSIST_IMAGE_HH

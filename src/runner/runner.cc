@@ -43,23 +43,108 @@ WorkPool::workerLoop()
         {
             std::unique_lock<std::mutex> lock(mtx);
             wake.wait(lock, [&]() {
-                return stopping || (batch != nullptr && generation != seen);
+                return stopping
+                    || (batch != nullptr && generation != seen)
+                    || !subQ.empty();
             });
             if (stopping)
                 return;
-            seen = generation;
-            b = batch;
-            // Attach before unlocking: the owner must not retire the
-            // batch (a stack object of forEachIndex) while any worker
-            // still holds a pointer to it.
-            ++b->active;
+            if (batch != nullptr && generation != seen) {
+                seen = generation;
+                b = batch;
+                // Attach before unlocking: the owner must not retire
+                // the batch (a stack object of forEachIndex) while any
+                // worker still holds a pointer to it.
+                ++b->active;
+            }
         }
-        drainBatch(*b);
-        {
+        if (b != nullptr) {
+            drainBatch(*b);
             std::lock_guard<std::mutex> lock(mtx);
             if (--b->active == 0)
                 idle.notify_all();
+        } else {
+            // Woken for a submitted task; another worker may have
+            // beaten us to it, in which case this is a no-op and we
+            // go back to sleep.
+            runOneSubmitted();
         }
+    }
+}
+
+bool
+WorkPool::runOneSubmitted()
+{
+    std::pair<std::size_t, std::function<void()>> item;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        if (subQ.empty())
+            return false;
+        item = std::move(subQ.front());
+        subQ.pop_front();
+    }
+    std::exception_ptr err;
+    try {
+        item.second();
+    } catch (...) {
+        err = std::current_exception();
+    }
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        if (err)
+            subErrors.emplace_back(item.first, err);
+        // subSubmitted may still grow (the owner keeps producing);
+        // waitSubmitted() re-checks the predicate on every wakeup.
+        if (++subDone == subSubmitted)
+            idle.notify_all();
+    }
+    return true;
+}
+
+void
+WorkPool::submit(std::function<void()> task)
+{
+    if (njobs == 1) {
+        // Serial reference: run inline, defer any error so that the
+        // caller sees identical semantics at every jobs() value.
+        std::size_t index = subSubmitted++;
+        try {
+            task();
+        } catch (...) {
+            subErrors.emplace_back(index, std::current_exception());
+        }
+        ++subDone;
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        subQ.emplace_back(subSubmitted++, std::move(task));
+    }
+    wake.notify_one();
+}
+
+void
+WorkPool::waitSubmitted()
+{
+    // The owner joins the drain: with every worker busy on earlier
+    // tasks, the queue tail would otherwise wait for a free worker.
+    while (runOneSubmitted()) {
+    }
+
+    std::vector<std::pair<std::size_t, std::exception_ptr>> errors;
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        idle.wait(lock, [&]() { return subDone == subSubmitted; });
+        errors.swap(subErrors);
+        subSubmitted = 0;
+        subDone = 0;
+    }
+
+    if (!errors.empty()) {
+        auto lowest = std::min_element(
+            errors.begin(), errors.end(),
+            [](const auto &a, const auto &c) { return a.first < c.first; });
+        std::rethrow_exception(lowest->second);
     }
 }
 

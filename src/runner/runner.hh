@@ -14,9 +14,16 @@
  * jobs() == 1 runs every index inline on the calling thread with no
  * worker threads at all: the serial reference path.
  *
- * A pool is reusable — forEachIndex()/map() may be called any number
- * of times — but is single-owner: only one batch may be in flight at a
- * time, driven from one thread.
+ * Next to the indexed batch mode there is a pipelined mode —
+ * submit()/waitSubmitted() — for producers that discover work
+ * incrementally: the fork-based sweep's trunk simulation emits a
+ * classification task per captured crash point, and workers chew
+ * through them *while the trunk is still running*.
+ *
+ * A pool is reusable — forEachIndex()/map() and
+ * submit()/waitSubmitted() cycles may be called any number of times —
+ * but is single-owner: only one batch or submission cycle may be in
+ * flight at a time, driven from one thread.
  */
 
 #ifndef CNVM_RUNNER_RUNNER_HH
@@ -25,6 +32,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -75,6 +83,26 @@ class WorkPool
         return out;
     }
 
+    /**
+     * Pipelined mode: hands @p task to the pool and returns
+     * immediately; workers run submitted tasks while the caller keeps
+     * producing more. With jobs() == 1 the task runs inline right here
+     * (the serial reference), with any exception deferred to
+     * waitSubmitted() — identical semantics at every jobs() value.
+     * Unlike batch mode, an earlier task's failure does not cancel
+     * later submissions: submitted tasks are independent and all of
+     * them run.
+     */
+    void submit(std::function<void()> task);
+
+    /**
+     * Completes a submission cycle: the caller joins in draining the
+     * remaining queue, blocks until every submitted task has finished,
+     * and rethrows the exception of the earliest-submitted failed task
+     * (if any). Resets the cycle — the pool is reusable afterwards.
+     */
+    void waitSubmitted();
+
   private:
     /** One in-flight batch: an indexed queue [0, n) plus completion
      *  and error state, all guarded by mtx. */
@@ -98,11 +126,21 @@ class WorkPool
     std::uint64_t generation = 0; //!< bumped when a batch is posted
     bool stopping = false;
 
+    /** Submission-cycle state (pipelined mode), guarded by mtx. */
+    std::deque<std::pair<std::size_t, std::function<void()>>> subQ;
+    std::size_t subSubmitted = 0; //!< tasks submitted this cycle
+    std::size_t subDone = 0;      //!< tasks finished (ok or thrown)
+    std::vector<std::pair<std::size_t, std::exception_ptr>> subErrors;
+
     void workerLoop();
 
     /** Claims and runs indices until the batch (or its error cutoff)
      *  is exhausted; returns with mtx unlocked. */
     void drainBatch(Batch &b);
+
+    /** Pops and runs one submitted task; false when the queue was
+     *  empty. */
+    bool runOneSubmitted();
 };
 
 } // namespace cnvm

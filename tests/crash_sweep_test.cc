@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "core/crash_sweep.hh"
 #include "sim/trigger.hh"
 
@@ -276,6 +278,134 @@ TEST(CrashSweepEndToEnd, UnreachedTriggerMeansNoCrash)
     EXPECT_FALSE(point.crashed);
     EXPECT_FALSE(point.snapshot.valid);
     EXPECT_EQ(point.cls, CrashClass::Consistent);
+}
+
+// --- fork-based Execute ---------------------------------------------------
+
+TEST(ForkSweep, ForkMatchesReplayFingerprintAllDesigns)
+{
+    // The tentpole contract: mode=Fork classifies from captured
+    // persistent-state forks of one trunk run, yet its fingerprint is
+    // byte-identical to the K-replay reference — for every design,
+    // serial and pipelined alike.
+    for (DesignPoint d : {DesignPoint::ColocatedCC, DesignPoint::FCA,
+                          DesignPoint::SCA, DesignPoint::Unsafe}) {
+        SystemConfig cfg = smallConfig(d);
+
+        SweepOptions replay;
+        replay.points = 8;
+        std::string reference = runSweep(cfg, replay).fingerprint();
+        ASSERT_FALSE(reference.empty()) << designName(d);
+
+        for (unsigned jobs : {1u, 4u}) {
+            SweepOptions fork;
+            fork.points = 8;
+            fork.mode = SweepMode::Fork;
+            fork.jobs = jobs;
+            EXPECT_EQ(runSweep(cfg, fork).fingerprint(), reference)
+                << designName(d) << " jobs=" << jobs;
+        }
+    }
+}
+
+TEST(ForkSweep, CaptureDoesNotPerturbTrunk)
+{
+    // Arming K capture-only triggers must be invisible to the trunk:
+    // same end tick and a byte-identical full stats dump as an unarmed
+    // run of the same configuration.
+    SystemConfig cfg = smallConfig(DesignPoint::SCA);
+
+    System plain(cfg);
+    RunResult plain_result = plain.run();
+    std::ostringstream plain_stats;
+    plain.statsRegistry().dump(plain_stats);
+
+    SweepProbe probe = probeRun(cfg);
+    std::vector<CrashSpec> plan = planSweep(probe, 9);
+    unsigned captured = 0;
+    System trunk(cfg);
+    RunResult trunk_result = trunk.runWithForkCapture(
+        plan, [&](std::size_t, PersistFork) { ++captured; });
+    std::ostringstream trunk_stats;
+    trunk.statsRegistry().dump(trunk_stats);
+
+    EXPECT_GT(captured, 0u);
+    EXPECT_FALSE(trunk_result.crashed);
+    EXPECT_EQ(trunk_result.endTick, plain_result.endTick);
+    EXPECT_EQ(trunk_result.txnsIssued, plain_result.txnsIssued);
+    EXPECT_EQ(trunk_stats.str(), plain_stats.str());
+}
+
+TEST(ForkSweep, MultiSpecArmingFiresEachSpecOnceAtItsReplayTick)
+{
+    SystemConfig cfg = smallConfig(DesignPoint::ColocatedCC);
+    SweepProbe probe = probeRun(cfg);
+    ASSERT_GT(probe.countOf(CtlEvent::DataDrain), 4u);
+    ASSERT_GT(probe.countOf(CtlEvent::PipelineEnter), 2u);
+
+    // Two semantic specs and one absolute tick, all armed on one run.
+    std::vector<CrashSpec> plan{
+        CrashSpec::atEvent(CrashTriggerKind::DataDrain, 5),
+        CrashSpec::atEvent(CrashTriggerKind::PipelineEnter, 3),
+        CrashSpec::atTick(probe.endTick / 2),
+    };
+
+    std::vector<unsigned> fires(plan.size(), 0);
+    std::vector<Tick> forkTicks(plan.size(), 0);
+    System trunk(cfg);
+    trunk.runWithForkCapture(plan,
+                             [&](std::size_t i, PersistFork fork) {
+                                 ++fires.at(i);
+                                 forkTicks.at(i) = fork.snapshot.tick;
+                                 EXPECT_EQ(fork.planIndex, i);
+                             });
+
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+        EXPECT_EQ(fires[i], 1u) << plan[i].describe();
+        // Each fork was captured at exactly the tick a dedicated
+        // replay run crashes at for the same spec.
+        SweepPoint replay = runSweepPoint(cfg, plan[i]);
+        ASSERT_TRUE(replay.crashed) << plan[i].describe();
+        EXPECT_EQ(forkTicks[i], replay.snapshot.tick)
+            << plan[i].describe();
+    }
+}
+
+TEST(ForkSweep, PersistForkIsADeepCopy)
+{
+    // Mutating the trunk after capture (it keeps simulating, and here
+    // we corrupt its device outright) must not change the fork's
+    // classification.
+    SystemConfig cfg = smallConfig(DesignPoint::SCA);
+    SweepProbe probe = probeRun(cfg);
+    CrashSpec spec =
+        CrashSpec::atEvent(CrashTriggerKind::DataDrain,
+                           probe.countOf(CtlEvent::DataDrain) / 2);
+
+    std::vector<PersistFork> forks;
+    System trunk(cfg);
+    trunk.runWithForkCapture({spec},
+                             [&](std::size_t, PersistFork fork) {
+                                 forks.push_back(std::move(fork));
+                             });
+    ASSERT_EQ(forks.size(), 1u);
+
+    SweepPoint before = classifyFork(trunk, spec, forks[0]);
+    ASSERT_TRUE(before.crashed);
+
+    // Corrupt every persisted line of core 0's region on the trunk.
+    const Workload &wl = trunk.workload(0);
+    LineData garbage;
+    garbage.fill(0xa5);
+    for (Addr a = wl.regionBase(); a < wl.regionEnd(); a += lineBytes)
+        trunk.nvm().persistedState().drainData(a, garbage, 0xdeadbeef);
+
+    SweepPoint after = classifyFork(trunk, spec, forks[0]);
+    EXPECT_EQ(after.cls, before.cls);
+    EXPECT_EQ(after.detail, before.detail);
+    EXPECT_EQ(after.mismatchedLines, before.mismatchedLines);
+    EXPECT_EQ(after.committedTxns, before.committedTxns);
+    EXPECT_EQ(after.snapshot.tick, before.snapshot.tick);
 }
 
 } // anonymous namespace

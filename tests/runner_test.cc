@@ -154,5 +154,116 @@ TEST(WorkPool, ManyMoreTasksThanWorkers)
     EXPECT_EQ(sum.load(), 10000ull * 9999ull / 2);
 }
 
+// --- pipelined submit()/waitSubmitted() -----------------------------------
+
+TEST(WorkPoolSubmit, RunsEverySubmittedTaskExactlyOnce)
+{
+    for (unsigned jobs : {1u, 4u}) {
+        WorkPool pool(jobs);
+        constexpr std::size_t n = 200;
+        std::vector<std::atomic<unsigned>> hits(n);
+        for (std::size_t i = 0; i < n; ++i)
+            pool.submit([&hits, i]() { ++hits[i]; });
+        pool.waitSubmitted();
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_EQ(hits[i].load(), 1u)
+                << "jobs=" << jobs << " index " << i;
+    }
+}
+
+TEST(WorkPoolSubmit, WorkersDrainWhileOwnerProduces)
+{
+    // The point of the pipelined mode: tasks submitted early complete
+    // while the owner is still producing later ones. With one worker
+    // dedicated to draining, all tasks must be done by the time the
+    // slow producer calls waitSubmitted().
+    WorkPool pool(4);
+    std::atomic<unsigned> done{0};
+    for (unsigned i = 0; i < 8; ++i) {
+        pool.submit([&done]() { ++done; });
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    pool.waitSubmitted();
+    EXPECT_EQ(done.load(), 8u);
+}
+
+TEST(WorkPoolSubmit, RethrowsEarliestSubmittedFailure)
+{
+    for (unsigned jobs : {1u, 4u}) {
+        WorkPool pool(jobs);
+        std::atomic<unsigned> ran{0};
+        for (unsigned i = 0; i < 16; ++i) {
+            pool.submit([&ran, i]() {
+                ++ran;
+                if (i == 3 || i == 12)
+                    throw std::runtime_error("boom "
+                                             + std::to_string(i));
+            });
+        }
+        try {
+            pool.waitSubmitted();
+            FAIL() << "no exception propagated (jobs=" << jobs << ")";
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "boom 3") << "jobs=" << jobs;
+        }
+        // Unlike batch mode, submitted tasks are independent: a
+        // failure cancels nothing.
+        EXPECT_EQ(ran.load(), 16u) << "jobs=" << jobs;
+    }
+}
+
+TEST(WorkPoolSubmit, CycleIsReusableAndAfterFailure)
+{
+    WorkPool pool(4);
+    for (unsigned round = 0; round < 3; ++round) {
+        std::atomic<unsigned> done{0};
+        for (unsigned i = 0; i < 32; ++i)
+            pool.submit([&done]() { ++done; });
+        pool.waitSubmitted();
+        EXPECT_EQ(done.load(), 32u) << "round " << round;
+    }
+
+    pool.submit([]() { throw std::logic_error("x"); });
+    EXPECT_THROW(pool.waitSubmitted(), std::logic_error);
+
+    std::atomic<unsigned> after{0};
+    for (unsigned i = 0; i < 8; ++i)
+        pool.submit([&after]() { ++after; });
+    pool.waitSubmitted();
+    EXPECT_EQ(after.load(), 8u);
+}
+
+TEST(WorkPoolSubmit, MixesWithBatchCycles)
+{
+    // The sweep CLI reuses one pool across designs, alternating
+    // fork-mode (submit) and replay-mode (map) executions.
+    WorkPool pool(4);
+    std::atomic<unsigned> submitted{0};
+    for (unsigned i = 0; i < 16; ++i)
+        pool.submit([&submitted]() { ++submitted; });
+    pool.waitSubmitted();
+    EXPECT_EQ(submitted.load(), 16u);
+
+    auto out = pool.map<int>(8, [](std::size_t i) {
+        return static_cast<int>(i) * 2;
+    });
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], static_cast<int>(i) * 2);
+
+    std::atomic<unsigned> again{0};
+    for (unsigned i = 0; i < 16; ++i)
+        pool.submit([&again]() { ++again; });
+    pool.waitSubmitted();
+    EXPECT_EQ(again.load(), 16u);
+}
+
+TEST(WorkPoolSubmit, WaitWithNothingSubmittedIsANoop)
+{
+    WorkPool pool(4);
+    pool.waitSubmitted();
+    WorkPool serial(1);
+    serial.waitSubmitted();
+}
+
 } // anonymous namespace
 } // namespace cnvm

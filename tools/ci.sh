@@ -33,8 +33,13 @@ ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
 "$build/tools/cnvm_crash_sweep" --points 20 --jobs 4
 
 # ThreadSanitizer over the concurrent paths: the runner unit tests and
-# a parallel multi-design sweep. ASan/TSan cannot share a build, so
-# this is its own configuration; only the needed targets are built.
+# a parallel multi-design sweep in both Execute modes. Fork mode is
+# the sharper TSan target: workers classify captured forks while the
+# trunk simulation is still mutating its own state on the owner
+# thread, so any capture that aliases live trunk state instead of
+# deep-copying it shows up as a race here. ASan/TSan cannot share a
+# build, so this is its own configuration; only the needed targets are
+# built.
 cmake -B "$tsan" -S "$repo" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all"
@@ -42,12 +47,16 @@ cmake --build "$tsan" -j "$(nproc)" \
     --target cnvm_crash_sweep runner_test
 "$tsan/tests/runner_test"
 "$tsan/tools/cnvm_crash_sweep" --points 8 --jobs 4
+"$tsan/tools/cnvm_crash_sweep" --points 8 --jobs 4 --mode fork
 
 # Bench smoke in Release: cnvm_bench runs each kernel a few iterations
 # and, more importantly, exits non-zero if the indexed queue lookups
 # diverge from the reference linear scans, if the parallel sweep's
-# fingerprint diverges from the serial loop's at any --jobs value, or
-# if any kernel drops work.
+# fingerprint diverges from the serial loop's at any --jobs value, if
+# the fork-based Execute mode's fingerprint diverges from the replay
+# reference on any design, or if any kernel drops work. The fork-mode
+# sweep smoke exercises the single-pass Execute end to end in Release.
 cmake -B "$release" -S "$repo" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$release" -j "$(nproc)"
+"$release/tools/cnvm_crash_sweep" --points 20 --jobs 4 --mode fork
 "$release/tools/cnvm_bench" --quick --repeat 1 --jobs 4

@@ -291,11 +291,13 @@ struct CheckResult
 
 /**
  * The indexed queue lookups (MemCtlConfig::useQueueIndex) must be
- * observably identical to the reference linear scans, and the parallel
- * sweep Execute phase must be byte-identical to the serial loop. Three
- * probes per design: a byte-identical stats dump over a fixed-seed
+ * observably identical to the reference linear scans, the parallel
+ * sweep Execute phase must be byte-identical to the serial loop, and
+ * the fork-based Execute mode must be byte-identical to the replay
+ * reference. Per design: a byte-identical stats dump over a fixed-seed
  * System run, a byte-identical crash-sweep fingerprint across the
- * index modes, and a byte-identical fingerprint across --jobs values.
+ * index modes, a byte-identical fingerprint across --jobs values, and
+ * a byte-identical fingerprint across --mode fork/replay.
  *
  * The checks themselves are independent per-design runs, so they fan
  * out over the pool; each closure writes only its own slot.
@@ -351,6 +353,36 @@ runEquivalenceChecks(bool quick, WorkPool &pool)
                              "  reference: %s\n",
                              c.name.c_str(), fps[0].c_str(),
                              fps[1].c_str());
+            return c;
+        });
+    }
+
+    // The fork-mode gate: for every design whose crash behavior
+    // differs, the fork-based Execute must reproduce the replay
+    // reference fingerprint byte-for-byte, serial and pipelined alike.
+    for (DesignPoint d : {DesignPoint::ColocatedCC, DesignPoint::FCA,
+                          DesignPoint::SCA, DesignPoint::Unsafe}) {
+        probes.push_back([d, quick]() {
+            CheckResult c;
+            c.name = std::string("sweep_mode_identity.") + designName(d);
+            SystemConfig cfg = figConfig(quick ? 15 : 40);
+            cfg.design = d;
+            SweepOptions replay, fork1, fork4;
+            replay.points = fork1.points = fork4.points = quick ? 6 : 12;
+            fork1.mode = fork4.mode = SweepMode::Fork;
+            fork1.jobs = 1;
+            fork4.jobs = 4;
+            std::string ref = runSweep(cfg, replay).fingerprint();
+            std::string f1 = runSweep(cfg, fork1).fingerprint();
+            std::string f4 = runSweep(cfg, fork4).fingerprint();
+            c.ok = !ref.empty() && ref == f1 && ref == f4;
+            if (!c.ok)
+                std::fprintf(stderr,
+                             "CHECK FAILED: %s — fork and replay sweep "
+                             "fingerprints differ\n  replay:      %s\n"
+                             "  fork jobs=1: %s\n  fork jobs=4: %s\n",
+                             c.name.c_str(), ref.c_str(), f1.c_str(),
+                             f4.c_str());
             return c;
         });
     }
@@ -435,6 +467,58 @@ benchSweepScaling(bool quick, unsigned jobs)
 }
 
 // ----------------------------------------------------------------------
+// Fork vs replay: the algorithmic speedup of the single-pass sweep
+// ----------------------------------------------------------------------
+
+struct SweepForkSpeedupResult
+{
+    unsigned points = 0;
+    unsigned jobs = 0;
+    unsigned hostConcurrency = 0;
+    double replayMs = 0;
+    double forkMs = 0;
+    double speedup = 0;
+    bool identical = false; //!< fingerprints byte-identical
+};
+
+/**
+ * Times the same SCA sweep in Replay mode (K dedicated crashed
+ * simulations) and in Fork mode (one trunk run plus K off-trunk
+ * recoveries), both over the same pool. Unlike the jobs-scaling ratio,
+ * this speedup is algorithmic — work is removed, not just spread — so
+ * it holds even on a single-hardware-thread host.
+ */
+SweepForkSpeedupResult
+benchSweepForkSpeedup(bool quick, unsigned jobs)
+{
+    SweepForkSpeedupResult r;
+    r.points = quick ? 12 : 32;
+    r.jobs = jobs;
+    r.hostConcurrency = WorkPool::hardwareJobs();
+
+    SystemConfig cfg = figConfig(quick ? 20 : 60);
+    cfg.design = DesignPoint::SCA;
+
+    SweepOptions opt;
+    opt.points = r.points;
+    opt.jobs = jobs;
+
+    opt.mode = SweepMode::Replay;
+    auto t0 = Clock::now();
+    std::string fpReplay = runSweep(cfg, opt).fingerprint();
+    r.replayMs = msSince(t0);
+
+    opt.mode = SweepMode::Fork;
+    auto t1 = Clock::now();
+    std::string fpFork = runSweep(cfg, opt).fingerprint();
+    r.forkMs = msSince(t1);
+
+    r.speedup = r.forkMs > 0 ? r.replayMs / r.forkMs : 0;
+    r.identical = fpReplay == fpFork;
+    return r;
+}
+
+// ----------------------------------------------------------------------
 // Repetition: the host is shared and noisy, so each kernel runs
 // --repeat times and the fastest run is kept (noise only adds time).
 // ----------------------------------------------------------------------
@@ -474,7 +558,8 @@ emitJson(std::ostream &os, const std::vector<KernelResult> &kernels,
          const std::vector<SystemResult> &systems, bool quick,
          const std::string &baseline_json,
          const std::vector<CheckResult> &checks, bool checks_ok,
-         const SweepScalingResult &scaling)
+         const SweepScalingResult &scaling,
+         const SweepForkSpeedupResult &fork_speedup)
 {
     char buf[256];
     os << "{\n";
@@ -489,6 +574,16 @@ emitJson(std::ostream &os, const std::vector<KernelResult> &kernels,
                   scaling.points, scaling.jobs, scaling.hostConcurrency,
                   scaling.serialMs, scaling.parallelMs, scaling.speedup,
                   scaling.identical ? "true" : "false");
+    os << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  \"sweep_fork_speedup\": {\"points\": %u, \"jobs\": %u, "
+                  "\"host_concurrency\": %u, \"replay_ms\": %.2f, "
+                  "\"fork_ms\": %.2f, \"speedup\": %.2f, "
+                  "\"fingerprints_identical\": %s},\n",
+                  fork_speedup.points, fork_speedup.jobs,
+                  fork_speedup.hostConcurrency, fork_speedup.replayMs,
+                  fork_speedup.forkMs, fork_speedup.speedup,
+                  fork_speedup.identical ? "true" : "false");
     os << buf;
     os << "  \"checks\": {";
     for (std::size_t i = 0; i < checks.size(); ++i) {
@@ -630,6 +725,16 @@ main(int argc, char **argv)
                 scaling.hostConcurrency,
                 scaling.identical ? "identical" : "DIFFER");
 
+    SweepForkSpeedupResult fork_speedup = benchSweepForkSpeedup(quick, 4);
+    checks_ok = checks_ok && fork_speedup.identical;
+    std::printf("sweep fork speedup: %u points, replay %.1f ms, "
+                "fork %.1f ms (%.2fx, jobs=%u, host concurrency %u, "
+                "fingerprints %s)\n",
+                fork_speedup.points, fork_speedup.replayMs,
+                fork_speedup.forkMs, fork_speedup.speedup,
+                fork_speedup.jobs, fork_speedup.hostConcurrency,
+                fork_speedup.identical ? "identical" : "DIFFER");
+
     for (const KernelResult &k : kernels)
         std::printf("%-34s %10.2f ns/op  (%llu ops, %.1f ms)\n",
                     k.name.c_str(), k.nsPerOp,
@@ -641,7 +746,7 @@ main(int argc, char **argv)
 
     if (out_path.empty()) {
         emitJson(std::cout, kernels, systems, quick, baseline_json,
-                 checks, checks_ok, scaling);
+                 checks, checks_ok, scaling, fork_speedup);
     } else {
         std::ofstream out(out_path);
         if (!out) {
@@ -649,7 +754,7 @@ main(int argc, char **argv)
             return 2;
         }
         emitJson(out, kernels, systems, quick, baseline_json, checks,
-                 checks_ok, scaling);
+                 checks_ok, scaling, fork_speedup);
         std::printf("wrote %s\n", out_path.c_str());
     }
     return checks_ok ? 0 : 1;

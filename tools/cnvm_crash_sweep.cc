@@ -40,6 +40,7 @@ struct Options
     std::vector<DesignPoint> designs;
     unsigned points = 20;
     unsigned jobs = 0; //!< 0 = hardware concurrency
+    SweepMode mode = SweepMode::Replay;
     bool semanticTriggers = true;
     bool verbose = false;
     bool printFingerprint = false;
@@ -57,6 +58,11 @@ options:
   --jobs N          worker threads for the Execute phase (default:
                     hardware concurrency; 1 = the serial reference
                     loop; results are identical at any N)
+  --mode M          Execute strategy: replay (one crashed simulation
+                    per point, the reference; default) or fork (one
+                    trunk run, capture persistent-state forks and
+                    classify them off-trunk — same fingerprint, K
+                    recoveries instead of K simulations)
   --workload NAME   array | queue | hash | btree | rbtree (default array)
   --cores N         number of cores (default 1)
   --txns N          transactions per core (default 40)
@@ -121,6 +127,16 @@ parseArgs(int argc, char **argv)
                 std::fprintf(stderr, "--jobs needs N >= 1\n");
                 usage(2);
             }
+        } else if (arg == "--mode") {
+            std::string name = need_value(i);
+            if (name == "replay") {
+                opt.mode = SweepMode::Replay;
+            } else if (name == "fork") {
+                opt.mode = SweepMode::Fork;
+            } else {
+                std::fprintf(stderr, "unknown mode '%s'\n", name.c_str());
+                usage(2);
+            }
         } else if (arg == "--workload") {
             opt.cfg.workload = workloadKindFromName(need_value(i));
         } else if (arg == "--cores") {
@@ -170,6 +186,7 @@ sweepDesign(const Options &opt, DesignPoint design, WorkPool &pool)
     SweepOptions sweep_opt;
     sweep_opt.points = opt.points;
     sweep_opt.semanticTriggers = opt.semanticTriggers;
+    sweep_opt.mode = opt.mode;
     SweepResult result = runSweep(cfg, sweep_opt, &pool);
 
     if (opt.verbose) {
@@ -227,11 +244,11 @@ main(int argc, char **argv)
     WorkPool pool(opt.jobs);
 
     std::printf("crash-point sweep: %u points/design, workload %s, "
-                "%u core(s), %u txns, seed %llu, %u job(s)%s\n",
+                "%u core(s), %u txns, seed %llu, %u job(s), %s mode%s\n",
                 opt.points, workloadKindName(opt.cfg.workload),
                 opt.cfg.numCores, opt.cfg.wl.txnTarget,
                 static_cast<unsigned long long>(opt.cfg.wl.seed),
-                pool.jobs(),
+                pool.jobs(), sweepModeName(opt.mode),
                 opt.semanticTriggers ? "" : ", ticks only");
     std::printf("%-13s %7s %8s %11s %10s %9s %9s %9s\n", "design",
                 "points", "reached", "consistent", "torn-data",

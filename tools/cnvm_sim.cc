@@ -35,6 +35,7 @@ struct Options
     double crashFrac = -1.0;  //!< <0: no crash
     unsigned sweepPoints = 0; //!< 0: no sweep
     unsigned jobs = 0;        //!< sweep concurrency; 0 = hardware
+    SweepMode sweepMode = SweepMode::Replay;
     bool verify = false;
     bool dumpStats = false;
     bool quiet = false;
@@ -69,6 +70,10 @@ options:
   --jobs N             worker threads for --crash-sweep (default:
                        hardware concurrency; 1 = serial; results are
                        identical at any N)
+  --sweep-mode M       --crash-sweep Execute strategy: replay (one
+                       crashed simulation per point; default) or fork
+                       (one trunk run, classify captured forks —
+                       same fingerprint, much faster at large K)
   --verify             recover after the crash and verify consistency
   --stats              dump the full stat registry
   --quiet              suppress the metric summary
@@ -182,6 +187,17 @@ parseArgs(int argc, char **argv)
                 std::fprintf(stderr, "--jobs needs N >= 1\n");
                 usage(2);
             }
+        } else if (arg == "--sweep-mode") {
+            std::string name = need_value(i);
+            if (name == "replay") {
+                opt.sweepMode = SweepMode::Replay;
+            } else if (name == "fork") {
+                opt.sweepMode = SweepMode::Fork;
+            } else {
+                std::fprintf(stderr, "unknown sweep mode '%s'\n",
+                             name.c_str());
+                usage(2);
+            }
         } else if (arg == "--verify") {
             opt.verify = true;
         } else if (arg == "--stats") {
@@ -208,10 +224,12 @@ runCrashSweep(const Options &opt)
     SweepOptions sweep_opt;
     sweep_opt.points = opt.sweepPoints;
     sweep_opt.jobs = opt.jobs == 0 ? WorkPool::hardwareJobs() : opt.jobs;
+    sweep_opt.mode = opt.sweepMode;
 
     if (!opt.quiet)
-        std::printf("sweeping %u crash points (%u jobs): %s\n",
+        std::printf("sweeping %u crash points (%u jobs, %s mode): %s\n",
                     opt.sweepPoints, sweep_opt.jobs,
+                    sweepModeName(sweep_opt.mode),
                     System(opt.cfg).describe().c_str());
 
     SweepResult result = runSweep(opt.cfg, sweep_opt);
