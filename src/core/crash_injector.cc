@@ -45,6 +45,9 @@ CrashSpec::describe() const
         os << "tick " << tick;
     else
         os << crashTriggerName(kind) << " #" << count;
+    // Clean crash points keep their historical description (and hence
+    // sweep fingerprints); fault doses annotate themselves.
+    os << faults.describe();
     return os.str();
 }
 

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "memctl/mem_controller.hh"
+#include "nvm/fault_model.hh"
 #include "sim/eventq.hh"
 
 namespace cnvm
@@ -71,6 +72,13 @@ struct CrashSpec
 
     /** Occurrence ordinal, 1-based (semantic kinds only). */
     std::uint64_t count = 1;
+
+    /**
+     * Persistence faults injected at this crash point (none by
+     * default — the clean power failure). Applied by the System's
+     * crash and fork-capture paths, never by the injector itself.
+     */
+    FaultSpec faults;
 
     static CrashSpec
     atTick(Tick t)

@@ -12,6 +12,8 @@ crashClassName(CrashClass cls)
       case CrashClass::TornCounter: return "torn-counter";
       case CrashClass::CounterDataMismatch: return "counter-data-mismatch";
       case CrashClass::Inconsistent: return "inconsistent";
+      case CrashClass::DetectedCorruption: return "detected-corruption";
+      case CrashClass::SilentCorruption: return "silent-corruption";
     }
     return "?";
 }
@@ -38,32 +40,44 @@ CrashOracle::examine(const Workload &workload,
 
     // Counter census. Unencrypted lines have no counter to diverge
     // from; the census trivially passes (cipher counters are recorded
-    // as 0 and the counter store is never populated).
-    if (ctl.design() != DesignPoint::NoEncryption) {
-        for (Addr addr = workload.regionBase(); addr < workload.regionEnd();
-             addr += lineBytes) {
-            ++report.linesChecked;
-            std::uint64_t cc = src.persistedCipherCounter(addr);
-            std::uint64_t pc =
-                src.persistedCounters(ctl.counterLineAddr(addr))
-                    [ctl.counterSlot(addr)];
-            if (pc == cc)
-                continue;
-            if (pc > cc)
-                ++report.tornDataLines;
-            else
-                ++report.tornCounterLines;
-            if (workload.classifyAddr(addr) == RegionPart::LogHeader)
-                ++report.logHeaderMismatches;
-        }
+    // as 0 and the counter store is never populated). The faulted-line
+    // census runs for every design: bit flips corrupt plaintext lines
+    // just as happily as ciphertext ones.
+    for (Addr addr = workload.regionBase(); addr < workload.regionEnd();
+         addr += lineBytes) {
+        report.faultedLines += src.lineFaulted(addr);
+        if (ctl.design() == DesignPoint::NoEncryption)
+            continue;
+        ++report.linesChecked;
+        std::uint64_t cc = src.persistedCipherCounter(addr);
+        std::uint64_t pc =
+            src.persistedCounters(ctl.counterLineAddr(addr))
+                [ctl.counterSlot(addr)];
+        if (pc == cc)
+            continue;
+        if (pc > cc)
+            ++report.tornDataLines;
+        else
+            ++report.tornCounterLines;
+        if (workload.classifyAddr(addr) == RegionPart::LogHeader)
+            ++report.logHeaderMismatches;
     }
 
     // Classification is recoverability-first: mismatched lines under a
     // consistent recovery are torn mutate-stage writes the undo log
     // rolled back, not a failure (common for SCA, which defers dirty
-    // counter persistence to evictions).
+    // counter persistence to evictions) — and detected-then-handled
+    // corruptions under a consistent recovery are likewise not a
+    // failure. For inconsistent recoveries, detection trumps the
+    // census: integrity metadata rejecting a line means recovery knew,
+    // whatever tore it. An undetected inconsistency with injected
+    // corruption in the region is the headline failure: silent.
     if (report.recovery.consistent) {
         report.cls = CrashClass::Consistent;
+    } else if (report.recovery.detectedCorruptions > 0) {
+        report.cls = CrashClass::DetectedCorruption;
+    } else if (report.faultedLines > 0) {
+        report.cls = CrashClass::SilentCorruption;
     } else if (report.tornDataLines && report.tornCounterLines) {
         report.cls = CrashClass::CounterDataMismatch;
     } else if (report.tornCounterLines) {

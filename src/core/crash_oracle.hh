@@ -53,6 +53,18 @@ enum class CrashClass
     /** Inconsistent with a clean counter census (software-level torn
      *  state the transaction mechanism failed to mask). */
     Inconsistent,
+
+    /** Inconsistent, but recovery *saw* the corruption: integrity
+     *  metadata rejected at least one line (repaired, quarantined, or
+     *  degraded — never trusted). The acceptable outcome of a media
+     *  fault. */
+    DetectedCorruption,
+
+    /** Inconsistent under injected media faults with recovery none the
+     *  wiser — no MAC rejection, garbage consumed as if it were data.
+     *  The failure mode integrity metadata exists to eliminate: with
+     *  integrityMac on, no sweep point may ever land here. */
+    SilentCorruption,
 };
 
 const char *crashClassName(CrashClass cls);
@@ -76,6 +88,10 @@ struct OracleReport
     std::uint64_t tornDataLines = 0;    //!< persisted counter > cipher
     std::uint64_t tornCounterLines = 0; //!< persisted counter < cipher
     std::uint64_t logHeaderMismatches = 0;
+
+    /** Region lines an injected media fault corrupted (simulator
+     *  ground truth — what separates Silent from plain Inconsistent). */
+    std::uint64_t faultedLines = 0;
 
     std::uint64_t mismatchedLines() const
     { return tornDataLines + tornCounterLines; }

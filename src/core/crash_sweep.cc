@@ -21,8 +21,26 @@ severity(CrashClass cls)
       case CrashClass::TornData: return 2;
       case CrashClass::TornCounter: return 3;
       case CrashClass::CounterDataMismatch: return 4;
+      case CrashClass::DetectedCorruption: return 5;
+      case CrashClass::SilentCorruption: return 6;
     }
     return 0;
+}
+
+/** Folds one region's oracle report into its point's aggregate. */
+void
+accumulate(SweepPoint &point, const OracleReport &report)
+{
+    if (severity(report.cls) > severity(point.cls)) {
+        point.cls = report.cls;
+        point.detail = report.recovery.detail;
+    }
+    point.mismatchedLines += report.mismatchedLines();
+    point.committedTxns += report.recovery.committedTxns;
+    point.faultedLines += report.faultedLines;
+    point.detectedCorruptions += report.recovery.detectedCorruptions;
+    point.repairedLines += report.recovery.repairedLines;
+    point.unrecoverableLines += report.recovery.unrecoverableLines;
 }
 
 /** Semantic kinds in planning order. */
@@ -118,14 +136,8 @@ runSweepPoint(const SystemConfig &cfg, const CrashSpec &spec,
     point.snapshot = sys.crashSnapshot();
 
     if (point.crashed) {
-        for (const OracleReport &report : sys.examineAll()) {
-            if (severity(report.cls) > severity(point.cls)) {
-                point.cls = report.cls;
-                point.detail = report.recovery.detail;
-            }
-            point.mismatchedLines += report.mismatchedLines();
-            point.committedTxns += report.recovery.committedTxns;
-        }
+        for (const OracleReport &report : sys.examineAll())
+            accumulate(point, report);
     }
 
     if (collect_stats) {
@@ -149,12 +161,7 @@ classifyFork(const System &trunk, const CrashSpec &spec,
     for (unsigned c = 0; c < trunk.numCores(); ++c) {
         OracleReport report =
             oracle.examine(trunk.workload(c), &fork.coreDigests.at(c));
-        if (severity(report.cls) > severity(point.cls)) {
-            point.cls = report.cls;
-            point.detail = report.recovery.detail;
-        }
-        point.mismatchedLines += report.mismatchedLines();
-        point.committedTxns += report.recovery.committedTxns;
+        accumulate(point, report);
     }
     return point;
 }
@@ -203,6 +210,15 @@ runSweep(const SystemConfig &cfg, const SweepOptions &opt, WorkPool *pool)
     result.probe = probeRun(cfg);
     std::vector<CrashSpec> plan =
         planSweep(result.probe, opt.points, opt.semanticTriggers);
+
+    // Fault sweeps dose every point identically but seed each point's
+    // fault RNG from (base seed, plan index), so the whole sweep is a
+    // pure function of the configuration and the base seed — in both
+    // Execute modes, at any job count.
+    if (opt.faults.any()) {
+        for (std::size_t i = 0; i < plan.size(); ++i)
+            plan[i].faults = opt.faults.forPoint(i);
+    }
 
     if (opt.mode == SweepMode::Fork) {
         if (pool != nullptr) {
@@ -256,11 +272,19 @@ SweepResult::fingerprint() const
     std::ostringstream os;
     for (const SweepPoint &p : points) {
         os << p.spec.describe() << "=";
-        if (!p.crashed)
+        if (!p.crashed) {
             os << "unreached";
-        else
+        } else {
             os << crashClassName(p.cls) << "@" << p.snapshot.tick << "/"
                << p.mismatchedLines;
+            // Fault points append their corruption accounting; clean
+            // points keep the historical fingerprint format.
+            if (p.spec.faults.any()) {
+                os << "/f" << p.faultedLines << "d"
+                   << p.detectedCorruptions << "r" << p.repairedLines
+                   << "u" << p.unrecoverableLines;
+            }
+        }
         os << ";";
     }
     return os.str();

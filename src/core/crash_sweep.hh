@@ -93,6 +93,12 @@ struct SweepPoint
     std::uint64_t mismatchedLines = 0;
     std::uint64_t committedTxns = 0;
 
+    /** Corruption accounting over all regions (fault sweeps). */
+    std::uint64_t faultedLines = 0;
+    std::uint64_t detectedCorruptions = 0;
+    std::uint64_t repairedLines = 0;
+    std::uint64_t unrecoverableLines = 0;
+
     /** Full stats dump of the point's System, collected only when
      *  SweepOptions::collectStatsDumps is set (determinism checks). */
     std::string statsDump;
@@ -132,6 +138,14 @@ struct SweepOptions
      *  Replay mode only: a fork has no dedicated System to dump, so
      *  fork-mode points leave statsDump empty. */
     bool collectStatsDumps = false;
+
+    /**
+     * Base fault dose. When any() is set, every planned point gets
+     * this dose with a per-point seed derived from faults.seed and
+     * the plan index (FaultSpec::forPoint) — deterministic across
+     * Replay/Fork modes and any job count. Default: clean crashes.
+     */
+    FaultSpec faults;
 };
 
 /** Aggregate sweep outcome. */
@@ -176,6 +190,30 @@ struct SweepResult
         unsigned n = 0;
         for (const SweepPoint &p : points)
             n += !p.crashed;
+        return n;
+    }
+
+    /** Points where injected corruption went entirely unnoticed. */
+    unsigned silentPoints() const
+    { return countOf(CrashClass::SilentCorruption); }
+
+    /** Points where recovery saw corruption (integrity metadata). */
+    unsigned
+    detectedPoints() const
+    {
+        unsigned n = 0;
+        for (const SweepPoint &p : points)
+            n += p.crashed && p.detectedCorruptions > 0;
+        return n;
+    }
+
+    /** Sum of a per-point corruption counter over reached points. */
+    std::uint64_t
+    totalOf(std::uint64_t SweepPoint::*field) const
+    {
+        std::uint64_t n = 0;
+        for (const SweepPoint &p : points)
+            n += p.crashed ? p.*field : 0;
         return n;
     }
 

@@ -23,22 +23,63 @@ LineData
 RecoveredImage::decryptLine(Addr line_addr) const
 {
     const LineData *cipher = src.persistedLine(line_addr);
-
-    if (ctl.design() == DesignPoint::NoEncryption)
-        return cipher != nullptr ? *cipher : LineData{};
+    const bool encrypted = ctl.design() != DesignPoint::NoEncryption;
 
     // A cell that was never written holds the all-zero plaintext
     // encrypted at counter 0.
     LineData cipher_bytes;
     if (cipher != nullptr) {
         cipher_bytes = *cipher;
-    } else {
+    } else if (encrypted) {
         cipher_bytes = ctl.engine().encrypt(line_addr, 0, LineData{});
+    } else {
+        cipher_bytes = LineData{};
     }
 
-    std::uint64_t counter =
-        src.persistedCounters(ctl.counterLineAddr(line_addr))
-            [ctl.counterSlot(line_addr)];
+    std::uint64_t counter = !encrypted ? 0
+        : src.persistedCounters(ctl.counterLineAddr(line_addr))
+              [ctl.counterSlot(line_addr)];
+
+    // Verify before trusting: when integrity metadata is persisted,
+    // the stored MAC must accept the (stored counter, ciphertext)
+    // pair. Never-drained lines carry no MAC and nothing persisted to
+    // corrupt, so they are exempt.
+    if (ctl.config().integrityMac && cipher != nullptr) {
+        const std::uint64_t *mac = src.persistedMac(line_addr);
+        if (mac != nullptr
+            && ctl.engine().lineMac(line_addr, counter, cipher_bytes)
+                   != *mac) {
+            ++detected;
+            // Osiris-style repair: the true counter is usually near
+            // the stored one (a rolled-back counter word, or a torn
+            // pair whose ciphertext is a few generations off), so
+            // trial-verify a bounded window around it.
+            const unsigned window = ctl.config().macRepairWindow;
+            std::uint64_t lo = counter > window ? counter - window : 0;
+            bool fixed = false;
+            for (std::uint64_t c = lo; c <= counter + window; ++c) {
+                if (c == counter)
+                    continue;
+                if (ctl.engine().lineMac(line_addr, c, cipher_bytes)
+                        == *mac) {
+                    counter = c;
+                    fixed = true;
+                    break;
+                }
+            }
+            if (!fixed) {
+                // Unrepairable: quarantine — the line reads as zeros,
+                // and recovery reports it rather than consuming
+                // garbage. An undo-log rollback may yet restore it.
+                quarantine.insert(line_addr);
+                return LineData{};
+            }
+            ++repaired;
+        }
+    }
+
+    if (!encrypted)
+        return cipher_bytes;
 
     // Equation 3: plaintext = OTP(addr, stored counter) xor ciphertext.
     // If the stored counter does not match the counter the data was
@@ -103,20 +144,80 @@ RecoveryEngine::RecoveryEngine(const NvmDevice &nvm,
 {
 }
 
+const char *
+recoveryFailureName(RecoveryFailure reason)
+{
+    switch (reason) {
+      case RecoveryFailure::None: return "none";
+      case RecoveryFailure::LogHeaderUnreadable:
+        return "log-header-unreadable";
+      case RecoveryFailure::TornCommitFlag: return "torn-commit-flag";
+      case RecoveryFailure::LogDescriptorInvalid:
+        return "log-descriptor-invalid";
+      case RecoveryFailure::QuarantinedLines:
+        return "quarantined-lines";
+      case RecoveryFailure::StructureInvalid:
+        return "structure-invalid";
+      case RecoveryFailure::NoCommittedPrefix:
+        return "no-committed-prefix";
+    }
+    return "?";
+}
+
 RecoveryReport
 RecoveryEngine::recover(const Workload &workload,
                         const std::vector<std::uint64_t> *digests_in)
 {
     RecoveryReport report;
     RecoveredImage image(src, ctl);
+
+    // Integrity pre-scan: verify every region line's MAC up front, so
+    // no corruption can hide in a line the log/validate/digest pipeline
+    // happens not to read. Mismatches repair or quarantine here; the
+    // later stages then run on a verified (or explicitly degraded)
+    // image.
+    if (ctl.config().integrityMac) {
+        for (Addr a = workload.regionBase(); a < workload.regionEnd();
+             a += lineBytes) {
+            image.line(a);
+        }
+    }
+
+    runRecovery(image, workload, digests_in, report);
+
+    // Corruption accounting. A detected line counts as repaired
+    // whether the counter-window search fixed it or a rollback
+    // restored it from an intact backup — whatever is *still*
+    // quarantined at the end is unrecoverable.
+    report.detectedCorruptions = image.detectedCorruptions();
+    report.unrecoverableLines = image.quarantinedCount();
+    report.repairedLines =
+        report.detectedCorruptions - report.unrecoverableLines;
+    return report;
+}
+
+void
+RecoveryEngine::runRecovery(RecoveredImage &image,
+                            const Workload &workload,
+                            const std::vector<std::uint64_t> *digests_in,
+                            RecoveryReport &report) const
+{
     const LogLayout &log = workload.log();
+
+    auto fail = [&report](RecoveryFailure reason, std::string detail) {
+        report.reason = reason;
+        report.detail = std::move(detail);
+    };
 
     // --- Step 1: examine the undo log header -------------------------
     std::uint64_t magic = image.readU64(log.magicAddr());
     if (magic != LogLayout::kMagic) {
-        report.detail = "log header undecryptable (data/counter "
-                        "out of sync on the header line)";
-        return report;
+        return fail(RecoveryFailure::LogHeaderUnreadable,
+                    image.isQuarantined(log.magicAddr())
+                        ? "log header quarantined (unrepairable "
+                          "corruption on the header line)"
+                        : "log header undecryptable (data/counter "
+                          "out of sync on the header line)");
     }
 
     std::uint64_t valid = image.readU64(log.validAddr());
@@ -133,28 +234,46 @@ RecoveryEngine::recover(const Workload &workload,
                 Addr target = image.readU64(log.descAddr(i));
                 if (!workload.inRegion(target)
                     || !isLineAligned(target)) {
-                    report.detail = "log descriptor outside the region";
-                    return report;
+                    return fail(RecoveryFailure::LogDescriptorInvalid,
+                                "log descriptor outside the region");
                 }
+                bool backup_bad =
+                    image.isQuarantined(log.backupAddr(i));
                 LineData backup = image.line(log.backupAddr(i));
                 image.write(target, backup.data(), lineBytes);
+                // Rolling an intact backup over a quarantined target
+                // restores it; a quarantined *backup* restores
+                // nothing (the target now holds zeros from it).
+                if (!backup_bad)
+                    image.clearQuarantine(target);
             }
             report.rolledBack = true;
         }
         // Checksum mismatch: the prepare stage had not finished, so the
         // in-place data was never touched; ignore the log.
     } else if (valid != LogLayout::kInvalid) {
-        report.detail = "log valid flag holds garbage (torn "
-                        "counter-atomic commit write)";
-        return report;
+        return fail(RecoveryFailure::TornCommitFlag,
+                    "log valid flag holds garbage (torn "
+                    "counter-atomic commit write)");
+    }
+
+    // --- Step 1b: quarantine gate --------------------------------------
+    // Detected-but-unrepairable lines survive to here only if the
+    // rollback could not restore them. Degrade gracefully: report the
+    // loss precisely instead of validating a region known to hold
+    // zeroed-out garbage.
+    if (image.quarantinedCount() > 0) {
+        return fail(RecoveryFailure::QuarantinedLines,
+                    std::to_string(image.quarantinedCount())
+                        + " unrepairable corrupt line(s) quarantined");
     }
 
     // --- Step 2: structural invariants --------------------------------
     ValidationResult validation = workload.validate(image);
     if (!validation.ok) {
-        report.detail = "structure invalid after recovery: "
-                      + validation.why;
-        return report;
+        return fail(RecoveryFailure::StructureInvalid,
+                    "structure invalid after recovery: "
+                        + validation.why);
     }
 
     // --- Step 3: committed-prefix check -------------------------------
@@ -174,14 +293,12 @@ RecoveryEngine::recover(const Workload &workload,
             }
         }
         if (!matched) {
-            report.detail =
-                "recovered state matches no committed prefix";
-            return report;
+            return fail(RecoveryFailure::NoCommittedPrefix,
+                        "recovered state matches no committed prefix");
         }
     }
 
     report.consistent = true;
-    return report;
 }
 
 } // namespace cnvm

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "memctl/mem_controller.hh"
@@ -34,6 +35,19 @@ namespace cnvm
  * controller reference supplies only immutable configuration (design
  * point, counter layout, encryption engine) — never volatile state,
  * which a real crash would have destroyed anyway.
+ *
+ * When the controller persists integrity metadata
+ * (MemCtlConfig::integrityMac), every decryption is *verified before
+ * it is trusted*: the stored per-line MAC is checked against
+ * (address, stored counter, ciphertext). On a mismatch the image
+ * attempts Osiris-style counter repair — trial-verifying counters in
+ * a bounded window around the stored value, which recovers from
+ * counter-store rollback and from data/counter pairs the crash tore
+ * apart — and quarantines the line (it reads as zeros) when no
+ * counter in the window verifies. Rollback may later overwrite a
+ * quarantined line from an intact log backup, clearing the
+ * quarantine; whatever remains quarantined at the end of recovery is
+ * unrecoverable and reported, never silently consumed.
  */
 class RecoveredImage : public ByteReader
 {
@@ -51,6 +65,24 @@ class RecoveredImage : public ByteReader
     /** Decrypted content of a line. */
     LineData line(Addr line_addr) const;
 
+    /** MAC mismatches found so far (integrity metadata only). */
+    std::uint64_t detectedCorruptions() const { return detected; }
+
+    /** Mismatches the counter-window search repaired. */
+    std::uint64_t windowRepairs() const { return repaired; }
+
+    /** Lines currently quarantined (undecryptable, read as zeros). */
+    std::size_t quarantinedCount() const { return quarantine.size(); }
+
+    /** True when @p line_addr is quarantined. */
+    bool isQuarantined(Addr line_addr) const
+    { return quarantine.count(lineAlign(line_addr)) > 0; }
+
+    /** Lifts a line's quarantine (rollback restored it from an intact
+     *  backup). */
+    void clearQuarantine(Addr line_addr)
+    { quarantine.erase(lineAlign(line_addr)); }
+
   private:
     const PersistSource &src;
     const MemController &ctl;
@@ -58,9 +90,34 @@ class RecoveredImage : public ByteReader
     /** Decrypted lines plus rollback overlays. */
     mutable std::unordered_map<Addr, LineData> cache;
 
+    /** Integrity bookkeeping (populated lazily as lines decrypt). */
+    mutable std::uint64_t detected = 0;
+    mutable std::uint64_t repaired = 0;
+    mutable std::unordered_set<Addr> quarantine;
+
     LineData &cachedLine(Addr line_addr) const;
     LineData decryptLine(Addr line_addr) const;
 };
+
+/**
+ * Machine-checkable reason a recovery came back inconsistent. The
+ * human-readable RecoveryReport::detail string conflated distinct
+ * failure modes ("undecryptable" vs "structurally invalid" vs "no
+ * committed prefix"); tests and tools switch on this enum instead of
+ * parsing prose.
+ */
+enum class RecoveryFailure
+{
+    None,                //!< consistent
+    LogHeaderUnreadable, //!< header magic garbage (torn/corrupt/quarantined)
+    TornCommitFlag,      //!< log valid flag holds garbage
+    LogDescriptorInvalid,//!< rollback descriptor points outside the region
+    QuarantinedLines,    //!< unrepairable corrupt lines remain in the region
+    StructureInvalid,    //!< structure invariants fail after rollback
+    NoCommittedPrefix,   //!< digest matches no committed prefix
+};
+
+const char *recoveryFailureName(RecoveryFailure reason);
 
 /** Result of recovering one workload's region. */
 struct RecoveryReport
@@ -69,6 +126,9 @@ struct RecoveryReport
      *  recorded) matches a committed prefix of the transaction
      *  history. */
     bool consistent = false;
+
+    /** Machine-checkable failure reason (None when consistent). */
+    RecoveryFailure reason = RecoveryFailure::None;
 
     /** Human-readable failure reason when inconsistent. */
     std::string detail;
@@ -81,6 +141,20 @@ struct RecoveryReport
 
     /** Whether the committed-prefix digest search was performed. */
     bool digestChecked = false;
+
+    // --- integrity metadata findings (zero when integrityMac is off) --
+
+    /** Lines whose stored MAC rejected the (counter, ciphertext) pair:
+     *  corruption recovery *saw*, whatever happened next. */
+    std::uint64_t detectedCorruptions = 0;
+
+    /** Detected lines restored — by the counter-window search or by an
+     *  undo-log rollback from an intact backup. */
+    std::uint64_t repairedLines = 0;
+
+    /** Detected lines nothing could restore: still quarantined when
+     *  recovery finished (graceful degradation, never silent). */
+    std::uint64_t unrecoverableLines = 0;
 };
 
 /** Runs recovery for workloads against one crashed system image. */
@@ -109,6 +183,13 @@ class RecoveryEngine
   private:
     const PersistSource &src;
     const MemController &ctl;
+
+    /** The log/validate/digest pipeline; the public wrapper adds the
+     *  integrity pre-scan before it and the corruption accounting
+     *  after it. */
+    void runRecovery(RecoveredImage &image, const Workload &workload,
+                     const std::vector<std::uint64_t> *digests,
+                     RecoveryReport &report) const;
 };
 
 } // namespace cnvm

@@ -147,7 +147,17 @@ System::doCrash()
         core->halt();
     for (auto &path : memPaths)
         path->dropAll();
-    memCtl->crash();
+    if (activeSpec.faults.any()) {
+        // Same order as fork capture: draw the ADR energy loss, drain
+        // under that budget, then corrupt the persisted image.
+        FaultModel fm(activeSpec.faults,
+                      memCtl->config().counterRegionBase);
+        unsigned drop = fm.adrDropCount(memCtl->readyEntryCount());
+        memCtl->crash(drop);
+        fm.applyMediaFaults(nvmDev.persistedState());
+    } else {
+        memCtl->crash();
+    }
     eventq.requestStop();
 }
 
@@ -160,6 +170,7 @@ System::runWithCrashAt(Tick crash_tick)
 RunResult
 System::runWithCrash(const CrashSpec &spec)
 {
+    activeSpec = spec;
     injector = std::make_unique<CrashInjector>(eventq, spec,
                                                [this]() { doCrash(); });
     if (ctlEventFor(spec.kind)) {
@@ -171,7 +182,7 @@ System::runWithCrash(const CrashSpec &spec)
 }
 
 PersistFork
-System::captureFork() const
+System::captureFork(const CrashSpec &spec) const
 {
     PersistFork fork;
     fork.snapshot.valid = true;
@@ -185,10 +196,18 @@ System::captureFork() const
 
     // Persisted state as a crash here would leave it: the device's
     // image, then the ADR drain of the controller's ready queue
-    // entries overlaid on the copy (the trunk's own image stays
-    // untouched).
+    // entries overlaid on the copy, then the spec's fault dose — the
+    // same draw order as doCrash(), so Replay and Fork corrupt
+    // identically. The trunk's own image stays untouched.
     fork.image = nvmDev.persistedState();
-    memCtl->captureCrashState(fork.image);
+    if (spec.faults.any()) {
+        FaultModel fm(spec.faults, memCtl->config().counterRegionBase);
+        unsigned drop = fm.adrDropCount(memCtl->readyEntryCount());
+        memCtl->captureCrashState(fork.image, drop);
+        fm.applyMediaFaults(fork.image);
+    } else {
+        memCtl->captureCrashState(fork.image);
+    }
 
     // Digest logs snapshot: the trunk keeps committing after the
     // capture, and the committed-prefix search must not see the fork's
@@ -208,8 +227,9 @@ System::runWithForkCapture(const std::vector<CrashSpec> &specs,
         semantic = semantic || ctlEventFor(spec.kind).has_value();
 
     injector = std::make_unique<CrashInjector>(
-        eventq, specs, [this, sink = std::move(sink)](std::size_t i) {
-            PersistFork fork = captureFork();
+        eventq, specs,
+        [this, specs, sink = std::move(sink)](std::size_t i) {
+            PersistFork fork = captureFork(specs[i]);
             fork.planIndex = i;
             sink(i, std::move(fork));
         });

@@ -155,15 +155,18 @@ class System
     CrashSnapshot snapshot;
     std::unique_ptr<CrashInjector> injector;
 
+    /** The spec runWithCrash() armed — doCrash() reads its fault dose. */
+    CrashSpec activeSpec;
+
     void build();
     void doCrash();
     RunResult runInternal();
 
     /** Deep-copies the crash closure of the current instant (see
-     *  PersistFork): persisted image + ADR overlay, controller
-     *  snapshot, per-core digest logs. const — must not perturb the
-     *  still-running trunk. */
-    PersistFork captureFork() const;
+     *  PersistFork): persisted image + ADR overlay + @p spec's fault
+     *  dose, controller snapshot, per-core digest logs. const — the
+     *  faults land on the fork's image copy, never the trunk's. */
+    PersistFork captureFork(const CrashSpec &spec) const;
 };
 
 } // namespace cnvm

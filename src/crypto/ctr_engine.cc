@@ -49,4 +49,35 @@ CtrEngine::decrypt(Addr addr, std::uint64_t counter,
     return encrypt(addr, counter, ciphertext);
 }
 
+std::uint64_t
+CtrEngine::lineMac(Addr addr, std::uint64_t counter,
+                   const LineData &ciphertext) const
+{
+    cnvm_assert(isLineAligned(addr));
+
+    // Compress the 64 B ciphertext to one word, then chain two AES
+    // blocks over (addr | digest) and (counter | chain), so every
+    // input bit diffuses through the keyed permutation.
+    std::uint64_t digest = 0;
+    for (unsigned i = 0; i < lineBytes; ++i) {
+        digest ^= ciphertext[i];
+        digest *= 0x100000001b3ull; // FNV-1a fold over the line
+    }
+
+    std::uint8_t block[Aes128::blockBytes];
+    for (unsigned i = 0; i < 8; ++i) {
+        block[i] = static_cast<std::uint8_t>(addr >> (8 * i));
+        block[8 + i] = static_cast<std::uint8_t>(digest >> (8 * i));
+    }
+    cipher.encryptBlock(block, block);
+    for (unsigned i = 0; i < 8; ++i)
+        block[i] ^= static_cast<std::uint8_t>(counter >> (8 * i));
+    cipher.encryptBlock(block, block);
+
+    std::uint64_t tag = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        tag |= static_cast<std::uint64_t>(block[i]) << (8 * i);
+    return tag & 0x00ffffffffffffffull; // 56-bit truncation
+}
+
 } // namespace cnvm::crypto

@@ -59,6 +59,22 @@ class CtrEngine
     LineData decrypt(Addr addr, std::uint64_t counter,
                      const LineData &ciphertext) const;
 
+    /**
+     * Truncated keyed integrity MAC binding (address, counter,
+     * ciphertext) — the per-line metadata the hardened recovery path
+     * verifies before trusting a decryption. 56 bits: the tag lives in
+     * the line's ECC spare bits, and one byte of spare capacity stays
+     * reserved for the ECC code itself.
+     *
+     * Construction: the ciphertext is compressed to 64 bits, then
+     * bound to the address and counter through two chained AES
+     * invocations under the engine key. Deterministic, keyed, and
+     * sensitive to every input bit — which is what the simulator
+     * needs; it does not claim production-MAC security margins.
+     */
+    std::uint64_t lineMac(Addr addr, std::uint64_t counter,
+                          const LineData &ciphertext) const;
+
   private:
     Aes128 cipher;
 };

@@ -1084,6 +1084,13 @@ MemController::persistDataEntryTo(PersistImage &img,
                                   const DataEntry &entry) const
 {
     img.drainData(entry.addr, entry.cipher, entry.counter);
+    // Integrity metadata rides the same burst in the ECC spare bits:
+    // persisted atomically with the line, costing no extra traffic.
+    if (cfg.integrityMac) {
+        img.drainMac(entry.addr, ctrEngine.lineMac(entry.addr,
+                                                   entry.counter,
+                                                   entry.cipher));
+    }
 
     // Designs whose counter persistence accompanies the data write.
     switch (cfg.design) {
@@ -1108,20 +1115,39 @@ MemController::persistDataEntryTo(PersistImage &img,
     }
 }
 
+unsigned
+MemController::readyEntryCount() const
+{
+    unsigned n = 0;
+    for (const DataEntry &entry : dataQ)
+        n += entry.ready;
+    for (const CtrEntry &entry : ctrQ)
+        n += entry.ready && entry.pendingPartners == 0;
+    return n;
+}
+
 void
-MemController::captureCrashState(PersistImage &img) const
+MemController::captureCrashState(PersistImage &img,
+                                 unsigned adr_drop_tail) const
 {
     // Same ADR semantics and the same order as crash(): every ready
     // data entry in queue (age) order, then every fully-paired ready
     // counter entry — the order matters for the co-located designs,
-    // whose data drains read-modify-write the counter store.
+    // whose data drains read-modify-write the counter store. An
+    // energy-exhaustion fault loses the tail of this order.
+    unsigned budget = readyEntryCount();
+    budget -= std::min(adr_drop_tail, budget);
     for (const DataEntry &entry : dataQ) {
-        if (entry.ready)
+        if (entry.ready && budget > 0) {
             persistDataEntryTo(img, entry);
+            --budget;
+        }
     }
     for (const CtrEntry &entry : ctrQ) {
-        if (entry.ready && entry.pendingPartners == 0)
+        if (entry.ready && entry.pendingPartners == 0 && budget > 0) {
             img.drainCounters(entry.addr, entry.values);
+            --budget;
+        }
     }
 }
 
@@ -1170,13 +1196,21 @@ MemController::initLine(Addr line_addr, const LineData &plaintext)
 
     if (cfg.design == DesignPoint::NoEncryption) {
         nvm.drainData(line_addr, plaintext);
+        if (cfg.integrityMac) {
+            nvm.persistedState().drainMac(
+                line_addr, ctrEngine.lineMac(line_addr, 0, plaintext));
+        }
         return;
     }
 
     std::uint64_t counter = ++globalCounter;
     currentCounter[line_addr] = counter;
-    nvm.drainData(line_addr, ctrEngine.encrypt(line_addr, counter,
-                                               plaintext), counter);
+    LineData cipher = ctrEngine.encrypt(line_addr, counter, plaintext);
+    nvm.drainData(line_addr, cipher, counter);
+    if (cfg.integrityMac) {
+        nvm.persistedState().drainMac(
+            line_addr, ctrEngine.lineMac(line_addr, counter, cipher));
+    }
 
     Addr ctr_addr = counterLineAddr(line_addr);
     CounterLine values = nvm.persistedCounters(ctr_addr);
@@ -1205,20 +1239,28 @@ MemController::warmCounterLine(Addr data_line_addr)
 // ----------------------------------------------------------------------
 
 void
-MemController::crash()
+MemController::crash(unsigned adr_drop_tail)
 {
     // ADR: drain exactly the ready entries (section 5.2.2, steps 4-5).
+    // An injected energy-exhaustion fault (adr_drop_tail > 0) loses
+    // the tail of the drain order; the lost entries count as dropped.
+    unsigned budget = readyEntryCount();
+    budget -= std::min(adr_drop_tail, budget);
     for (const DataEntry &entry : dataQ) {
-        if (entry.ready)
+        if (entry.ready && budget > 0) {
             persistDataEntry(entry);
-        else
+            --budget;
+        } else {
             ++crashDroppedData;
+        }
     }
     for (const CtrEntry &entry : ctrQ) {
-        if (entry.ready && entry.pendingPartners == 0)
+        if (entry.ready && entry.pendingPartners == 0 && budget > 0) {
             nvm.drainCounters(entry.addr, entry.values);
-        else
+            --budget;
+        } else {
             ++crashDroppedCtr;
+        }
     }
 
     // In the ideal design every counter is persisted alongside its data

@@ -120,6 +120,27 @@ struct MemCtlConfig
      */
     bool useQueueIndex = true;
 
+    /**
+     * Per-line integrity metadata: a truncated MAC over (address,
+     * counter, ciphertext) persisted in the line's ECC spare bits
+     * atomically with its write burst, so it adds no bus traffic and
+     * no timing. Recovery verifies it before trusting any decryption
+     * (see RecoveredImage), which is what turns media faults from
+     * silent garbage into detected — and often repairable —
+     * corruption. Off by default: the baseline designs the paper
+     * evaluates carry no integrity metadata, and the Unsafe design's
+     * negative-control classifications depend on garbage going
+     * undetected.
+     */
+    bool integrityMac = false;
+
+    /**
+     * Osiris-style repair bound: on a MAC mismatch, recovery trial-
+     * verifies counters within this distance of the stored value
+     * before declaring the line unrecoverable.
+     */
+    unsigned macRepairWindow = 64;
+
     /** AES-128 key used by the encryption engine. */
     std::array<std::uint8_t, 16> key{
         0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
@@ -153,8 +174,14 @@ class MemController : public MemBackend
      * ready-marked queue entries into the NVM image, then all volatile
      * controller state (counter cache, queues, pipeline) is lost
      * (paper section 5.2.2, "Steps During a System Failure").
+     *
+     * @param adr_drop_tail entries the dying energy budget fails to
+     *        drain, taken off the *tail* of the drain order (data
+     *        entries in age order, then counter entries) — the
+     *        fault model's energy-exhaustion knob. 0 = the clean,
+     *        fully-budgeted drain.
      */
-    void crash();
+    void crash(unsigned adr_drop_tail = 0);
 
     /**
      * The fork-capture half of crash(): applies the ADR drain of the
@@ -166,8 +193,20 @@ class MemController : public MemBackend
      * side-effect free: no stats counters (crashDroppedData/Ctr stay
      * put) and no queue or cache mutation, so a trunk run with any
      * number of captures is byte-identical to an unarmed run.
+     *
+     * @param adr_drop_tail as for crash(): ready entries lost off the
+     *        drain tail.
      */
-    void captureCrashState(PersistImage &img) const;
+    void captureCrashState(PersistImage &img,
+                           unsigned adr_drop_tail = 0) const;
+
+    /**
+     * Ready-marked entries the ADR drain would persist right now
+     * (ready data entries plus fully-paired ready counter entries) —
+     * the population the fault model draws its energy-exhaustion drop
+     * from.
+     */
+    unsigned readyEntryCount() const;
 
     /**
      * Zero-time setup helper: installs a line into the persisted image

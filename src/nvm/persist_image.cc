@@ -1,5 +1,7 @@
 #include "nvm/persist_image.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace cnvm
@@ -42,6 +44,55 @@ PersistImage::persistedCipherCounter(Addr line_addr) const
 {
     auto it = cipherCounterOf.find(line_addr);
     return it == cipherCounterOf.end() ? 0 : it->second;
+}
+
+void
+PersistImage::drainMac(Addr line_addr, std::uint64_t mac)
+{
+    cnvm_assert(isLineAligned(line_addr));
+    macStore[line_addr] = mac;
+}
+
+const std::uint64_t *
+PersistImage::persistedMac(Addr line_addr) const
+{
+    auto it = macStore.find(line_addr);
+    return it == macStore.end() ? nullptr : &it->second;
+}
+
+void
+PersistImage::corruptDataLine(Addr line_addr, const LineData &corrupted)
+{
+    auto it = cipherImage.find(line_addr);
+    cnvm_assert(it != cipherImage.end());
+    it->second = corrupted;
+    faulted.insert(line_addr);
+}
+
+void
+PersistImage::corruptCounterSlot(Addr ctr_line_addr, unsigned slot,
+                                 std::uint64_t value, Addr data_line_addr)
+{
+    cnvm_assert(slot < countersPerLine);
+    counterStore[ctr_line_addr][slot] = value;
+    faulted.insert(data_line_addr);
+}
+
+bool
+PersistImage::lineFaulted(Addr line_addr) const
+{
+    return faulted.count(line_addr) > 0;
+}
+
+std::vector<Addr>
+PersistImage::dataLineAddrs() const
+{
+    std::vector<Addr> addrs;
+    addrs.reserve(cipherImage.size());
+    for (const auto &[addr, line] : cipherImage)
+        addrs.push_back(addr);
+    std::sort(addrs.begin(), addrs.end());
+    return addrs;
 }
 
 } // namespace cnvm

@@ -20,6 +20,8 @@
 #include <array>
 #include <cstdint>
 #include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -55,6 +57,22 @@ class PersistSource
      * the matching slot of persistedCounters().
      */
     virtual std::uint64_t persistedCipherCounter(Addr line_addr) const = 0;
+
+    /**
+     * Persisted integrity MAC of a line, or nullptr when none was
+     * stored (integrity metadata disabled, or the line never drained).
+     * Modeled as ECC-spare-bit storage updated atomically with the
+     * line's own write burst, so it costs no extra bus traffic.
+     */
+    virtual const std::uint64_t *persistedMac(Addr line_addr) const = 0;
+
+    /**
+     * Simulator-only ground truth: true when an injected media fault
+     * corrupted this data line (its ciphertext, or the counter word
+     * covering it). Recovery code must never consult this — it exists
+     * so the oracle can tell silent corruption from detected.
+     */
+    virtual bool lineFaulted(Addr line_addr) const = 0;
 };
 
 /**
@@ -86,6 +104,32 @@ class PersistImage final : public PersistSource
     /** Applies a drained counter-line write to the counter store. */
     void drainCounters(Addr ctr_line_addr, const CounterLine &values);
 
+    /**
+     * Stores the integrity MAC persisted alongside a line's write
+     * burst (ECC spare bits). Called by the controller right after
+     * drainData() when integrity metadata is enabled.
+     */
+    void drainMac(Addr line_addr, std::uint64_t mac);
+
+    // ------------------------------------------------------------------
+    // Fault injection (FaultModel only)
+    // ------------------------------------------------------------------
+
+    /**
+     * Replaces a persisted line's ciphertext with corrupted bits and
+     * marks the line faulted. The MAC and the oracle's cipher-counter
+     * record are left alone: media corruption changes the stored
+     * cells, not the history of what was written to them.
+     */
+    void corruptDataLine(Addr line_addr, const LineData &corrupted);
+
+    /**
+     * Overwrites one counter-store word and marks the covered data
+     * line (@p data_line_addr) faulted.
+     */
+    void corruptCounterSlot(Addr ctr_line_addr, unsigned slot,
+                            std::uint64_t value, Addr data_line_addr);
+
     // ------------------------------------------------------------------
     // PersistSource
     // ------------------------------------------------------------------
@@ -93,6 +137,8 @@ class PersistImage final : public PersistSource
     const LineData *persistedLine(Addr line_addr) const override;
     CounterLine persistedCounters(Addr ctr_line_addr) const override;
     std::uint64_t persistedCipherCounter(Addr line_addr) const override;
+    const std::uint64_t *persistedMac(Addr line_addr) const override;
+    bool lineFaulted(Addr line_addr) const override;
 
     /**
      * The whole persisted counter store. The controller's crash path
@@ -109,6 +155,16 @@ class PersistImage final : public PersistSource
     /** Number of distinct lines present in the persisted image. */
     std::size_t lineCount() const { return cipherImage.size(); }
 
+    /** Number of data lines an injected fault corrupted. */
+    std::size_t faultedLineCount() const { return faulted.size(); }
+
+    /**
+     * Every persisted data-line address, sorted. The fault model draws
+     * victims from this list — hash-map iteration order would make
+     * fault placement differ between otherwise identical sweeps.
+     */
+    std::vector<Addr> dataLineAddrs() const;
+
   private:
     std::unordered_map<Addr, LineData> cipherImage;
     std::unordered_map<Addr, CounterLine> counterStore;
@@ -116,6 +172,12 @@ class PersistImage final : public PersistSource
     /** Counter each persisted ciphertext was encrypted with (oracle
      *  ground truth, not an architectural structure). */
     std::unordered_map<Addr, std::uint64_t> cipherCounterOf;
+
+    /** Per-line integrity MACs (ECC spare bits), when enabled. */
+    std::unordered_map<Addr, std::uint64_t> macStore;
+
+    /** Data lines corrupted by injected faults (oracle ground truth). */
+    std::unordered_set<Addr> faulted;
 };
 
 } // namespace cnvm

@@ -312,7 +312,9 @@ TEST(ForkSweep, CaptureDoesNotPerturbTrunk)
 {
     // Arming K capture-only triggers must be invisible to the trunk:
     // same end tick and a byte-identical full stats dump as an unarmed
-    // run of the same configuration.
+    // run of the same configuration. That must hold even when every
+    // captured fork gets a media-fault dose — the faults land on the
+    // fork's image copy, never the trunk's device.
     SystemConfig cfg = smallConfig(DesignPoint::SCA);
 
     System plain(cfg);
@@ -321,19 +323,37 @@ TEST(ForkSweep, CaptureDoesNotPerturbTrunk)
     plain.statsRegistry().dump(plain_stats);
 
     SweepProbe probe = probeRun(cfg);
-    std::vector<CrashSpec> plan = planSweep(probe, 9);
-    unsigned captured = 0;
-    System trunk(cfg);
-    RunResult trunk_result = trunk.runWithForkCapture(
-        plan, [&](std::size_t, PersistFork) { ++captured; });
-    std::ostringstream trunk_stats;
-    trunk.statsRegistry().dump(trunk_stats);
+    for (bool with_faults : {false, true}) {
+        std::vector<CrashSpec> plan = planSweep(probe, 9);
+        if (with_faults) {
+            FaultSpec dose = FaultSpec::allKinds(7);
+            for (std::size_t i = 0; i < plan.size(); ++i)
+                plan[i].faults = dose.forPoint(i);
+        }
+        unsigned captured = 0;
+        std::uint64_t faulted = 0;
+        System trunk(cfg);
+        RunResult trunk_result = trunk.runWithForkCapture(
+            plan, [&](std::size_t, PersistFork fork) {
+                ++captured;
+                faulted += fork.image.faultedLineCount();
+            });
+        std::ostringstream trunk_stats;
+        trunk.statsRegistry().dump(trunk_stats);
 
-    EXPECT_GT(captured, 0u);
-    EXPECT_FALSE(trunk_result.crashed);
-    EXPECT_EQ(trunk_result.endTick, plain_result.endTick);
-    EXPECT_EQ(trunk_result.txnsIssued, plain_result.txnsIssued);
-    EXPECT_EQ(trunk_stats.str(), plain_stats.str());
+        EXPECT_GT(captured, 0u);
+        if (with_faults)
+            EXPECT_GT(faulted, 0u) << "the dose never landed";
+        EXPECT_FALSE(trunk_result.crashed);
+        EXPECT_EQ(trunk_result.endTick, plain_result.endTick)
+            << "faults=" << with_faults;
+        EXPECT_EQ(trunk_result.txnsIssued, plain_result.txnsIssued)
+            << "faults=" << with_faults;
+        EXPECT_EQ(trunk_stats.str(), plain_stats.str())
+            << "faults=" << with_faults;
+        EXPECT_EQ(trunk.nvm().persistedState().faultedLineCount(), 0u)
+            << "a fault leaked onto the trunk's own image";
+    }
 }
 
 TEST(ForkSweep, MultiSpecArmingFiresEachSpecOnceAtItsReplayTick)

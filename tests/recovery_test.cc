@@ -143,6 +143,7 @@ TEST_F(RecoveryBranchTest, CleanStateRecoversToLastCommit)
     EXPECT_FALSE(report.rolledBack);
     EXPECT_TRUE(report.digestChecked);
     EXPECT_EQ(report.committedTxns, 5u);
+    EXPECT_EQ(report.reason, RecoveryFailure::None);
 }
 
 TEST_F(RecoveryBranchTest, GarbageValidFlagIsDetected)
@@ -152,6 +153,9 @@ TEST_F(RecoveryBranchTest, GarbageValidFlagIsDetected)
     RecoveryEngine engine(sys.nvm(), sys.controller());
     RecoveryReport report = engine.recover(sys.workload(0));
     EXPECT_FALSE(report.consistent);
+    // The machine-checkable reason distinguishes the torn commit flag
+    // from an undecryptable header; the string is just for humans.
+    EXPECT_EQ(report.reason, RecoveryFailure::TornCommitFlag);
     EXPECT_NE(report.detail.find("valid flag"), std::string::npos);
 }
 
@@ -161,7 +165,27 @@ TEST_F(RecoveryBranchTest, GarbageMagicIsDetected)
     RecoveryEngine engine(sys.nvm(), sys.controller());
     RecoveryReport report = engine.recover(sys.workload(0));
     EXPECT_FALSE(report.consistent);
+    EXPECT_EQ(report.reason, RecoveryFailure::LogHeaderUnreadable);
     EXPECT_NE(report.detail.find("header"), std::string::npos);
+}
+
+TEST(RecoveryFailureNames, AreDistinctAndStable)
+{
+    const RecoveryFailure all[] = {
+        RecoveryFailure::None, RecoveryFailure::LogHeaderUnreadable,
+        RecoveryFailure::TornCommitFlag,
+        RecoveryFailure::LogDescriptorInvalid,
+        RecoveryFailure::QuarantinedLines,
+        RecoveryFailure::StructureInvalid,
+        RecoveryFailure::NoCommittedPrefix,
+    };
+    for (RecoveryFailure a : all) {
+        EXPECT_STRNE(recoveryFailureName(a), "?");
+        for (RecoveryFailure b : all)
+            if (a != b)
+                EXPECT_STRNE(recoveryFailureName(a),
+                             recoveryFailureName(b));
+    }
 }
 
 TEST_F(RecoveryBranchTest, ValidLogWithBadChecksumIsIgnored)
@@ -177,6 +201,7 @@ TEST_F(RecoveryBranchTest, ValidLogWithBadChecksumIsIgnored)
     EXPECT_TRUE(report.consistent) << report.detail;
     EXPECT_FALSE(report.rolledBack);
     EXPECT_EQ(report.committedTxns, 5u);
+    EXPECT_EQ(report.reason, RecoveryFailure::None);
 }
 
 TEST(Recovery, RollbackRestoresPreTxnState)

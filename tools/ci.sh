@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# CI entry point: sanitized build, full test suite, a crash-point
-# sweep across every design (20 points each, fixed seed, parallel
-# Execute phase), a ThreadSanitizer pass over the parallel sweep, and
-# a Release bench smoke.
+# CI entry point: AddressSanitizer+UBSan build, full test suite, a
+# crash-point sweep across every design (20 points each, fixed seed,
+# parallel Execute phase), a fault-injection sweep under the same
+# sanitizers, CLI usage-contract smokes, a ThreadSanitizer pass over
+# the parallel sweep, and a Release bench smoke.
 #
 #   tools/ci.sh [build-dir] [release-build-dir] [tsan-build-dir]
 #
@@ -10,7 +11,9 @@
 # state with events still in flight, which is exactly where use-after-
 # free and leaked one-shot events would hide — and the work pool runs
 # whole Systems on worker threads, which is exactly where an unnoticed
-# mutable global would race.
+# mutable global would race. The fault-injection paths corrupt and
+# quarantine persisted lines, which is exactly where an out-of-bounds
+# torn-write prefix or a stale MAC pointer would hide.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -18,6 +21,8 @@ build="${1:-$repo/build-ci}"
 release="${2:-$repo/build-ci-rel}"
 tsan="${3:-$repo/build-ci-tsan}"
 
+# build-ci is the ASan+UBSan configuration (address + undefined, no
+# recovery: any finding is fatal). Everything ctest runs, runs under it.
 cmake -B "$build" -S "$repo" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
@@ -26,11 +31,35 @@ cmake --build "$build" -j "$(nproc)"
 
 ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
 
+# CLI usage contract: every tool prints usage and exits 0 on --help,
+# and prints usage to stderr and exits 2 on an unknown flag.
+for tool in cnvm_sim cnvm_crash_sweep cnvm_bench; do
+    "$build/tools/$tool" --help > /dev/null
+    if "$build/tools/$tool" --no-such-flag > /dev/null 2>&1; then
+        echo "FAIL: $tool accepted an unknown flag" >&2
+        exit 1
+    elif [ $? -ne 2 ]; then
+        echo "FAIL: $tool should exit 2 on an unknown flag" >&2
+        exit 1
+    fi
+done
+
 # Sweep smoke with the pooled Execute phase: --jobs 4 regardless of
 # host width — the point is to exercise the parallel path, and the
 # fingerprint-identity checks in cnvm_bench and the test suite pin its
 # results to the serial reference.
 "$build/tools/cnvm_crash_sweep" --points 20 --jobs 4
+
+# Fault-injection smoke under ASan+UBSan, both gate directions: with
+# integrity MACs the sweep must stay free of silent corruption; without
+# them the same dose must demonstrate at least one silent point (both
+# are part of the tool's exit status).
+"$build/tools/cnvm_crash_sweep" --points 12 --jobs 4 --mode fork \
+    --faults --integrity \
+    --design ColocatedCC --design FCA --design SCA --design Unsafe
+"$build/tools/cnvm_crash_sweep" --points 12 --jobs 4 --mode fork \
+    --faults \
+    --design ColocatedCC --design FCA --design SCA --design Unsafe
 
 # ThreadSanitizer over the concurrent paths: the runner unit tests and
 # a parallel multi-design sweep in both Execute modes. Fork mode is
@@ -48,6 +77,10 @@ cmake --build "$tsan" -j "$(nproc)" \
 "$tsan/tests/runner_test"
 "$tsan/tools/cnvm_crash_sweep" --points 8 --jobs 4
 "$tsan/tools/cnvm_crash_sweep" --points 8 --jobs 4 --mode fork
+# Fault capture happens on the trunk thread while workers classify
+# earlier (faulted) forks — the dose must stay on each fork's copy.
+"$tsan/tools/cnvm_crash_sweep" --points 8 --jobs 4 --mode fork \
+    --faults --integrity --design SCA --design Unsafe
 
 # Bench smoke in Release: cnvm_bench runs each kernel a few iterations
 # and, more importantly, exits non-zero if the indexed queue lookups

@@ -17,8 +17,11 @@
  *
  *   tools/cnvm_bench --out BENCH_PR2.json [--quick] [--baseline PRE.json]
  *
- * Exit status: 0 on success, 1 if any self-check fails (see the
- * behavior-preservation checks added with the queue indexes).
+ * Exit status: 0 on success, 1 if any self-check fails (the
+ * behavior-preservation checks added with the queue indexes, plus the
+ * fault-matrix gates: with integrity MACs armed, a media-fault sweep
+ * must classify zero points as silent corruption; without them, the
+ * same sweep must demonstrate at least one), 2 on usage errors.
  */
 
 #include <chrono>
@@ -45,6 +48,25 @@ namespace
 {
 
 using Clock = std::chrono::steady_clock;
+
+[[noreturn]] void
+usage(int code)
+{
+    std::fprintf(code == 0 ? stdout : stderr,
+                 R"(cnvm_bench — machine-readable performance harness
+
+options:
+  --out FILE       write the JSON report to FILE (default: stdout)
+  --baseline FILE  inline FILE's JSON verbatim under "baseline"
+  --quick          smaller kernels and sweeps (CI smoke; the committed
+                   BENCH_PR<N>.json files are full runs)
+  --repeat N       repetitions per timed kernel, fastest kept (default 3)
+  --jobs N         worker threads for the untimed checks and the fault
+                   matrix (default: hardware concurrency)
+  --help           this text
+)");
+    std::exit(code);
+}
 
 double
 msSince(Clock::time_point start)
@@ -519,6 +541,117 @@ benchSweepForkSpeedup(bool quick, unsigned jobs)
 }
 
 // ----------------------------------------------------------------------
+// Fault matrix: media faults × integrity metadata
+// ----------------------------------------------------------------------
+
+/** One design × integrity-mode cell of the fault-injection matrix. */
+struct FaultCell
+{
+    DesignPoint design = DesignPoint::SCA;
+    bool integrity = false;
+    unsigned points = 0;
+    unsigned reached = 0;
+    unsigned detectedPoints = 0;
+    unsigned silentPoints = 0;
+    std::uint64_t faultedLines = 0;
+    std::uint64_t detected = 0;
+    std::uint64_t repaired = 0;
+    std::uint64_t unrecoverable = 0;
+    double hostMs = 0;
+};
+
+struct FaultMatrixResult
+{
+    std::vector<FaultCell> cells;
+    unsigned pointsPerCell = 0;
+    unsigned integrityReached = 0; //!< reached points, integrity armed
+    unsigned integritySilent = 0;
+    unsigned noIntegritySilent = 0;
+
+    /** The headline invariant: with integrity metadata, no injected
+     *  fault over the whole matrix was ever silent. */
+    bool zeroSilentWithIntegrity = false;
+
+    /** The negative control: without it, at least one fault was. */
+    bool silentWithoutIntegrity = false;
+
+    bool ok() const
+    { return zeroSilentWithIntegrity && silentWithoutIntegrity; }
+};
+
+/** Small-footprint config so the per-point MAC scans stay cheap. */
+SystemConfig
+faultMatrixConfig(bool quick)
+{
+    SystemConfig cfg;
+    cfg.workload = WorkloadKind::ArraySwap;
+    cfg.numCores = 1;
+    cfg.wl.regionBytes = 256u << 10;
+    cfg.wl.txnTarget = quick ? 20 : 40;
+    cfg.wl.computePerTxn = 100;
+    cfg.wl.recordDigests = true;
+    cfg.wl.setupFill = 0.3;
+    cfg.wl.seed = 1;
+    cfg.memctl.counterCacheBytes = 16u << 10;
+    return cfg;
+}
+
+/**
+ * Runs the media-fault sweep over every crash-handling design, with
+ * and without the per-line integrity MACs, and gates both directions:
+ * the integrity-on half must contain zero silent-corruption points
+ * (in the full run that is 4 designs x 60 points = 240 >= the 200 the
+ * experiment plan calls for), and the integrity-off half must contain
+ * at least one — proving the dose bites and bites silently when
+ * unprotected.
+ */
+FaultMatrixResult
+runFaultMatrix(bool quick, WorkPool &pool)
+{
+    FaultMatrixResult m;
+    m.pointsPerCell = quick ? 16 : 60;
+    for (DesignPoint d : {DesignPoint::ColocatedCC, DesignPoint::FCA,
+                          DesignPoint::SCA, DesignPoint::Unsafe}) {
+        for (bool integrity : {true, false}) {
+            auto start = Clock::now();
+            SystemConfig cfg = faultMatrixConfig(quick);
+            cfg.design = d;
+            cfg.memctl.integrityMac = integrity;
+
+            SweepOptions opt;
+            opt.points = m.pointsPerCell;
+            opt.mode = SweepMode::Fork;
+            opt.faults = FaultSpec::allKinds(1);
+            SweepResult r = runSweep(cfg, opt, &pool);
+
+            FaultCell c;
+            c.design = d;
+            c.integrity = integrity;
+            c.points = static_cast<unsigned>(r.points.size());
+            c.reached = c.points - r.unreachedPoints();
+            c.detectedPoints = r.detectedPoints();
+            c.silentPoints = r.silentPoints();
+            c.faultedLines = r.totalOf(&SweepPoint::faultedLines);
+            c.detected = r.totalOf(&SweepPoint::detectedCorruptions);
+            c.repaired = r.totalOf(&SweepPoint::repairedLines);
+            c.unrecoverable = r.totalOf(&SweepPoint::unrecoverableLines);
+            c.hostMs = msSince(start);
+            if (integrity) {
+                m.integrityReached += c.reached;
+                m.integritySilent += c.silentPoints;
+            } else {
+                m.noIntegritySilent += c.silentPoints;
+            }
+            m.cells.push_back(c);
+        }
+    }
+    m.zeroSilentWithIntegrity =
+        m.integrityReached > 0 && m.integritySilent == 0;
+    m.silentWithoutIntegrity = m.noIntegritySilent >= 1;
+    return m;
+}
+
+// ----------------------------------------------------------------------
 // Repetition: the host is shared and noisy, so each kernel runs
 // --repeat times and the fastest run is kept (noise only adds time).
 // ----------------------------------------------------------------------
@@ -559,13 +692,45 @@ emitJson(std::ostream &os, const std::vector<KernelResult> &kernels,
          const std::string &baseline_json,
          const std::vector<CheckResult> &checks, bool checks_ok,
          const SweepScalingResult &scaling,
-         const SweepForkSpeedupResult &fork_speedup)
+         const SweepForkSpeedupResult &fork_speedup,
+         const FaultMatrixResult &faults)
 {
     char buf[256];
     os << "{\n";
     os << "  \"bench\": \"cnvm_bench\",\n";
     os << "  \"mode\": \"" << (quick ? "quick" : "full") << "\",\n";
     os << "  \"checks_ok\": " << (checks_ok ? "true" : "false") << ",\n";
+    os << "  \"fault_matrix\": {\n";
+    std::snprintf(buf, sizeof(buf),
+                  "    \"points_per_cell\": %u, "
+                  "\"integrity_reached_points\": %u,\n"
+                  "    \"zero_silent_with_integrity\": %s, "
+                  "\"silent_points_without_integrity\": %u,\n",
+                  faults.pointsPerCell, faults.integrityReached,
+                  faults.zeroSilentWithIntegrity ? "true" : "false",
+                  faults.noIntegritySilent);
+    os << buf;
+    os << "    \"cells\": [\n";
+    for (std::size_t i = 0; i < faults.cells.size(); ++i) {
+        const FaultCell &c = faults.cells[i];
+        std::snprintf(buf, sizeof(buf),
+                      "      {\"design\": \"%s\", \"integrity\": %s, "
+                      "\"reached\": %u, \"detected_points\": %u, "
+                      "\"silent_points\": %u, \"faulted_lines\": %llu, "
+                      "\"detected\": %llu, \"repaired\": %llu, "
+                      "\"unrecoverable\": %llu, \"host_ms\": %.2f}%s\n",
+                      designName(c.design),
+                      c.integrity ? "true" : "false", c.reached,
+                      c.detectedPoints, c.silentPoints,
+                      static_cast<unsigned long long>(c.faultedLines),
+                      static_cast<unsigned long long>(c.detected),
+                      static_cast<unsigned long long>(c.repaired),
+                      static_cast<unsigned long long>(c.unrecoverable),
+                      c.hostMs,
+                      i + 1 < faults.cells.size() ? "," : "");
+        os << buf;
+    }
+    os << "    ]\n  },\n";
     std::snprintf(buf, sizeof(buf),
                   "  \"sweep_scaling\": {\"points\": %u, \"jobs\": %u, "
                   "\"host_concurrency\": %u, \"serial_ms\": %.2f, "
@@ -639,7 +804,7 @@ main(int argc, char **argv)
         auto need_value = [&]() -> const char * {
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "missing value for %s\n", argv[i]);
-                std::exit(2);
+                usage(2);
             }
             return argv[++i];
         };
@@ -657,16 +822,13 @@ main(int argc, char **argv)
             jobs = static_cast<unsigned>(std::atoi(need_value()));
             if (jobs == 0) {
                 std::fprintf(stderr, "--jobs needs N >= 1\n");
-                return 2;
+                usage(2);
             }
         } else if (arg == "--help" || arg == "-h") {
-            std::printf(
-                "cnvm_bench [--out FILE] [--baseline FILE] [--quick]\n"
-                "           [--repeat N] [--jobs N]\n");
-            return 0;
+            usage(0);
         } else {
             std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
-            return 2;
+            usage(2);
         }
     }
 
@@ -735,6 +897,25 @@ main(int argc, char **argv)
                 fork_speedup.jobs, fork_speedup.hostConcurrency,
                 fork_speedup.identical ? "identical" : "DIFFER");
 
+    FaultMatrixResult fault_matrix = runFaultMatrix(quick, pool);
+    checks_ok = checks_ok && fault_matrix.ok();
+    for (const FaultCell &c : fault_matrix.cells)
+        std::printf("fault matrix %-13s integrity=%-3s reached=%u "
+                    "detected-pts=%u silent-pts=%u repaired=%llu "
+                    "unrecoverable=%llu (%.1f ms)\n",
+                    designName(c.design), c.integrity ? "on" : "off",
+                    c.reached, c.detectedPoints, c.silentPoints,
+                    static_cast<unsigned long long>(c.repaired),
+                    static_cast<unsigned long long>(c.unrecoverable),
+                    c.hostMs);
+    std::printf("fault matrix: %u integrity-armed points, silent with "
+                "integrity: %u (%s), silent without: %u (%s)\n",
+                fault_matrix.integrityReached,
+                fault_matrix.integritySilent,
+                fault_matrix.zeroSilentWithIntegrity ? "ok" : "FAILED",
+                fault_matrix.noIntegritySilent,
+                fault_matrix.silentWithoutIntegrity ? "ok" : "FAILED");
+
     for (const KernelResult &k : kernels)
         std::printf("%-34s %10.2f ns/op  (%llu ops, %.1f ms)\n",
                     k.name.c_str(), k.nsPerOp,
@@ -746,7 +927,7 @@ main(int argc, char **argv)
 
     if (out_path.empty()) {
         emitJson(std::cout, kernels, systems, quick, baseline_json,
-                 checks, checks_ok, scaling, fork_speedup);
+                 checks, checks_ok, scaling, fork_speedup, fault_matrix);
     } else {
         std::ofstream out(out_path);
         if (!out) {
@@ -754,7 +935,7 @@ main(int argc, char **argv)
             return 2;
         }
         emitJson(out, kernels, systems, quick, baseline_json, checks,
-                 checks_ok, scaling, fork_speedup);
+                 checks_ok, scaling, fork_speedup, fault_matrix);
         std::printf("wrote %s\n", out_path.c_str());
     }
     return checks_ok ? 0 : 1;

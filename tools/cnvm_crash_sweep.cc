@@ -10,14 +10,27 @@
  *   cnvm_crash_sweep --design SCA --points 50
  *   cnvm_crash_sweep --design Unsafe --points 50 --verbose
  *   cnvm_crash_sweep --points 20            # matrix over every design
+ *   cnvm_crash_sweep --points 50 --faults --integrity
  *
  * The sweep is deterministic for a fixed --seed: same points, same
- * classifications, same fingerprint.
+ * classifications, same fingerprint. With --faults the same holds for
+ * a fixed --fault-seed: every point receives the same media-fault dose
+ * with a per-point RNG stream, identical across Execute modes and job
+ * counts.
  *
- * Exit status: 0 when every design behaved as designed — the
- * crash-consistent designs recovered at every reached point, and
- * Unsafe (the negative control, when swept) exhibited at least one
- * counter/data mismatch. 1 otherwise, 2 on usage errors.
+ * Exit status: 0 when every design behaved as designed, 1 otherwise,
+ * 2 on usage errors. "As designed" means:
+ *
+ *   - clean sweep: crash-consistent designs recovered at every reached
+ *     point; Unsafe (the negative control, when swept) exhibited at
+ *     least one counter/data mismatch;
+ *   - --faults --integrity: NO point anywhere classified as
+ *     silent-corruption (the headline integrity invariant), and every
+ *     recovery failure of a crash-consistent design is a detected one;
+ *   - --faults without --integrity: the matrix as a whole must
+ *     demonstrate at least one silent-corruption point — this is the
+ *     negative control proving the faults bite and that, without the
+ *     integrity metadata, they bite silently.
  */
 
 #include <cstdio>
@@ -44,6 +57,9 @@ struct Options
     bool semanticTriggers = true;
     bool verbose = false;
     bool printFingerprint = false;
+    bool faults = false;
+    bool integrity = false;
+    std::uint64_t faultSeed = 1;
 };
 
 [[noreturn]] void
@@ -71,6 +87,16 @@ options:
                     dirty evictions are reachable crash states)
   --seed N          workload seed (default 1)
   --ticks-only      plan only absolute-tick points (no semantic triggers)
+  --faults          dose every crash point with media faults (torn line
+                    writes, bit flips, counter corruption/rollback, ADR
+                    energy loss); deterministic per --fault-seed
+  --fault-seed N    base seed of the per-point fault RNG streams
+                    (default 1; implies --faults)
+  --integrity       arm the per-line integrity MACs: recovery verifies
+                    every line, repairs counters by bounded trial
+                    re-decryption, and quarantines what it cannot fix.
+                    With --faults the sweep gates on the headline
+                    invariant — zero silent-corruption points
   --verbose         print every crash point, not just the matrix row
   --fingerprint     print the deterministic sweep fingerprint
   --help            this text
@@ -155,6 +181,13 @@ parseArgs(int argc, char **argv)
             opt.cfg.wl.seed = std::strtoull(need_value(i), nullptr, 10);
         } else if (arg == "--ticks-only") {
             opt.semanticTriggers = false;
+        } else if (arg == "--faults") {
+            opt.faults = true;
+        } else if (arg == "--fault-seed") {
+            opt.faultSeed = std::strtoull(need_value(i), nullptr, 10);
+            opt.faults = true;
+        } else if (arg == "--integrity") {
+            opt.integrity = true;
         } else if (arg == "--verbose") {
             opt.verbose = true;
         } else if (arg == "--fingerprint") {
@@ -176,17 +209,22 @@ parseArgs(int argc, char **argv)
     return opt;
 }
 
-/** Sweeps one design; returns whether it behaved as designed. */
+/** Sweeps one design; returns whether it behaved as designed and adds
+ *  its silent-corruption points into @p total_silent. */
 bool
-sweepDesign(const Options &opt, DesignPoint design, WorkPool &pool)
+sweepDesign(const Options &opt, DesignPoint design, WorkPool &pool,
+            unsigned &total_silent)
 {
     SystemConfig cfg = opt.cfg;
     cfg.design = design;
+    cfg.memctl.integrityMac = opt.integrity;
 
     SweepOptions sweep_opt;
     sweep_opt.points = opt.points;
     sweep_opt.semanticTriggers = opt.semanticTriggers;
     sweep_opt.mode = opt.mode;
+    if (opt.faults)
+        sweep_opt.faults = FaultSpec::allKinds(opt.faultSeed);
     SweepResult result = runSweep(cfg, sweep_opt, &pool);
 
     if (opt.verbose) {
@@ -197,14 +235,22 @@ sweepDesign(const Options &opt, DesignPoint design, WorkPool &pool)
                 continue;
             }
             std::printf("  %-20s %-22s tick=%llu q=%u/%u pipe=%u "
-                        "mismatched=%llu committed=%llu%s%s\n",
+                        "mismatched=%llu committed=%llu",
                         p.spec.describe().c_str(), crashClassName(p.cls),
                         static_cast<unsigned long long>(p.snapshot.tick),
                         p.snapshot.dataQueue, p.snapshot.ctrQueue,
                         p.snapshot.pipeline,
                         static_cast<unsigned long long>(p.mismatchedLines),
-                        static_cast<unsigned long long>(p.committedTxns),
-                        p.detail.empty() ? "" : " : ",
+                        static_cast<unsigned long long>(p.committedTxns));
+            if (opt.faults)
+                std::printf(" faulted=%llu det=%llu rep=%llu unrec=%llu",
+                            static_cast<unsigned long long>(p.faultedLines),
+                            static_cast<unsigned long long>(
+                                p.detectedCorruptions),
+                            static_cast<unsigned long long>(p.repairedLines),
+                            static_cast<unsigned long long>(
+                                p.unrecoverableLines));
+            std::printf("%s%s\n", p.detail.empty() ? "" : " : ",
                         p.detail.c_str());
         }
     }
@@ -212,7 +258,7 @@ sweepDesign(const Options &opt, DesignPoint design, WorkPool &pool)
     unsigned reached =
         static_cast<unsigned>(result.points.size()) -
         result.unreachedPoints();
-    std::printf("%-13s %7u %8u %11u %10u %9u %9u %9u\n",
+    std::printf("%-13s %7u %8u %11u %10u %9u %9u %9u %9u %7u\n",
                 shortDesignName(design),
                 static_cast<unsigned>(result.points.size()), reached,
                 result.countOf(CrashClass::Consistent),
@@ -220,11 +266,35 @@ sweepDesign(const Options &opt, DesignPoint design, WorkPool &pool)
                 result.countOf(CrashClass::TornCounter) +
                     result.countOf(CrashClass::CounterDataMismatch),
                 result.countOf(CrashClass::Inconsistent),
-                result.inconsistentPoints());
+                result.inconsistentPoints(),
+                result.countOf(CrashClass::DetectedCorruption),
+                result.silentPoints());
 
     if (opt.printFingerprint)
         std::printf("  fingerprint(%s): %s\n", shortDesignName(design),
                     result.fingerprint().c_str());
+
+    total_silent += result.silentPoints();
+
+    if (opt.faults && opt.integrity) {
+        // The headline invariant: with integrity metadata armed, no
+        // injected fault is ever silent. Crash-consistent designs may
+        // fail recovery under media faults, but only detectably; the
+        // negative control must still demonstrate *some* failure.
+        if (result.silentPoints() != 0)
+            return false;
+        if (designCrashConsistent(design))
+            return result.inconsistentPoints() ==
+                   result.countOf(CrashClass::DetectedCorruption);
+        return result.mismatchPoints() +
+               result.countOf(CrashClass::DetectedCorruption) >= 1;
+    }
+    if (opt.faults) {
+        // Integrity off: nothing to assert per design — recovery may
+        // fail any which way. The matrix-level negative gate in main()
+        // requires at least one silent point across the sweep.
+        return true;
+    }
 
     if (designCrashConsistent(design))
         return result.inconsistentPoints() == 0;
@@ -244,22 +314,42 @@ main(int argc, char **argv)
     WorkPool pool(opt.jobs);
 
     std::printf("crash-point sweep: %u points/design, workload %s, "
-                "%u core(s), %u txns, seed %llu, %u job(s), %s mode%s\n",
+                "%u core(s), %u txns, seed %llu, %u job(s), %s mode%s%s%s\n",
                 opt.points, workloadKindName(opt.cfg.workload),
                 opt.cfg.numCores, opt.cfg.wl.txnTarget,
                 static_cast<unsigned long long>(opt.cfg.wl.seed),
                 pool.jobs(), sweepModeName(opt.mode),
-                opt.semanticTriggers ? "" : ", ticks only");
-    std::printf("%-13s %7s %8s %11s %10s %9s %9s %9s\n", "design",
+                opt.semanticTriggers ? "" : ", ticks only",
+                opt.faults ? ", media faults" : "",
+                opt.integrity ? ", integrity MACs" : "");
+    std::printf("%-13s %7s %8s %11s %10s %9s %9s %9s %9s %7s\n", "design",
                 "points", "reached", "consistent", "torn-data",
-                "torn-ctr", "other", "inconsist");
+                "torn-ctr", "other", "inconsist", "detected", "silent");
 
     bool all_ok = true;
+    unsigned total_silent = 0;
     for (DesignPoint d : opt.designs) {
-        if (!sweepDesign(opt, d, pool)) {
+        if (!sweepDesign(opt, d, pool, total_silent)) {
             all_ok = false;
             std::printf("  ^^ %s did not behave as designed\n",
                         shortDesignName(d));
+        }
+    }
+
+    if (opt.faults && !opt.integrity) {
+        // Negative control: without integrity metadata, the injected
+        // faults must produce at least one silent corruption somewhere
+        // in the matrix — otherwise the fault model is toothless and
+        // the zero-silent gate above proves nothing.
+        if (total_silent == 0) {
+            all_ok = false;
+            std::printf("^^ no silent corruption anywhere: the fault "
+                        "dose did not demonstrate the unprotected "
+                        "failure mode\n");
+        } else {
+            std::printf("negative control: %u silent-corruption "
+                        "point(s) without integrity metadata\n",
+                        total_silent);
         }
     }
     return all_ok ? 0 : 1;

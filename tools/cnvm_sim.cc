@@ -36,6 +36,9 @@ struct Options
     unsigned sweepPoints = 0; //!< 0: no sweep
     unsigned jobs = 0;        //!< sweep concurrency; 0 = hardware
     SweepMode sweepMode = SweepMode::Replay;
+    bool faults = false;
+    bool integrity = false;
+    std::uint64_t faultSeed = 1;
     bool verify = false;
     bool dumpStats = false;
     bool quiet = false;
@@ -74,6 +77,14 @@ options:
                        crashed simulation per point; default) or fork
                        (one trunk run, classify captured forks —
                        same fingerprint, much faster at large K)
+  --faults             dose every --crash-sweep point with media faults
+                       (torn writes, bit flips, counter corruption, ADR
+                       energy loss)
+  --fault-seed N       base seed of the per-point fault RNG streams
+                       (default 1; implies --faults)
+  --integrity          arm per-line integrity MACs: recovery verifies,
+                       repairs counters by trial re-decryption, and
+                       quarantines unrepairable lines
   --verify             recover after the crash and verify consistency
   --stats              dump the full stat registry
   --quiet              suppress the metric summary
@@ -198,6 +209,13 @@ parseArgs(int argc, char **argv)
                              name.c_str());
                 usage(2);
             }
+        } else if (arg == "--faults") {
+            opt.faults = true;
+        } else if (arg == "--fault-seed") {
+            opt.faultSeed = std::strtoull(need_value(i), nullptr, 10);
+            opt.faults = true;
+        } else if (arg == "--integrity") {
+            opt.integrity = true;
         } else if (arg == "--verify") {
             opt.verify = true;
         } else if (arg == "--stats") {
@@ -214,6 +232,11 @@ parseArgs(int argc, char **argv)
         opt.cfg.nvm = NvmTiming::pcm().scaled(read_mult, write_mult);
     if (opt.verify || opt.crashFrac >= 0 || opt.sweepPoints > 0)
         opt.cfg.wl.recordDigests = true;
+    opt.cfg.memctl.integrityMac = opt.integrity;
+    if (opt.faults && opt.sweepPoints == 0) {
+        std::fprintf(stderr, "--faults requires --crash-sweep\n");
+        usage(2);
+    }
     return opt;
 }
 
@@ -225,11 +248,15 @@ runCrashSweep(const Options &opt)
     sweep_opt.points = opt.sweepPoints;
     sweep_opt.jobs = opt.jobs == 0 ? WorkPool::hardwareJobs() : opt.jobs;
     sweep_opt.mode = opt.sweepMode;
+    if (opt.faults)
+        sweep_opt.faults = FaultSpec::allKinds(opt.faultSeed);
 
     if (!opt.quiet)
-        std::printf("sweeping %u crash points (%u jobs, %s mode): %s\n",
+        std::printf("sweeping %u crash points (%u jobs, %s mode%s%s): %s\n",
                     opt.sweepPoints, sweep_opt.jobs,
                     sweepModeName(sweep_opt.mode),
+                    opt.faults ? ", media faults" : "",
+                    opt.integrity ? ", integrity MACs" : "",
                     System(opt.cfg).describe().c_str());
 
     SweepResult result = runSweep(opt.cfg, sweep_opt);
@@ -246,6 +273,24 @@ runCrashSweep(const Options &opt)
                     result.unreachedPoints(),
                 result.countOf(CrashClass::Consistent),
                 result.inconsistentPoints(), result.mismatchPoints());
+    if (opt.faults) {
+        std::printf("faults: %llu faulted lines, %llu detected, "
+                    "%llu repaired, %llu unrecoverable; %u detected "
+                    "point(s), %u silent point(s)\n",
+                    static_cast<unsigned long long>(
+                        result.totalOf(&SweepPoint::faultedLines)),
+                    static_cast<unsigned long long>(
+                        result.totalOf(&SweepPoint::detectedCorruptions)),
+                    static_cast<unsigned long long>(
+                        result.totalOf(&SweepPoint::repairedLines)),
+                    static_cast<unsigned long long>(
+                        result.totalOf(&SweepPoint::unrecoverableLines)),
+                    result.detectedPoints(), result.silentPoints());
+        // With integrity armed the invariant is zero silent points;
+        // without it the sweep is informational (the failures are the
+        // expected behavior of unprotected media).
+        return opt.integrity ? (result.silentPoints() == 0 ? 0 : 1) : 0;
+    }
     return result.inconsistentPoints() == 0 ? 0 : 1;
 }
 
