@@ -31,12 +31,13 @@ CrashOracle::CrashOracle(const NvmDevice &nvm, const MemController &ctl)
 
 OracleReport
 CrashOracle::examine(const Workload &workload,
-                     const std::vector<std::uint64_t> *digests) const
+                     const std::vector<std::uint64_t> *digests,
+                     const RecoveryOptions &ropt) const
 {
     OracleReport report;
 
     RecoveryEngine engine(src, ctl);
-    report.recovery = engine.recover(workload, digests);
+    report.recovery = engine.recover(workload, digests, ropt);
 
     // Counter census. Unencrypted lines have no counter to diverge
     // from; the census trivially passes (cipher counters are recorded

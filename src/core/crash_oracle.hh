@@ -116,10 +116,14 @@ class CrashOracle
      *
      * @param digests optional committed-digest log override for the
      *        recovery step (see RecoveryEngine::recover).
+     * @param ropt recovery options — pre-scan concurrency and friends
+     *        (see RecoveryOptions); the classification is identical
+     *        at any jobs value.
      */
     OracleReport examine(const Workload &workload,
                          const std::vector<std::uint64_t> *digests
-                             = nullptr) const;
+                             = nullptr,
+                         const RecoveryOptions &ropt = {}) const;
 
   private:
     const PersistSource &src;

@@ -125,7 +125,7 @@ planSweep(const SweepProbe &probe, unsigned points, bool semantic_triggers)
 
 SweepPoint
 runSweepPoint(const SystemConfig &cfg, const CrashSpec &spec,
-              bool collect_stats)
+              bool collect_stats, unsigned recovery_jobs)
 {
     SweepPoint point;
     point.spec = spec;
@@ -136,7 +136,7 @@ runSweepPoint(const SystemConfig &cfg, const CrashSpec &spec,
     point.snapshot = sys.crashSnapshot();
 
     if (point.crashed) {
-        for (const OracleReport &report : sys.examineAll())
+        for (const OracleReport &report : sys.examineAll(recovery_jobs))
             accumulate(point, report);
     }
 
@@ -150,17 +150,27 @@ runSweepPoint(const SystemConfig &cfg, const CrashSpec &spec,
 
 SweepPoint
 classifyFork(const System &trunk, const CrashSpec &spec,
-             const PersistFork &fork)
+             const PersistFork &fork, unsigned recovery_jobs)
 {
     SweepPoint point;
     point.spec = spec;
     point.crashed = true;
     point.snapshot = fork.snapshot;
 
+    // An inner pool for the recovery pre-scan, when asked for: a
+    // fork-mode worker thread classifying this fork may itself shard
+    // the per-line MAC verification.
+    std::unique_ptr<WorkPool> pool;
+    RecoveryOptions ropt;
+    if (recovery_jobs != 1) {
+        pool = std::make_unique<WorkPool>(recovery_jobs);
+        ropt.pool = pool.get();
+    }
+
     CrashOracle oracle(fork.image, trunk.controller());
     for (unsigned c = 0; c < trunk.numCores(); ++c) {
-        OracleReport report =
-            oracle.examine(trunk.workload(c), &fork.coreDigests.at(c));
+        OracleReport report = oracle.examine(
+            trunk.workload(c), &fork.coreDigests.at(c), ropt);
         accumulate(point, report);
     }
     return point;
@@ -179,7 +189,7 @@ namespace
 void
 executeForkSweep(const SystemConfig &cfg,
                  const std::vector<CrashSpec> &plan, WorkPool &pool,
-                 SweepResult &result)
+                 unsigned recovery_jobs, SweepResult &result)
 {
     result.points.resize(plan.size());
     for (std::size_t i = 0; i < plan.size(); ++i)
@@ -192,8 +202,10 @@ executeForkSweep(const SystemConfig &cfg,
             // callback returns (the trunk resumes) while a worker may
             // still be classifying.
             auto owned = std::make_shared<PersistFork>(std::move(fork));
-            pool.submit([&trunk, &plan, &result, i, owned]() {
-                result.points[i] = classifyFork(trunk, plan[i], *owned);
+            pool.submit([&trunk, &plan, &result, i, owned,
+                         recovery_jobs]() {
+                result.points[i] = classifyFork(trunk, plan[i], *owned,
+                                                recovery_jobs);
             });
         });
     // The trunk has finished; drain the classification tail before it
@@ -222,10 +234,10 @@ runSweep(const SystemConfig &cfg, const SweepOptions &opt, WorkPool *pool)
 
     if (opt.mode == SweepMode::Fork) {
         if (pool != nullptr) {
-            executeForkSweep(cfg, plan, *pool, result);
+            executeForkSweep(cfg, plan, *pool, opt.recoveryJobs, result);
         } else {
             WorkPool local(opt.jobs);
-            executeForkSweep(cfg, plan, local, result);
+            executeForkSweep(cfg, plan, local, opt.recoveryJobs, result);
         }
         return result;
     }
@@ -235,7 +247,8 @@ runSweep(const SystemConfig &cfg, const SweepOptions &opt, WorkPool *pool)
         result.points.reserve(plan.size());
         for (const CrashSpec &spec : plan)
             result.points.push_back(
-                runSweepPoint(cfg, spec, opt.collectStatsDumps));
+                runSweepPoint(cfg, spec, opt.collectStatsDumps,
+                              opt.recoveryJobs));
         return result;
     }
 
@@ -245,7 +258,8 @@ runSweep(const SystemConfig &cfg, const SweepOptions &opt, WorkPool *pool)
     // byte-identical to the serial path at any job count.
     auto execute = [&](WorkPool &p) {
         result.points = p.map<SweepPoint>(plan.size(), [&](std::size_t i) {
-            return runSweepPoint(cfg, plan[i], opt.collectStatsDumps);
+            return runSweepPoint(cfg, plan[i], opt.collectStatsDumps,
+                                 opt.recoveryJobs);
         });
     };
     if (pool != nullptr) {

@@ -140,6 +140,15 @@ struct SweepOptions
     bool collectStatsDumps = false;
 
     /**
+     * Concurrency of each point's recovery (the integrity pre-scan
+     * shards over a pool of this size). 1 is the serial reference;
+     * recovery output is byte-identical at any value. Orthogonal to
+     * `jobs`: that fans out *points*, this fans out the work *inside*
+     * one point's recovery.
+     */
+    unsigned recoveryJobs = 1;
+
+    /**
      * Base fault dose. When any() is set, every planned point gets
      * this dose with a per-point seed derived from faults.seed and
      * the plan index (FaultSpec::forPoint) — deterministic across
@@ -235,7 +244,8 @@ std::vector<CrashSpec> planSweep(const SweepProbe &probe, unsigned points,
 /** Executes one planned crash point against a fresh System (step 3,
  *  Replay mode). */
 SweepPoint runSweepPoint(const SystemConfig &cfg, const CrashSpec &spec,
-                         bool collect_stats = false);
+                         bool collect_stats = false,
+                         unsigned recovery_jobs = 1);
 
 /**
  * Classifies one captured crash point off-trunk (step 3, Fork mode):
@@ -247,7 +257,8 @@ SweepPoint runSweepPoint(const SystemConfig &cfg, const CrashSpec &spec,
  * runSweepPoint() of @p spec would.
  */
 SweepPoint classifyFork(const System &trunk, const CrashSpec &spec,
-                        const PersistFork &fork);
+                        const PersistFork &fork,
+                        unsigned recovery_jobs = 1);
 
 /**
  * Probe + plan + execute. When @p pool is given it runs the Execute

@@ -1,8 +1,12 @@
 #include "core/recovery.hh"
 
+#include <algorithm>
 #include <cstring>
+#include <memory>
 
 #include "common/logging.hh"
+#include "core/recovery_crash.hh"
+#include "runner/runner.hh"
 
 namespace cnvm
 {
@@ -19,11 +23,12 @@ RecoveredImage::RecoveredImage(const NvmDevice &nvm,
 {
 }
 
-LineData
-RecoveredImage::decryptLine(Addr line_addr) const
+RecoveredImage::VerifiedLine
+RecoveredImage::verifyLine(Addr line_addr) const
 {
     const LineData *cipher = src.persistedLine(line_addr);
     const bool encrypted = ctl.design() != DesignPoint::NoEncryption;
+    VerifiedLine v;
 
     // A cell that was never written holds the all-zero plaintext
     // encrypted at counter 0.
@@ -49,42 +54,116 @@ RecoveredImage::decryptLine(Addr line_addr) const
         if (mac != nullptr
             && ctl.engine().lineMac(line_addr, counter, cipher_bytes)
                    != *mac) {
-            ++detected;
+            v.detected = true;
             // Osiris-style repair: the true counter is usually near
             // the stored one (a rolled-back counter word, or a torn
             // pair whose ciphertext is a few generations off), so
-            // trial-verify a bounded window around it.
+            // trial-verify a bounded window around it — outward from
+            // the stored value, nearest first, so when more than one
+            // candidate verifies the closest generation wins. The
+            // edge distances saturate instead of wrapping: a stored
+            // counter within `window` of 0 or UINT64_MAX (the
+            // counter-garbage fault case) just gets a clipped window.
             const unsigned window = ctl.config().macRepairWindow;
-            std::uint64_t lo = counter > window ? counter - window : 0;
+            const std::uint64_t up =
+                std::min<std::uint64_t>(window, UINT64_MAX - counter);
+            const std::uint64_t down =
+                std::min<std::uint64_t>(window, counter);
             bool fixed = false;
-            for (std::uint64_t c = lo; c <= counter + window; ++c) {
-                if (c == counter)
-                    continue;
-                if (ctl.engine().lineMac(line_addr, c, cipher_bytes)
-                        == *mac) {
-                    counter = c;
+            auto verifies = [&](std::uint64_t c) {
+                return ctl.engine().lineMac(line_addr, c, cipher_bytes)
+                    == *mac;
+            };
+            for (std::uint64_t d = 1;
+                 d <= std::max(up, down) && !fixed; ++d) {
+                // At equal distance, prefer the newer generation: the
+                // common torn pair persisted data *ahead* of its
+                // counter word.
+                if (d <= up && verifies(counter + d)) {
+                    counter += d;
                     fixed = true;
-                    break;
+                } else if (d <= down && verifies(counter - d)) {
+                    counter -= d;
+                    fixed = true;
                 }
             }
             if (!fixed) {
                 // Unrepairable: quarantine — the line reads as zeros,
                 // and recovery reports it rather than consuming
                 // garbage. An undo-log rollback may yet restore it.
-                quarantine.insert(line_addr);
-                return LineData{};
+                v.quarantined = true;
+                return v;
             }
-            ++repaired;
+            v.repaired = true;
         }
     }
 
-    if (!encrypted)
-        return cipher_bytes;
+    if (!encrypted) {
+        v.plain = cipher_bytes;
+        return v;
+    }
 
     // Equation 3: plaintext = OTP(addr, stored counter) xor ciphertext.
     // If the stored counter does not match the counter the data was
     // encrypted with, this produces garbage (equation 4).
-    return ctl.engine().decrypt(line_addr, counter, cipher_bytes);
+    v.plain = ctl.engine().decrypt(line_addr, counter, cipher_bytes);
+    return v;
+}
+
+std::unordered_map<Addr, LineData>::iterator
+RecoveredImage::install(Addr line_addr, const VerifiedLine &v) const
+{
+    detected += v.detected;
+    repaired += v.repaired;
+    if (v.quarantined)
+        quarantine.insert(line_addr);
+    return cache.emplace(line_addr, v.plain).first;
+}
+
+void
+RecoveredImage::preScan(Addr base, Addr end, WorkPool *pool,
+                        RecoveryCrashInjector *crash) const
+{
+    const std::size_t nlines =
+        static_cast<std::size_t>((end - base) / lineBytes);
+
+    // Fixed shard size, independent of the job count: the shard
+    // boundaries (and with them every merge decision) are a property
+    // of the region alone, so jobs=1 and jobs=N walk identical state.
+    constexpr std::size_t shardLines = 256;
+    const std::size_t nshards = (nlines + shardLines - 1) / shardLines;
+
+    auto scanShard = [&](std::size_t s) {
+        const std::size_t lo = s * shardLines;
+        const std::size_t hi = std::min(nlines, lo + shardLines);
+        std::vector<VerifiedLine> out;
+        out.reserve(hi - lo);
+        for (std::size_t i = lo; i < hi; ++i)
+            out.push_back(verifyLine(base + i * lineBytes));
+        return out;
+    };
+
+    std::vector<std::vector<VerifiedLine>> shards;
+    if (pool != nullptr && pool->jobs() > 1) {
+        shards = pool->map<std::vector<VerifiedLine>>(nshards, scanShard);
+    } else {
+        shards.reserve(nshards);
+        for (std::size_t s = 0; s < nshards; ++s)
+            shards.push_back(scanShard(s));
+    }
+
+    // Merge in shard order — address order — exactly as the serial
+    // loop would have: same counters, same quarantine set, same cache
+    // contents, same injector event sequence at any job count.
+    std::size_t i = 0;
+    for (const std::vector<VerifiedLine> &shard : shards) {
+        for (const VerifiedLine &v : shard) {
+            install(base + i * lineBytes, v);
+            ++i;
+            if (crash != nullptr)
+                crash->onEvent(RecoveryEvent::PreScanLine);
+        }
+    }
 }
 
 LineData &
@@ -92,7 +171,7 @@ RecoveredImage::cachedLine(Addr line_addr) const
 {
     auto it = cache.find(line_addr);
     if (it == cache.end())
-        it = cache.emplace(line_addr, decryptLine(line_addr)).first;
+        it = install(line_addr, verifyLine(line_addr));
     return it->second;
 }
 
@@ -164,9 +243,34 @@ recoveryFailureName(RecoveryFailure reason)
     return "?";
 }
 
+void
+RecoveryEngine::persistLine(const RecoveredImage &image, Addr line_addr,
+                            PersistImage &out) const
+{
+    const LineData plain = image.line(line_addr);
+    const bool encrypted = ctl.design() != DesignPoint::NoEncryption;
+
+    // Re-encrypt at the line's *stored* counter: the counter store is
+    // never advanced by recovery, so a re-run derives the same
+    // (counter, ciphertext, MAC) triple and rewrites identical bytes
+    // — the property the interrupted-recovery idempotence gate pins.
+    std::uint64_t counter = 0;
+    LineData cipher = plain;
+    if (encrypted) {
+        counter = src.persistedCounters(ctl.counterLineAddr(line_addr))
+                      [ctl.counterSlot(line_addr)];
+        cipher = ctl.engine().encrypt(line_addr, counter, plain);
+    }
+    out.drainData(line_addr, cipher, counter);
+    if (ctl.config().integrityMac)
+        out.drainMac(line_addr,
+                     ctl.engine().lineMac(line_addr, counter, cipher));
+}
+
 RecoveryReport
 RecoveryEngine::recover(const Workload &workload,
-                        const std::vector<std::uint64_t> *digests_in)
+                        const std::vector<std::uint64_t> *digests_in,
+                        const RecoveryOptions &opt)
 {
     RecoveryReport report;
     RecoveredImage image(src, ctl);
@@ -175,15 +279,19 @@ RecoveryEngine::recover(const Workload &workload,
     // no corruption can hide in a line the log/validate/digest pipeline
     // happens not to read. Mismatches repair or quarantine here; the
     // later stages then run on a verified (or explicitly degraded)
-    // image.
+    // image. Sharded over the pool when one is configured.
     if (ctl.config().integrityMac) {
-        for (Addr a = workload.regionBase(); a < workload.regionEnd();
-             a += lineBytes) {
-            image.line(a);
+        WorkPool *pool = opt.pool;
+        std::unique_ptr<WorkPool> local;
+        if (pool == nullptr && opt.jobs != 1) {
+            local = std::make_unique<WorkPool>(opt.jobs);
+            pool = local.get();
         }
+        image.preScan(workload.regionBase(), workload.regionEnd(), pool,
+                      opt.crash);
     }
 
-    runRecovery(image, workload, digests_in, report);
+    runRecovery(image, workload, digests_in, opt, report);
 
     // Corruption accounting. A detected line counts as repaired
     // whether the counter-window search fixed it or a rollback
@@ -200,6 +308,7 @@ void
 RecoveryEngine::runRecovery(RecoveredImage &image,
                             const Workload &workload,
                             const std::vector<std::uint64_t> *digests_in,
+                            const RecoveryOptions &opt,
                             RecoveryReport &report) const
 {
     const LogLayout &log = workload.log();
@@ -237,17 +346,46 @@ RecoveryEngine::runRecovery(RecoveredImage &image,
                     return fail(RecoveryFailure::LogDescriptorInvalid,
                                 "log descriptor outside the region");
                 }
+                // Read the backup *before* consulting the quarantine:
+                // the read is what lazily verifies the backup line and
+                // quarantines it if it is corrupt. (Asking first and
+                // reading second let the first touch of a corrupt
+                // backup slip past the check, and the stale verdict
+                // then wrongly lifted the target's quarantine.)
+                LineData backup = image.line(log.backupAddr(i));
                 bool backup_bad =
                     image.isQuarantined(log.backupAddr(i));
-                LineData backup = image.line(log.backupAddr(i));
-                image.write(target, backup.data(), lineBytes);
-                // Rolling an intact backup over a quarantined target
-                // restores it; a quarantined *backup* restores
-                // nothing (the target now holds zeros from it).
-                if (!backup_bad)
+                if (!backup_bad) {
+                    // Rolling an intact backup over a quarantined
+                    // target restores it.
+                    image.write(target, backup.data(), lineBytes);
                     image.clearQuarantine(target);
+                    if (opt.commitTo != nullptr)
+                        persistLine(image, target, *opt.commitTo);
+                }
+                // A quarantined *backup* restores nothing: the target
+                // keeps its own (possibly quarantined) content, and
+                // nothing is persisted — zeros must never land on
+                // media under a fresh MAC.
+                if (opt.crash != nullptr)
+                    opt.crash->onEvent(RecoveryEvent::RollbackWrite);
             }
             report.rolledBack = true;
+
+            if (opt.commitTo != nullptr) {
+                // Write-back epilogue: invalidate the log so a re-run
+                // (or a later crash) does not redo the rollback. The
+                // invariant either way: redoing it would rewrite the
+                // very same bytes.
+                if (opt.crash != nullptr)
+                    opt.crash->onEvent(RecoveryEvent::BeforeValidClear);
+                std::uint64_t inval = LogLayout::kInvalid;
+                image.write(log.validAddr(), &inval, sizeof(inval));
+                persistLine(image, lineAlign(log.validAddr()),
+                            *opt.commitTo);
+                if (opt.crash != nullptr)
+                    opt.crash->onEvent(RecoveryEvent::AfterValidClear);
+            }
         }
         // Checksum mismatch: the prepare stage had not finished, so the
         // in-place data was never touched; ignore the log.
@@ -277,11 +415,18 @@ RecoveryEngine::runRecovery(RecoveredImage &image,
     }
 
     // --- Step 3: committed-prefix check -------------------------------
+    // The digest is computed whenever recovery reaches a structurally
+    // valid image — it is the convergence witness of the
+    // crash-during-recovery idempotence gate even when no committed
+    // log exists to search.
+    std::uint64_t recovered_digest = workload.digest(image);
+    report.digestComputed = true;
+    report.recoveredDigest = recovered_digest;
+
     const auto &digests =
         digests_in != nullptr ? *digests_in : workload.digests();
     if (!digests.empty()) {
         report.digestChecked = true;
-        std::uint64_t recovered_digest = workload.digest(image);
         bool matched = false;
         // Search newest-first: the recovered state is usually at or
         // near the last issued transaction.

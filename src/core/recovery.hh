@@ -26,6 +26,9 @@
 namespace cnvm
 {
 
+class WorkPool;
+class RecoveryCrashInjector;
+
 /**
  * A decrypted, mutable view of the persisted NVM image, as recovery
  * software would see it after a power failure.
@@ -65,6 +68,23 @@ class RecoveredImage : public ByteReader
     /** Decrypted content of a line. */
     LineData line(Addr line_addr) const;
 
+    /**
+     * Integrity pre-scan over [base, end): decrypt-and-verify every
+     * line up front, so no corruption can hide in a line the later
+     * pipeline happens not to read.
+     *
+     * The scan shards the range into fixed-size line runs; when
+     * @p pool has more than one job the shards are verified
+     * concurrently (verifyLine() is pure: it touches only the
+     * immutable source and controller) and merged into the cache in
+     * shard order — address order — so the detected/repaired counters,
+     * the quarantine set, and every cached plaintext byte are
+     * identical at any job count. @p crash, when non-null, observes
+     * one PreScanLine step per merged line (and may interrupt there).
+     */
+    void preScan(Addr base, Addr end, WorkPool *pool,
+                 RecoveryCrashInjector *crash) const;
+
     /** MAC mismatches found so far (integrity metadata only). */
     std::uint64_t detectedCorruptions() const { return detected; }
 
@@ -95,8 +115,26 @@ class RecoveredImage : public ByteReader
     mutable std::uint64_t repaired = 0;
     mutable std::unordered_set<Addr> quarantine;
 
+    /** Outcome of verifying one line, before it touches the image's
+     *  bookkeeping — the unit of work pre-scan shards exchange. */
+    struct VerifiedLine
+    {
+        LineData plain{}; //!< zeros when quarantined
+        bool detected = false;
+        bool repaired = false;
+        bool quarantined = false;
+    };
+
+    /** Decrypts and verifies one line. Pure: reads only the immutable
+     *  source/controller, mutates nothing — safe to call from worker
+     *  threads. */
+    VerifiedLine verifyLine(Addr line_addr) const;
+
+    /** Folds a verified line into the cache and the bookkeeping. */
+    std::unordered_map<Addr, LineData>::iterator
+    install(Addr line_addr, const VerifiedLine &v) const;
+
     LineData &cachedLine(Addr line_addr) const;
-    LineData decryptLine(Addr line_addr) const;
 };
 
 /**
@@ -142,6 +180,14 @@ struct RecoveryReport
     /** Whether the committed-prefix digest search was performed. */
     bool digestChecked = false;
 
+    /** Digest of the recovered region content. Computed whenever
+     *  recovery got far enough to validate structure (digestComputed),
+     *  independently of whether a committed-digest log existed to
+     *  search — it is what the crash-during-recovery idempotence check
+     *  compares across interrupted and complete attempts. */
+    bool digestComputed = false;
+    std::uint64_t recoveredDigest = 0;
+
     // --- integrity metadata findings (zero when integrityMac is off) --
 
     /** Lines whose stored MAC rejected the (counter, ciphertext) pair:
@@ -155,6 +201,37 @@ struct RecoveryReport
     /** Detected lines nothing could restore: still quarantined when
      *  recovery finished (graceful degradation, never silent). */
     std::uint64_t unrecoverableLines = 0;
+};
+
+/**
+ * How to run one recovery. The default value is the historical
+ * behavior: serial, in-memory only, uninterruptible.
+ */
+struct RecoveryOptions
+{
+    /** Integrity pre-scan concurrency: 1 is the serial reference,
+     *  0 asks for WorkPool::hardwareJobs(). The outcome is
+     *  byte-identical at any value (see RecoveredImage::preScan). */
+    unsigned jobs = 1;
+
+    /** Optional external pool for the pre-scan; overrides jobs. */
+    WorkPool *pool = nullptr;
+
+    /**
+     * Write-back mode: persist every restoration recovery makes —
+     * rolled-back lines re-encrypted at their stored counters (MAC
+     * refreshed when integrity metadata is on) and the undo log
+     * invalidated after a completed rollback. This is what makes an
+     * interrupted recovery attempt leave a *resumable* image behind;
+     * quarantined content is never persisted. Typically the same
+     * PersistImage the engine is reading (reads are cached before
+     * writes land, so the view stays coherent).
+     */
+    PersistImage *commitTo = nullptr;
+
+    /** When non-null, observes each recovery step and may interrupt
+     *  the attempt by throwing RecoveryInterrupted. */
+    RecoveryCrashInjector *crash = nullptr;
 };
 
 /** Runs recovery for workloads against one crashed system image. */
@@ -175,10 +252,13 @@ class RecoveryEngine
      *        against instead of the workload's own — a PersistFork's
      *        snapshot, frozen at the capture tick while the workload's
      *        live log keeps growing on the trunk.
+     * @param opt pre-scan concurrency, write-back target, injector
+     *        (see RecoveryOptions).
      */
     RecoveryReport recover(const Workload &workload,
                            const std::vector<std::uint64_t> *digests
-                               = nullptr);
+                               = nullptr,
+                           const RecoveryOptions &opt = {});
 
   private:
     const PersistSource &src;
@@ -189,7 +269,15 @@ class RecoveryEngine
      *  after it. */
     void runRecovery(RecoveredImage &image, const Workload &workload,
                      const std::vector<std::uint64_t> *digests,
+                     const RecoveryOptions &opt,
                      RecoveryReport &report) const;
+
+    /** Write-back: re-encrypts @p line_addr's recovered plaintext at
+     *  its stored counter and persists it (MAC included when
+     *  integrity metadata is on). Deterministic for a fixed image, so
+     *  re-running an interrupted rollback rewrites identical bytes. */
+    void persistLine(const RecoveredImage &image, Addr line_addr,
+                     PersistImage &out) const;
 };
 
 } // namespace cnvm

@@ -4,6 +4,7 @@
 
 #include "common/intmath.hh"
 #include "common/logging.hh"
+#include "runner/runner.hh"
 
 namespace cnvm
 {
@@ -242,24 +243,40 @@ System::runWithForkCapture(const std::vector<CrashSpec> &specs,
 }
 
 std::vector<RecoveryReport>
-System::recoverAll()
+System::recoverAll(unsigned recovery_jobs)
 {
+    // One pool shared across the per-core recoveries (the pre-scan
+    // within each recovery is what parallelizes; cores stay in order).
+    std::unique_ptr<WorkPool> pool;
+    RecoveryOptions ropt;
+    if (recovery_jobs != 1) {
+        pool = std::make_unique<WorkPool>(recovery_jobs);
+        ropt.pool = pool.get();
+    }
+
     RecoveryEngine engine(nvmDev, *memCtl);
     std::vector<RecoveryReport> reports;
     reports.reserve(workloads.size());
     for (auto &wl : workloads)
-        reports.push_back(engine.recover(*wl));
+        reports.push_back(engine.recover(*wl, nullptr, ropt));
     return reports;
 }
 
 std::vector<OracleReport>
-System::examineAll()
+System::examineAll(unsigned recovery_jobs)
 {
+    std::unique_ptr<WorkPool> pool;
+    RecoveryOptions ropt;
+    if (recovery_jobs != 1) {
+        pool = std::make_unique<WorkPool>(recovery_jobs);
+        ropt.pool = pool.get();
+    }
+
     CrashOracle oracle(nvmDev, *memCtl);
     std::vector<OracleReport> reports;
     reports.reserve(workloads.size());
     for (auto &wl : workloads)
-        reports.push_back(oracle.examine(*wl));
+        reports.push_back(oracle.examine(*wl, nullptr, ropt));
     return reports;
 }
 

@@ -9,7 +9,9 @@
 #include <gtest/gtest.h>
 
 #include "core/recovery.hh"
+#include "core/recovery_crash.hh"
 #include "core/system.hh"
+#include "nvm/fault_model.hh"
 
 namespace cnvm
 {
@@ -251,6 +253,392 @@ TEST(Recovery, MultiCoreRecoversEveryRegion)
     ASSERT_EQ(reports.size(), 4u);
     for (const auto &report : reports)
         EXPECT_TRUE(report.consistent) << report.detail;
+}
+
+// --- integrity repair window and quarantine/rollback regressions ----------
+
+SystemConfig
+integrityConfig(DesignPoint design, unsigned txns = 5)
+{
+    SystemConfig cfg = smallConfig(design, txns);
+    cfg.memctl.integrityMac = true;
+    return cfg;
+}
+
+class IntegrityRepairTest : public ::testing::Test
+{
+  protected:
+    IntegrityRepairTest() : sys(integrityConfig(DesignPoint::SCA, 5))
+    {
+        sys.run();
+        sys.controller().crash();
+    }
+
+    /** Plants a counter-rollback victim: data, MAC and cipher agree at
+     *  @p true_counter, but the counter store says @p stored_counter. */
+    void
+    plantLine(Addr addr, std::uint64_t stored_counter,
+              std::uint64_t true_counter, const LineData &plain)
+    {
+        MemController &ctl = sys.controller();
+        NvmDevice &nvm = sys.nvm();
+        LineData cipher = ctl.engine().encrypt(addr, true_counter, plain);
+        nvm.drainData(addr, cipher, true_counter);
+        nvm.persistedState().drainMac(
+            addr, ctl.engine().lineMac(addr, true_counter, cipher));
+        CounterLine counters =
+            nvm.persistedCounters(ctl.counterLineAddr(addr));
+        counters[ctl.counterSlot(addr)] = stored_counter;
+        nvm.drainCounters(ctl.counterLineAddr(addr), counters);
+    }
+
+    /** Flips a persisted ciphertext byte under an unchanged MAC: no
+     *  counter in any window verifies, so the line must quarantine. */
+    void
+    corruptBeyondRepair(Addr line_addr)
+    {
+        NvmDevice &nvm = sys.nvm();
+        const LineData *cipher = nvm.persistedLine(line_addr);
+        ASSERT_NE(cipher, nullptr);
+        LineData bad = *cipher;
+        bad[0] ^= 0xff;
+        nvm.drainData(line_addr, bad,
+                      nvm.persistedCipherCounter(line_addr));
+    }
+
+    /** Rewrites one u64 field post-crash, keeping the line's MAC
+     *  consistent so only the targeted field changes. */
+    void
+    rewriteFieldWithMac(Addr field_addr, std::uint64_t value)
+    {
+        MemController &ctl = sys.controller();
+        NvmDevice &nvm = sys.nvm();
+        Addr line = lineAlign(field_addr);
+        std::uint64_t counter =
+            nvm.persistedCounters(ctl.counterLineAddr(line))
+                [ctl.counterSlot(line)];
+        const LineData *stored = nvm.persistedLine(line);
+        ASSERT_NE(stored, nullptr);
+        LineData plain = ctl.engine().decrypt(line, counter, *stored);
+        std::memcpy(plain.data() + (field_addr - line), &value, 8);
+        LineData cipher = ctl.engine().encrypt(line, counter, plain);
+        nvm.drainData(line, cipher, counter);
+        nvm.persistedState().drainMac(
+            line, ctl.engine().lineMac(line, counter, cipher));
+    }
+
+    /** First data line of the workload's region. */
+    Addr
+    firstDataLine()
+    {
+        Addr target = 0;
+        sys.workload(0).shadowMem().forEachLine(
+            [&](Addr a, const LineData &) {
+                if (target == 0)
+                    target = a;
+            });
+        return target;
+    }
+
+    System sys;
+};
+
+TEST_F(IntegrityRepairTest, WindowRepairNearCounterMax)
+{
+    // A stored counter within the repair window of UINT64_MAX: the
+    // outward search must clamp at the type's edge instead of wrapping
+    // (counter + window overflowing to a tiny value disabled the whole
+    // upward search and condemned repairable lines).
+    LineData plain;
+    plain.fill(0x5a);
+    Addr addr = firstDataLine();
+    plantLine(addr, UINT64_MAX - 1, UINT64_MAX - 5, plain);
+
+    RecoveredImage image(sys.nvm(), sys.controller());
+    EXPECT_EQ(image.line(addr), plain);
+    EXPECT_EQ(image.windowRepairs(), 1u);
+    EXPECT_EQ(image.quarantinedCount(), 0u);
+}
+
+TEST_F(IntegrityRepairTest, WindowRepairUpwardAtCounterMax)
+{
+    // True counter above the stored one, right at the edge: the upward
+    // distance clamps to UINT64_MAX - stored and still finds it.
+    LineData plain;
+    plain.fill(0xa5);
+    Addr addr = firstDataLine();
+    plantLine(addr, UINT64_MAX - 2, UINT64_MAX, plain);
+
+    RecoveredImage image(sys.nvm(), sys.controller());
+    EXPECT_EQ(image.line(addr), plain);
+    EXPECT_EQ(image.windowRepairs(), 1u);
+}
+
+TEST_F(IntegrityRepairTest, WindowRepairNearCounterZero)
+{
+    // Stored counter near zero: the downward distance clamps to the
+    // stored value (no wrap to huge counters), the upward search still
+    // spans the full window.
+    LineData plain;
+    plain.fill(0x3c);
+    Addr addr = firstDataLine();
+    plantLine(addr, 2, 30, plain);
+
+    RecoveredImage image(sys.nvm(), sys.controller());
+    EXPECT_EQ(image.line(addr), plain);
+    EXPECT_EQ(image.windowRepairs(), 1u);
+    EXPECT_EQ(image.quarantinedCount(), 0u);
+}
+
+TEST_F(IntegrityRepairTest, WindowRepairDownward)
+{
+    // Counter-store ran ahead of the data (rollback case): the true
+    // counter sits below the stored one, inside the window.
+    LineData plain;
+    plain.fill(0x11);
+    Addr addr = firstDataLine();
+    plantLine(addr, 1000, 1000 - 40, plain);
+
+    RecoveredImage image(sys.nvm(), sys.controller());
+    EXPECT_EQ(image.line(addr), plain);
+    EXPECT_EQ(image.windowRepairs(), 1u);
+}
+
+TEST_F(IntegrityRepairTest, BeyondWindowQuarantines)
+{
+    // One generation past the window in both directions: unrepairable,
+    // the line reads as zeros and stays quarantined.
+    const unsigned window = sys.controller().config().macRepairWindow;
+    LineData plain;
+    plain.fill(0x77);
+    Addr addr = firstDataLine();
+    plantLine(addr, 2000, 2000 + window + 1, plain);
+
+    RecoveredImage image(sys.nvm(), sys.controller());
+    EXPECT_EQ(image.line(addr), LineData{});
+    EXPECT_EQ(image.windowRepairs(), 0u);
+    EXPECT_EQ(image.detectedCorruptions(), 1u);
+    EXPECT_TRUE(image.isQuarantined(addr));
+}
+
+TEST_F(IntegrityRepairTest, QuarantinedBackupRestoresNothing)
+{
+    // The stale-quarantine regression: a valid undo log whose backup
+    // line is corrupt beyond repair, with a stored checksum that
+    // matches the backup reading as zeros (the checksum walk is what
+    // quarantines the backup). Rollback must read the backup before
+    // consulting the quarantine, then restore *nothing* from it: the
+    // target keeps its own quarantine and content, and recovery
+    // reports BOTH lines unrecoverable. The pre-fix code asked the
+    // quarantine first (a stale "clean" verdict), wrote the zeroed
+    // backup over the target and lifted the target's quarantine —
+    // one silently zeroed line and an undercount of one.
+    const LogLayout &log = sys.workload(0).log();
+    Addr target = firstDataLine();
+    corruptBeyondRepair(target);
+    corruptBeyondRepair(log.backupAddr(0));
+
+    rewriteFieldWithMac(log.txnIdAddr(), 1);
+    rewriteFieldWithMac(log.countAddr(), 1);
+    rewriteFieldWithMac(log.descAddr(0), target);
+
+    // The checksum the prepare stage would have stored, as recovery
+    // will recompute it: through an image where the corrupt backup
+    // quarantines and reads zeros.
+    std::uint64_t sum;
+    {
+        RecoveredImage probe(sys.nvm(), sys.controller());
+        sum = logChecksum(probe, log, 1, 1);
+        ASSERT_TRUE(probe.isQuarantined(log.backupAddr(0)));
+    }
+    rewriteFieldWithMac(log.checksumAddr(), sum);
+    rewriteFieldWithMac(log.validAddr(), LogLayout::kValid);
+
+    RecoveryEngine engine(sys.nvm(), sys.controller());
+    RecoveryReport report = engine.recover(sys.workload(0));
+    EXPECT_FALSE(report.consistent);
+    EXPECT_EQ(report.reason, RecoveryFailure::QuarantinedLines);
+    EXPECT_TRUE(report.rolledBack);
+    EXPECT_EQ(report.detectedCorruptions, 2u);
+    EXPECT_EQ(report.unrecoverableLines, 2u);
+    EXPECT_EQ(report.repairedLines, 0u);
+}
+
+TEST_F(IntegrityRepairTest, IntactBackupRestoresQuarantinedTarget)
+{
+    // The positive direction of the same branch: corrupt only the
+    // target; the intact backup rolls over it, lifts its quarantine,
+    // and the line counts as repaired, not unrecoverable.
+    const LogLayout &log = sys.workload(0).log();
+    Addr target = firstDataLine();
+    corruptBeyondRepair(target);
+
+    LineData backup;
+    backup.fill(0x42);
+    {
+        // Persist a known-good backup line (content + MAC).
+        MemController &ctl = sys.controller();
+        Addr baddr = log.backupAddr(0);
+        std::uint64_t counter = sys.nvm()
+            .persistedCounters(ctl.counterLineAddr(baddr))
+                [ctl.counterSlot(baddr)];
+        LineData cipher = ctl.engine().encrypt(baddr, counter, backup);
+        sys.nvm().drainData(baddr, cipher, counter);
+        sys.nvm().persistedState().drainMac(
+            baddr, ctl.engine().lineMac(baddr, counter, cipher));
+    }
+
+    rewriteFieldWithMac(log.txnIdAddr(), 1);
+    rewriteFieldWithMac(log.countAddr(), 1);
+    rewriteFieldWithMac(log.descAddr(0), target);
+    std::uint64_t sum;
+    {
+        RecoveredImage probe(sys.nvm(), sys.controller());
+        sum = logChecksum(probe, log, 1, 1);
+    }
+    rewriteFieldWithMac(log.checksumAddr(), sum);
+    rewriteFieldWithMac(log.validAddr(), LogLayout::kValid);
+
+    RecoveryEngine engine(sys.nvm(), sys.controller());
+    RecoveryReport report = engine.recover(sys.workload(0));
+    EXPECT_TRUE(report.rolledBack);
+    EXPECT_EQ(report.detectedCorruptions, 1u);
+    EXPECT_EQ(report.unrecoverableLines, 0u);
+    EXPECT_EQ(report.repairedLines, 1u);
+    // The rolled-back array no longer matches any committed digest
+    // (the backup content is synthetic), but the corruption itself is
+    // fully healed — nothing remains quarantined.
+    EXPECT_NE(report.reason, RecoveryFailure::QuarantinedLines);
+}
+
+TEST(RecoveryParallel, ReportsIdenticalAtAnyJobCount)
+{
+    // The determinism contract: with corruption present, recovery at
+    // --recovery-jobs 1/2/8 must produce byte-identical reports —
+    // digest included.
+    SystemConfig cfg;
+    cfg.design = DesignPoint::SCA;
+    cfg.workload = WorkloadKind::ArraySwap;
+    cfg.wl.regionBytes = 256 << 10;
+    cfg.wl.txnTarget = 30;
+    cfg.wl.computePerTxn = 100;
+    cfg.wl.recordDigests = true;
+    cfg.memctl.integrityMac = true;
+
+    Tick total = System(cfg).run().endTick;
+    System sys(cfg);
+    RunResult result = sys.runWithCrashAt(total / 2);
+    ASSERT_TRUE(result.crashed);
+
+    // Dose the image: one repairable counter rollback, one line gone.
+    MemController &ctl = sys.controller();
+    NvmDevice &nvm = sys.nvm();
+    Addr lines[2] = {0, 0};
+    int found = 0;
+    sys.workload(0).shadowMem().forEachLine(
+        [&](Addr a, const LineData &) {
+            if (found < 2)
+                lines[found++] = a;
+        });
+    ASSERT_EQ(found, 2);
+    {
+        // Counter-store rollback on lines[0] (repairable).
+        CounterLine counters =
+            nvm.persistedCounters(ctl.counterLineAddr(lines[0]));
+        std::uint64_t &slot = counters[ctl.counterSlot(lines[0])];
+        if (slot > 0) {
+            slot -= 1;
+            nvm.drainCounters(ctl.counterLineAddr(lines[0]), counters);
+        }
+        // Unrepairable ciphertext damage on lines[1].
+        const LineData *cipher = nvm.persistedLine(lines[1]);
+        ASSERT_NE(cipher, nullptr);
+        LineData bad = *cipher;
+        bad[5] ^= 0x80;
+        nvm.drainData(lines[1], bad,
+                      nvm.persistedCipherCounter(lines[1]));
+    }
+
+    std::vector<RecoveryReport> reports;
+    for (unsigned jobs : {1u, 2u, 8u}) {
+        RecoveryEngine engine(nvm, ctl);
+        RecoveryOptions opt;
+        opt.jobs = jobs;
+        reports.push_back(engine.recover(sys.workload(0), nullptr, opt));
+    }
+    const RecoveryReport &ref = reports[0];
+    EXPECT_GT(ref.detectedCorruptions, 0u);
+    for (std::size_t i = 1; i < reports.size(); ++i) {
+        const RecoveryReport &r = reports[i];
+        EXPECT_EQ(r.consistent, ref.consistent);
+        EXPECT_EQ(r.reason, ref.reason);
+        EXPECT_EQ(r.rolledBack, ref.rolledBack);
+        EXPECT_EQ(r.committedTxns, ref.committedTxns);
+        EXPECT_EQ(r.digestChecked, ref.digestChecked);
+        EXPECT_EQ(r.digestComputed, ref.digestComputed);
+        EXPECT_EQ(r.recoveredDigest, ref.recoveredDigest);
+        EXPECT_EQ(r.detectedCorruptions, ref.detectedCorruptions);
+        EXPECT_EQ(r.repairedLines, ref.repairedLines);
+        EXPECT_EQ(r.unrecoverableLines, ref.unrecoverableLines);
+        EXPECT_EQ(r.detail, ref.detail);
+    }
+}
+
+TEST(RecoveryCrash, InterruptedRecoveryConverges)
+{
+    // The idempotence invariant, sweep-sized down for a unit test:
+    // interrupted write-back recovery attempts followed by a complete
+    // one must converge to the uninterrupted reference at every
+    // planned interruption point, media faults dosed.
+    SystemConfig cfg;
+    cfg.design = DesignPoint::SCA;
+    cfg.workload = WorkloadKind::ArraySwap;
+    cfg.wl.regionBytes = 256 << 10;
+    cfg.wl.txnTarget = 20;
+    cfg.wl.computePerTxn = 100;
+    cfg.wl.recordDigests = true;
+    cfg.memctl.integrityMac = true;
+
+    RecoveryCrashOptions opt;
+    opt.points = 8;
+    opt.images = 4;
+    opt.recoveryJobs = 2;
+    opt.faults = FaultSpec::allKinds(1);
+    RecoveryCrashResult result = runRecoveryCrashSweep(cfg, opt);
+
+    ASSERT_GT(result.images, 0u);
+    ASSERT_FALSE(result.points.empty());
+    EXPECT_GT(result.firedPoints(), 0u);
+    EXPECT_EQ(result.divergentPoints(), 0u)
+        << result.fingerprint();
+}
+
+TEST(RecoveryCrash, SweepDeterministicAcrossJobs)
+{
+    // The whole family — capture, reference, interruption points — is
+    // a pure function of (config, seeds): byte-identical fingerprints
+    // serial and parallel, at any recovery-jobs value.
+    SystemConfig cfg;
+    cfg.design = DesignPoint::SCA;
+    cfg.workload = WorkloadKind::ArraySwap;
+    cfg.wl.regionBytes = 256 << 10;
+    cfg.wl.txnTarget = 20;
+    cfg.wl.computePerTxn = 100;
+    cfg.wl.recordDigests = true;
+    cfg.memctl.integrityMac = true;
+
+    RecoveryCrashOptions serial;
+    serial.points = 6;
+    serial.images = 4;
+    serial.faults = FaultSpec::allKinds(1);
+    RecoveryCrashOptions parallel = serial;
+    parallel.jobs = 4;
+    parallel.recoveryJobs = 4;
+
+    std::string fp1 = runRecoveryCrashSweep(cfg, serial).fingerprint();
+    std::string fpN = runRecoveryCrashSweep(cfg, parallel).fingerprint();
+    EXPECT_FALSE(fp1.empty());
+    EXPECT_EQ(fp1, fpN);
 }
 
 TEST(Recovery, UnsafeDesignEventuallyFails)

@@ -2,8 +2,9 @@
 # CI entry point: AddressSanitizer+UBSan build, full test suite, a
 # crash-point sweep across every design (20 points each, fixed seed,
 # parallel Execute phase), a fault-injection sweep under the same
-# sanitizers, CLI usage-contract smokes, a ThreadSanitizer pass over
-# the parallel sweep, and a Release bench smoke.
+# sanitizers, parallel-recovery and crash-during-recovery sweeps, CLI
+# usage-contract smokes, a ThreadSanitizer pass over the parallel
+# sweep and recovery paths, and a Release bench smoke.
 #
 #   tools/ci.sh [build-dir] [release-build-dir] [tsan-build-dir]
 #
@@ -61,6 +62,19 @@ done
     --faults \
     --design ColocatedCC --design FCA --design SCA --design Unsafe
 
+# Parallel recovery under ASan+UBSan: the sharded integrity pre-scan
+# (--recovery-jobs) inside a pooled fork-mode sweep, and the
+# crash-during-recovery idempotence family (interrupted write-back
+# attempts re-run to convergence). The write-back paths re-encrypt and
+# re-persist lines — exactly where a stale cache iterator or an
+# out-of-bounds MAC write would hide.
+"$build/tools/cnvm_crash_sweep" --points 10 --jobs 4 --mode fork \
+    --recovery-jobs 4 --faults --integrity \
+    --design SCA --design Unsafe
+"$build/tools/cnvm_crash_sweep" --points 8 --recovery-crashes 16 \
+    --jobs 4 --recovery-jobs 2 --faults --integrity \
+    --design ColocatedCC --design FCA --design SCA --design Unsafe
+
 # ThreadSanitizer over the concurrent paths: the runner unit tests and
 # a parallel multi-design sweep in both Execute modes. Fork mode is
 # the sharper TSan target: workers classify captured forks while the
@@ -81,6 +95,16 @@ cmake --build "$tsan" -j "$(nproc)" \
 # earlier (faulted) forks — the dose must stay on each fork's copy.
 "$tsan/tools/cnvm_crash_sweep" --points 8 --jobs 4 --mode fork \
     --faults --integrity --design SCA --design Unsafe
+# Parallel recovery under TSan: pre-scan shards verify lines on worker
+# threads against the shared immutable source/engine (any hidden
+# mutability in verifyLine races here), nested inside pooled point
+# classification; then the recovery-crash family, whose points run
+# concurrent interrupted recoveries against per-point image copies.
+"$tsan/tools/cnvm_crash_sweep" --points 8 --jobs 4 --mode fork \
+    --recovery-jobs 4 --faults --integrity --design SCA
+"$tsan/tools/cnvm_crash_sweep" --points 6 --recovery-crashes 10 \
+    --jobs 4 --recovery-jobs 4 --faults --integrity \
+    --design SCA --design Unsafe
 
 # Bench smoke in Release: cnvm_bench runs each kernel a few iterations
 # and, more importantly, exits non-zero if the indexed queue lookups

@@ -18,10 +18,13 @@
  *   tools/cnvm_bench --out BENCH_PR2.json [--quick] [--baseline PRE.json]
  *
  * Exit status: 0 on success, 1 if any self-check fails (the
- * behavior-preservation checks added with the queue indexes, plus the
+ * behavior-preservation checks added with the queue indexes; the
  * fault-matrix gates: with integrity MACs armed, a media-fault sweep
  * must classify zero points as silent corruption; without them, the
- * same sweep must demonstrate at least one), 2 on usage errors.
+ * same sweep must demonstrate at least one; the recovery gates:
+ * recovery output byte-identical at any --recovery-jobs value, and
+ * the crash-during-recovery sweep idempotent — zero divergent points
+ * over every design), 2 on usage errors.
  */
 
 #include <chrono>
@@ -37,6 +40,7 @@
 #include <vector>
 
 #include "core/crash_sweep.hh"
+#include "core/recovery_crash.hh"
 #include "core/system.hh"
 #include "memctl/mem_controller.hh"
 #include "runner/runner.hh"
@@ -311,6 +315,8 @@ struct CheckResult
     bool ok = true;
 };
 
+SystemConfig faultMatrixConfig(bool quick); // defined with the matrix
+
 /**
  * The indexed queue lookups (MemCtlConfig::useQueueIndex) must be
  * observably identical to the reference linear scans, the parallel
@@ -405,6 +411,58 @@ runEquivalenceChecks(bool quick, WorkPool &pool)
                              "  fork jobs=1: %s\n  fork jobs=4: %s\n",
                              c.name.c_str(), ref.c_str(), f1.c_str(),
                              f4.c_str());
+            return c;
+        });
+    }
+
+    // The recovery-parallelism gate: with media faults dosed and
+    // integrity MACs armed, every design's recovery must be
+    // byte-identical at --recovery-jobs 1/2/8 — both the sweep
+    // fingerprint (class + detected/repaired/unrecoverable accounting)
+    // and the recovered digests themselves (the recovery-crash
+    // reference fingerprint embeds each region's digest in hex).
+    for (DesignPoint d : {DesignPoint::ColocatedCC, DesignPoint::FCA,
+                          DesignPoint::SCA, DesignPoint::Unsafe}) {
+        probes.push_back([d, quick]() {
+            CheckResult c;
+            c.name = std::string("recovery_jobs_identity.")
+                + designName(d);
+            SystemConfig cfg = faultMatrixConfig(quick);
+            cfg.design = d;
+            cfg.memctl.integrityMac = true;
+
+            std::string sweep_fp[3], digest_fp[3];
+            const unsigned jobs_of[3] = {1, 2, 8};
+            for (int pass = 0; pass < 3; ++pass) {
+                SweepOptions opt;
+                opt.points = quick ? 6 : 12;
+                opt.mode = SweepMode::Fork;
+                opt.faults = FaultSpec::allKinds(1);
+                opt.recoveryJobs = jobs_of[pass];
+                sweep_fp[pass] = runSweep(cfg, opt).fingerprint();
+
+                RecoveryCrashOptions ropt;
+                ropt.points = 0; // references only: digest identity
+                ropt.images = quick ? 4 : 6;
+                ropt.faults = FaultSpec::allKinds(1);
+                ropt.recoveryJobs = jobs_of[pass];
+                digest_fp[pass] =
+                    runRecoveryCrashSweep(cfg, ropt).fingerprint();
+            }
+            c.ok = !sweep_fp[0].empty() && !digest_fp[0].empty()
+                && sweep_fp[0] == sweep_fp[1]
+                && sweep_fp[0] == sweep_fp[2]
+                && digest_fp[0] == digest_fp[1]
+                && digest_fp[0] == digest_fp[2];
+            if (!c.ok)
+                std::fprintf(stderr,
+                             "CHECK FAILED: %s — recovery differs across "
+                             "--recovery-jobs 1/2/8\n  sweep:  %s | %s | "
+                             "%s\n  digest: %s | %s | %s\n",
+                             c.name.c_str(), sweep_fp[0].c_str(),
+                             sweep_fp[1].c_str(), sweep_fp[2].c_str(),
+                             digest_fp[0].c_str(), digest_fp[1].c_str(),
+                             digest_fp[2].c_str());
             return c;
         });
     }
@@ -652,6 +710,168 @@ runFaultMatrix(bool quick, WorkPool &pool)
 }
 
 // ----------------------------------------------------------------------
+// Recovery scaling: crash-to-fully-recovered wall clock vs region size
+// ----------------------------------------------------------------------
+
+/** One region size's serial-vs-parallel recovery timing. */
+struct RecoveryScalingRow
+{
+    unsigned regionKb = 0;
+    double serialMs = 0;
+    double parallelMs = 0;
+    double speedup = 0;
+    bool identical = false; //!< reports byte-identical across jobs
+};
+
+struct RecoveryScalingResult
+{
+    std::vector<RecoveryScalingRow> rows;
+    unsigned jobs = 0;
+    unsigned hostConcurrency = 0;
+
+    bool
+    allIdentical() const
+    {
+        bool ok = !rows.empty();
+        for (const RecoveryScalingRow &r : rows)
+            ok = ok && r.identical;
+        return ok;
+    }
+};
+
+/**
+ * Times crash-to-fully-recovered for growing region sizes, serial vs
+ * pooled pre-scan. With integrity MACs armed the recovery cost is
+ * dominated by the per-line verify pass over the whole region, which
+ * is exactly what RecoveryOptions::jobs shards — so the speedup grows
+ * with the region while the reports stay byte-identical.
+ */
+RecoveryScalingResult
+benchRecoveryScaling(bool quick, unsigned jobs)
+{
+    RecoveryScalingResult result;
+    result.jobs = jobs;
+    result.hostConcurrency = WorkPool::hardwareJobs();
+
+    std::vector<unsigned> sizesKb =
+        quick ? std::vector<unsigned>{256, 1024}
+              : std::vector<unsigned>{512, 2048, 8192};
+    for (unsigned kb : sizesKb) {
+        SystemConfig cfg;
+        cfg.design = DesignPoint::SCA;
+        cfg.workload = WorkloadKind::ArraySwap;
+        cfg.numCores = 1;
+        cfg.wl.regionBytes = static_cast<std::uint64_t>(kb) << 10;
+        cfg.wl.txnTarget = quick ? 20 : 40;
+        cfg.wl.computePerTxn = 100;
+        cfg.wl.setupFill = 0.5;
+        cfg.wl.seed = 1;
+        cfg.memctl.integrityMac = true;
+
+        System probe(cfg);
+        Tick total = probe.run().endTick;
+
+        System sys(cfg);
+        sys.runWithCrashAt(std::max<Tick>(total / 2, 1));
+
+        auto t0 = Clock::now();
+        std::vector<RecoveryReport> serial = sys.recoverAll(1);
+        double serial_ms = msSince(t0);
+
+        auto t1 = Clock::now();
+        std::vector<RecoveryReport> parallel = sys.recoverAll(jobs);
+        double parallel_ms = msSince(t1);
+
+        RecoveryScalingRow row;
+        row.regionKb = kb;
+        row.serialMs = serial_ms;
+        row.parallelMs = parallel_ms;
+        row.speedup = parallel_ms > 0 ? serial_ms / parallel_ms : 0;
+        row.identical = serial.size() == parallel.size();
+        for (std::size_t c = 0; row.identical && c < serial.size(); ++c) {
+            const RecoveryReport &a = serial[c], &b = parallel[c];
+            row.identical = convergenceOf(a) == convergenceOf(b)
+                && a.rolledBack == b.rolledBack
+                && a.detectedCorruptions == b.detectedCorruptions
+                && a.repairedLines == b.repairedLines;
+        }
+        result.rows.push_back(row);
+    }
+    return result;
+}
+
+// ----------------------------------------------------------------------
+// Crash-during-recovery: the idempotence sweep, gated per design
+// ----------------------------------------------------------------------
+
+/** One design's crash-during-recovery sweep outcome. */
+struct RecrashCell
+{
+    DesignPoint design = DesignPoint::SCA;
+    unsigned images = 0;
+    unsigned points = 0;
+    unsigned fired = 0;
+    unsigned divergent = 0;
+    double hostMs = 0;
+};
+
+struct RecrashResult
+{
+    std::vector<RecrashCell> cells;
+    unsigned pointsPerDesign = 0;
+
+    /** The gate: every design ran points, interrupted at least one
+     *  attempt for real, and saw zero divergence from its reference. */
+    bool
+    ok() const
+    {
+        bool good = !cells.empty();
+        for (const RecrashCell &c : cells)
+            good = good && c.points > 0 && c.fired > 0
+                && c.divergent == 0;
+        return good;
+    }
+};
+
+/**
+ * Runs the crash-during-recovery sweep (fault-dosed, integrity MACs
+ * armed, parallel pre-scan) over every crash-handling design and gates
+ * the idempotence invariant: interrupted-and-rerun recovery must
+ * converge to the uninterrupted reference at every planned point. The
+ * full run is 4 designs x 40 interruption points.
+ */
+RecrashResult
+runRecrashSweeps(bool quick, WorkPool &pool)
+{
+    RecrashResult result;
+    result.pointsPerDesign = quick ? 10 : 40;
+    for (DesignPoint d : {DesignPoint::ColocatedCC, DesignPoint::FCA,
+                          DesignPoint::SCA, DesignPoint::Unsafe}) {
+        auto start = Clock::now();
+        SystemConfig cfg = faultMatrixConfig(quick);
+        cfg.design = d;
+        cfg.memctl.integrityMac = true;
+
+        RecoveryCrashOptions opt;
+        opt.points = result.pointsPerDesign;
+        opt.images = quick ? 6 : 10;
+        opt.recoveryJobs = 2;
+        opt.faults = FaultSpec::allKinds(1);
+        RecoveryCrashResult r = runRecoveryCrashSweep(cfg, opt, &pool);
+
+        RecrashCell c;
+        c.design = d;
+        c.images = r.images;
+        c.points = static_cast<unsigned>(r.points.size());
+        c.fired = r.firedPoints();
+        c.divergent = r.divergentPoints();
+        c.hostMs = msSince(start);
+        result.cells.push_back(c);
+    }
+    return result;
+}
+
+// ----------------------------------------------------------------------
 // Repetition: the host is shared and noisy, so each kernel runs
 // --repeat times and the fastest run is kept (noise only adds time).
 // ----------------------------------------------------------------------
@@ -693,7 +913,9 @@ emitJson(std::ostream &os, const std::vector<KernelResult> &kernels,
          const std::vector<CheckResult> &checks, bool checks_ok,
          const SweepScalingResult &scaling,
          const SweepForkSpeedupResult &fork_speedup,
-         const FaultMatrixResult &faults)
+         const FaultMatrixResult &faults,
+         const RecoveryScalingResult &rscaling,
+         const RecrashResult &recrash)
 {
     char buf[256];
     os << "{\n";
@@ -728,6 +950,43 @@ emitJson(std::ostream &os, const std::vector<KernelResult> &kernels,
                       static_cast<unsigned long long>(c.unrecoverable),
                       c.hostMs,
                       i + 1 < faults.cells.size() ? "," : "");
+        os << buf;
+    }
+    os << "    ]\n  },\n";
+    std::snprintf(buf, sizeof(buf),
+                  "  \"recovery_scaling\": {\"jobs\": %u, "
+                  "\"host_concurrency\": %u, \"reports_identical\": %s,\n"
+                  "    \"rows\": [\n",
+                  rscaling.jobs, rscaling.hostConcurrency,
+                  rscaling.allIdentical() ? "true" : "false");
+    os << buf;
+    for (std::size_t i = 0; i < rscaling.rows.size(); ++i) {
+        const RecoveryScalingRow &r = rscaling.rows[i];
+        std::snprintf(buf, sizeof(buf),
+                      "      {\"region_kb\": %u, \"serial_ms\": %.2f, "
+                      "\"parallel_ms\": %.2f, \"speedup\": %.2f, "
+                      "\"identical\": %s}%s\n",
+                      r.regionKb, r.serialMs, r.parallelMs, r.speedup,
+                      r.identical ? "true" : "false",
+                      i + 1 < rscaling.rows.size() ? "," : "");
+        os << buf;
+    }
+    os << "    ]\n  },\n";
+    std::snprintf(buf, sizeof(buf),
+                  "  \"recovery_recrash\": {\"points_per_design\": %u, "
+                  "\"ok\": %s,\n    \"cells\": [\n",
+                  recrash.pointsPerDesign,
+                  recrash.ok() ? "true" : "false");
+    os << buf;
+    for (std::size_t i = 0; i < recrash.cells.size(); ++i) {
+        const RecrashCell &c = recrash.cells[i];
+        std::snprintf(buf, sizeof(buf),
+                      "      {\"design\": \"%s\", \"images\": %u, "
+                      "\"points\": %u, \"fired\": %u, \"divergent\": %u, "
+                      "\"host_ms\": %.2f}%s\n",
+                      designName(c.design), c.images, c.points, c.fired,
+                      c.divergent, c.hostMs,
+                      i + 1 < recrash.cells.size() ? "," : "");
         os << buf;
     }
     os << "    ]\n  },\n";
@@ -897,6 +1156,26 @@ main(int argc, char **argv)
                 fork_speedup.jobs, fork_speedup.hostConcurrency,
                 fork_speedup.identical ? "identical" : "DIFFER");
 
+    RecoveryScalingResult rscaling = benchRecoveryScaling(quick, 4);
+    checks_ok = checks_ok && rscaling.allIdentical();
+    for (const RecoveryScalingRow &r : rscaling.rows)
+        std::printf("recovery scaling: %5u KB region, serial %.1f ms, "
+                    "jobs=%u %.1f ms (%.2fx, host concurrency %u, "
+                    "reports %s)\n",
+                    r.regionKb, r.serialMs, rscaling.jobs, r.parallelMs,
+                    r.speedup, rscaling.hostConcurrency,
+                    r.identical ? "identical" : "DIFFER");
+
+    RecrashResult recrash = runRecrashSweeps(quick, pool);
+    checks_ok = checks_ok && recrash.ok();
+    for (const RecrashCell &c : recrash.cells)
+        std::printf("recovery recrash %-13s images=%u points=%u "
+                    "fired=%u divergent=%u (%.1f ms) %s\n",
+                    designName(c.design), c.images, c.points, c.fired,
+                    c.divergent, c.hostMs,
+                    c.points > 0 && c.fired > 0 && c.divergent == 0
+                        ? "ok" : "FAILED");
+
     FaultMatrixResult fault_matrix = runFaultMatrix(quick, pool);
     checks_ok = checks_ok && fault_matrix.ok();
     for (const FaultCell &c : fault_matrix.cells)
@@ -927,7 +1206,8 @@ main(int argc, char **argv)
 
     if (out_path.empty()) {
         emitJson(std::cout, kernels, systems, quick, baseline_json,
-                 checks, checks_ok, scaling, fork_speedup, fault_matrix);
+                 checks, checks_ok, scaling, fork_speedup, fault_matrix,
+                 rscaling, recrash);
     } else {
         std::ofstream out(out_path);
         if (!out) {
@@ -935,7 +1215,8 @@ main(int argc, char **argv)
             return 2;
         }
         emitJson(out, kernels, systems, quick, baseline_json, checks,
-                 checks_ok, scaling, fork_speedup, fault_matrix);
+                 checks_ok, scaling, fork_speedup, fault_matrix,
+                 rscaling, recrash);
         std::printf("wrote %s\n", out_path.c_str());
     }
     return checks_ok ? 0 : 1;

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "core/crash_sweep.hh"
+#include "core/recovery_crash.hh"
 #include "runner/runner.hh"
 
 using namespace cnvm;
@@ -53,6 +54,8 @@ struct Options
     std::vector<DesignPoint> designs;
     unsigned points = 20;
     unsigned jobs = 0; //!< 0 = hardware concurrency
+    unsigned recoveryJobs = 1;     //!< per-point recovery concurrency
+    unsigned recoveryCrashes = 0;  //!< >0: crash-during-recovery sweep
     SweepMode mode = SweepMode::Replay;
     bool semanticTriggers = true;
     bool verbose = false;
@@ -79,6 +82,18 @@ options:
                     trunk run, capture persistent-state forks and
                     classify them off-trunk — same fingerprint, K
                     recoveries instead of K simulations)
+  --recovery-jobs N worker threads *inside* each point's recovery: the
+                    integrity pre-scan shards over them (default 1 =
+                    the serial reference; recovery output is
+                    byte-identical at any N)
+  --recovery-crashes R
+                    run the crash-during-recovery sweep instead: per
+                    design, capture --points crashed images, then
+                    interrupt write-back recovery at R planned steps
+                    (mid-pre-scan, mid-rollback, around the log
+                    invalidation), re-run it, and gate on idempotence —
+                    every interrupted-then-completed recovery must
+                    converge to the single-shot digest and report
   --workload NAME   array | queue | hash | btree | rbtree (default array)
   --cores N         number of cores (default 1)
   --txns N          transactions per core (default 40)
@@ -153,6 +168,21 @@ parseArgs(int argc, char **argv)
                 std::fprintf(stderr, "--jobs needs N >= 1\n");
                 usage(2);
             }
+        } else if (arg == "--recovery-jobs") {
+            opt.recoveryJobs =
+                static_cast<unsigned>(std::atoi(need_value(i)));
+            if (opt.recoveryJobs == 0) {
+                std::fprintf(stderr, "--recovery-jobs needs N >= 1\n");
+                usage(2);
+            }
+        } else if (arg == "--recovery-crashes") {
+            opt.recoveryCrashes =
+                static_cast<unsigned>(std::atoi(need_value(i)));
+            if (opt.recoveryCrashes == 0) {
+                std::fprintf(stderr,
+                             "--recovery-crashes needs R >= 1\n");
+                usage(2);
+            }
         } else if (arg == "--mode") {
             std::string name = need_value(i);
             if (name == "replay") {
@@ -223,6 +253,7 @@ sweepDesign(const Options &opt, DesignPoint design, WorkPool &pool,
     sweep_opt.points = opt.points;
     sweep_opt.semanticTriggers = opt.semanticTriggers;
     sweep_opt.mode = opt.mode;
+    sweep_opt.recoveryJobs = opt.recoveryJobs;
     if (opt.faults)
         sweep_opt.faults = FaultSpec::allKinds(opt.faultSeed);
     SweepResult result = runSweep(cfg, sweep_opt, &pool);
@@ -303,6 +334,51 @@ sweepDesign(const Options &opt, DesignPoint design, WorkPool &pool,
     return result.mismatchPoints() >= 1;
 }
 
+/** Crash-during-recovery sweep of one design; true iff idempotent. */
+bool
+recrashDesign(const Options &opt, DesignPoint design, WorkPool &pool)
+{
+    SystemConfig cfg = opt.cfg;
+    cfg.design = design;
+    cfg.memctl.integrityMac = opt.integrity;
+
+    RecoveryCrashOptions rc_opt;
+    rc_opt.points = opt.recoveryCrashes;
+    rc_opt.images = opt.points;
+    rc_opt.recoveryJobs = opt.recoveryJobs;
+    rc_opt.semanticTriggers = opt.semanticTriggers;
+    if (opt.faults)
+        rc_opt.faults = FaultSpec::allKinds(opt.faultSeed);
+
+    RecoveryCrashResult result = runRecoveryCrashSweep(cfg, rc_opt,
+                                                       &pool);
+
+    if (opt.verbose) {
+        for (const RecoveryCrashPoint &p : result.points) {
+            std::printf("  img%-3zu %-18s %s%s%s\n", p.imageIndex,
+                        p.spec.describe().c_str(),
+                        p.fired ? "fired " : "unfired ",
+                        p.divergent ? "DIVERGENT" : "converged",
+                        p.detail.empty() ? "" : (" : "
+                            + p.detail).c_str());
+        }
+    }
+
+    std::printf("%-13s %7u %8u %11zu %10u %9u\n",
+                shortDesignName(design), opt.points, result.images,
+                result.points.size(), result.firedPoints(),
+                result.divergentPoints());
+
+    if (opt.printFingerprint)
+        std::printf("  fingerprint(%s): %s\n", shortDesignName(design),
+                    result.fingerprint().c_str());
+
+    // The gate: interruptions actually happened, and every
+    // interrupted-then-completed recovery converged.
+    return !result.points.empty() && result.firedPoints() > 0
+        && result.divergentPoints() == 0;
+}
+
 } // anonymous namespace
 
 int
@@ -312,6 +388,32 @@ main(int argc, char **argv)
 
     // One pool, reused across every design's Execute phase.
     WorkPool pool(opt.jobs);
+
+    if (opt.recoveryCrashes > 0) {
+        std::printf("crash-during-recovery sweep: %u images/design, "
+                    "%u interruption points/design, workload %s, "
+                    "%u core(s), %u txns, seed %llu, %u job(s), "
+                    "%u recovery job(s)%s%s\n",
+                    opt.points, opt.recoveryCrashes,
+                    workloadKindName(opt.cfg.workload), opt.cfg.numCores,
+                    opt.cfg.wl.txnTarget,
+                    static_cast<unsigned long long>(opt.cfg.wl.seed),
+                    pool.jobs(), opt.recoveryJobs,
+                    opt.faults ? ", media faults" : "",
+                    opt.integrity ? ", integrity MACs" : "");
+        std::printf("%-13s %7s %8s %11s %10s %9s\n", "design", "images",
+                    "captured", "points", "fired", "divergent");
+        bool all_ok = true;
+        for (DesignPoint d : opt.designs) {
+            if (!recrashDesign(opt, d, pool)) {
+                all_ok = false;
+                std::printf("  ^^ %s: interrupted recovery diverged "
+                            "from the single-shot result\n",
+                            shortDesignName(d));
+            }
+        }
+        return all_ok ? 0 : 1;
+    }
 
     std::printf("crash-point sweep: %u points/design, workload %s, "
                 "%u core(s), %u txns, seed %llu, %u job(s), %s mode%s%s%s\n",

@@ -21,6 +21,7 @@
 #include <string>
 
 #include "core/crash_sweep.hh"
+#include "core/recovery_crash.hh"
 #include "core/system.hh"
 #include "runner/runner.hh"
 
@@ -35,6 +36,8 @@ struct Options
     double crashFrac = -1.0;  //!< <0: no crash
     unsigned sweepPoints = 0; //!< 0: no sweep
     unsigned jobs = 0;        //!< sweep concurrency; 0 = hardware
+    unsigned recoveryJobs = 1;    //!< recovery pre-scan concurrency
+    unsigned recoveryCrashes = 0; //!< >0: crash-during-recovery sweep
     SweepMode sweepMode = SweepMode::Replay;
     bool faults = false;
     bool integrity = false;
@@ -77,6 +80,15 @@ options:
                        crashed simulation per point; default) or fork
                        (one trunk run, classify captured forks —
                        same fingerprint, much faster at large K)
+  --recovery-jobs N    worker threads inside each recovery: the
+                       integrity pre-scan shards over them (used by
+                       --verify and the sweeps; default 1 = serial;
+                       recovery output is byte-identical at any N)
+  --recovery-crashes R run the crash-during-recovery sweep: capture
+                       --crash-sweep K crashed images, interrupt
+                       write-back recovery at R planned steps, re-run
+                       it, and gate on idempotence (requires
+                       --crash-sweep)
   --faults             dose every --crash-sweep point with media faults
                        (torn writes, bit flips, counter corruption, ADR
                        energy loss)
@@ -198,6 +210,21 @@ parseArgs(int argc, char **argv)
                 std::fprintf(stderr, "--jobs needs N >= 1\n");
                 usage(2);
             }
+        } else if (arg == "--recovery-jobs") {
+            opt.recoveryJobs =
+                static_cast<unsigned>(std::atoi(need_value(i)));
+            if (opt.recoveryJobs == 0) {
+                std::fprintf(stderr, "--recovery-jobs needs N >= 1\n");
+                usage(2);
+            }
+        } else if (arg == "--recovery-crashes") {
+            opt.recoveryCrashes =
+                static_cast<unsigned>(std::atoi(need_value(i)));
+            if (opt.recoveryCrashes == 0) {
+                std::fprintf(stderr,
+                             "--recovery-crashes needs R >= 1\n");
+                usage(2);
+            }
         } else if (arg == "--sweep-mode") {
             std::string name = need_value(i);
             if (name == "replay") {
@@ -237,7 +264,52 @@ parseArgs(int argc, char **argv)
         std::fprintf(stderr, "--faults requires --crash-sweep\n");
         usage(2);
     }
+    if (opt.recoveryCrashes > 0 && opt.sweepPoints == 0) {
+        std::fprintf(stderr,
+                     "--recovery-crashes requires --crash-sweep\n");
+        usage(2);
+    }
     return opt;
+}
+
+/** --recovery-crashes: crash-during-recovery idempotence sweep. */
+int
+runRecoveryCrashes(const Options &opt)
+{
+    RecoveryCrashOptions rc_opt;
+    rc_opt.points = opt.recoveryCrashes;
+    rc_opt.images = opt.sweepPoints;
+    rc_opt.recoveryJobs = opt.recoveryJobs;
+    rc_opt.jobs = opt.jobs == 0 ? WorkPool::hardwareJobs() : opt.jobs;
+    if (opt.faults)
+        rc_opt.faults = FaultSpec::allKinds(opt.faultSeed);
+
+    if (!opt.quiet)
+        std::printf("crash-during-recovery sweep: %u images, %u "
+                    "interruption points (%u jobs, %u recovery "
+                    "jobs%s%s): %s\n",
+                    rc_opt.images, rc_opt.points, rc_opt.jobs,
+                    rc_opt.recoveryJobs,
+                    opt.faults ? ", media faults" : "",
+                    opt.integrity ? ", integrity MACs" : "",
+                    System(opt.cfg).describe().c_str());
+
+    RecoveryCrashResult result = runRecoveryCrashSweep(opt.cfg, rc_opt);
+    if (!opt.quiet) {
+        for (const RecoveryCrashPoint &p : result.points)
+            std::printf("  img%-3zu %-18s %s%s%s%s\n", p.imageIndex,
+                        p.spec.describe().c_str(),
+                        p.fired ? "fired " : "unfired ",
+                        p.divergent ? "DIVERGENT" : "converged",
+                        p.detail.empty() ? "" : " : ",
+                        p.detail.c_str());
+    }
+    std::printf("%u captured image(s), %zu interruption point(s): "
+                "%u fired, %u divergent\n",
+                result.images, result.points.size(),
+                result.firedPoints(), result.divergentPoints());
+    return !result.points.empty() && result.divergentPoints() == 0
+        ? 0 : 1;
 }
 
 /** --crash-sweep: K-point sweep of this one configuration. */
@@ -248,6 +320,7 @@ runCrashSweep(const Options &opt)
     sweep_opt.points = opt.sweepPoints;
     sweep_opt.jobs = opt.jobs == 0 ? WorkPool::hardwareJobs() : opt.jobs;
     sweep_opt.mode = opt.sweepMode;
+    sweep_opt.recoveryJobs = opt.recoveryJobs;
     if (opt.faults)
         sweep_opt.faults = FaultSpec::allKinds(opt.faultSeed);
 
@@ -301,6 +374,8 @@ main(int argc, char **argv)
 {
     Options opt = parseArgs(argc, argv);
 
+    if (opt.recoveryCrashes > 0)
+        return runRecoveryCrashes(opt);
     if (opt.sweepPoints > 0)
         return runCrashSweep(opt);
 
@@ -342,7 +417,7 @@ main(int argc, char **argv)
         } else {
             if (result.crashed == false)
                 sys.controller().crash(); // clean-shutdown image check
-            auto reports = sys.recoverAll();
+            auto reports = sys.recoverAll(opt.recoveryJobs);
             for (unsigned c = 0; c < reports.size(); ++c) {
                 const RecoveryReport &r = reports[c];
                 if (r.consistent) {
