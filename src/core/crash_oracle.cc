@@ -14,6 +14,8 @@ crashClassName(CrashClass cls)
       case CrashClass::Inconsistent: return "inconsistent";
       case CrashClass::DetectedCorruption: return "detected-corruption";
       case CrashClass::SilentCorruption: return "silent-corruption";
+      case CrashClass::ReplayDetected: return "replay-detected";
+      case CrashClass::SilentReplay: return "silent-replay";
     }
     return "?";
 }
@@ -47,6 +49,7 @@ CrashOracle::examine(const Workload &workload,
     for (Addr addr = workload.regionBase(); addr < workload.regionEnd();
          addr += lineBytes) {
         report.faultedLines += src.lineFaulted(addr);
+        report.replayedLines += src.lineReplayed(addr);
         if (ctl.design() == DesignPoint::NoEncryption)
             continue;
         ++report.linesChecked;
@@ -73,8 +76,21 @@ CrashOracle::examine(const Workload &workload,
     // census: integrity metadata rejecting a line means recovery knew,
     // whatever tore it. An undetected inconsistency with injected
     // corruption in the region is the headline failure: silent.
+    //
+    // Replays are the one exception to recoverability-first: a
+    // *consistent* verdict on a region holding an unnoticed replayed
+    // line is the attack succeeding (the stale triple decrypts
+    // cleanly and matches an older committed prefix), so ground truth
+    // overrides the verdict and the point is SilentReplay.
+    const bool silentReplay = report.replayedLines > 0
+        && report.recovery.replaysDetected == 0;
     if (report.recovery.consistent) {
-        report.cls = CrashClass::Consistent;
+        report.cls = silentReplay ? CrashClass::SilentReplay
+                                  : CrashClass::Consistent;
+    } else if (silentReplay) {
+        report.cls = CrashClass::SilentReplay;
+    } else if (report.recovery.replaysDetected > 0) {
+        report.cls = CrashClass::ReplayDetected;
     } else if (report.recovery.detectedCorruptions > 0) {
         report.cls = CrashClass::DetectedCorruption;
     } else if (report.faultedLines > 0) {

@@ -65,6 +65,20 @@ enum class CrashClass
      *  The failure mode integrity metadata exists to eliminate: with
      *  integrityMac on, no sweep point may ever land here. */
     SilentCorruption,
+
+    /** Recovery *caught* at least one replayed line: its MAC verified
+     *  but the integrity tree rejected the stored counter. The
+     *  acceptable outcome of a replay dose (when the log could not
+     *  also restore the line). */
+    ReplayDetected,
+
+    /** A replayed line landed in the region and recovery never
+     *  noticed — the stale-but-valid triple passed every check it had
+     *  and was consumed as current state (whether or not the final
+     *  verdict came back consistent: an old committed prefix is the
+     *  attack succeeding). Per-line MACs alone always land here; with
+     *  integrityTree on, no sweep point may ever. */
+    SilentReplay,
 };
 
 const char *crashClassName(CrashClass cls);
@@ -92,6 +106,10 @@ struct OracleReport
     /** Region lines an injected media fault corrupted (simulator
      *  ground truth — what separates Silent from plain Inconsistent). */
     std::uint64_t faultedLines = 0;
+
+    /** Region lines a replay dose rolled back whole (simulator ground
+     *  truth — what separates SilentReplay from everything else). */
+    std::uint64_t replayedLines = 0;
 
     std::uint64_t mismatchedLines() const
     { return tornDataLines + tornCounterLines; }

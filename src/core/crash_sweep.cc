@@ -22,7 +22,9 @@ severity(CrashClass cls)
       case CrashClass::TornCounter: return 3;
       case CrashClass::CounterDataMismatch: return 4;
       case CrashClass::DetectedCorruption: return 5;
-      case CrashClass::SilentCorruption: return 6;
+      case CrashClass::ReplayDetected: return 6;
+      case CrashClass::SilentCorruption: return 7;
+      case CrashClass::SilentReplay: return 8;
     }
     return 0;
 }
@@ -38,7 +40,9 @@ accumulate(SweepPoint &point, const OracleReport &report)
     point.mismatchedLines += report.mismatchedLines();
     point.committedTxns += report.recovery.committedTxns;
     point.faultedLines += report.faultedLines;
+    point.replayedLines += report.replayedLines;
     point.detectedCorruptions += report.recovery.detectedCorruptions;
+    point.replaysDetected += report.recovery.replaysDetected;
     point.repairedLines += report.recovery.repairedLines;
     point.unrecoverableLines += report.recovery.unrecoverableLines;
 }
@@ -297,6 +301,12 @@ SweepResult::fingerprint() const
                 os << "/f" << p.faultedLines << "d"
                    << p.detectedCorruptions << "r" << p.repairedLines
                    << "u" << p.unrecoverableLines;
+                // Replay accounting appears only when replays were
+                // dosed, so replay-free fault sweeps keep their
+                // historical fingerprints.
+                if (p.spec.faults.replays > 0)
+                    os << "p" << p.replayedLines << "k"
+                       << p.replaysDetected;
             }
         }
         os << ";";

@@ -99,6 +99,11 @@ struct SweepPoint
     std::uint64_t repairedLines = 0;
     std::uint64_t unrecoverableLines = 0;
 
+    /** Replay accounting over all regions (replay-dosed sweeps):
+     *  ground-truth replayed lines vs. replays recovery caught. */
+    std::uint64_t replayedLines = 0;
+    std::uint64_t replaysDetected = 0;
+
     /** Full stats dump of the point's System, collected only when
      *  SweepOptions::collectStatsDumps is set (determinism checks). */
     std::string statsDump;
@@ -202,9 +207,20 @@ struct SweepResult
         return n;
     }
 
-    /** Points where injected corruption went entirely unnoticed. */
+    /** Points where injected corruption went entirely unnoticed.
+     *  Deliberately excludes SilentReplay, which has its own counter —
+     *  callers gating MAC-only fault sweeps keep meaning what they
+     *  always meant. */
     unsigned silentPoints() const
     { return countOf(CrashClass::SilentCorruption); }
+
+    /** Points where a replayed line was consumed unnoticed. */
+    unsigned silentReplayPoints() const
+    { return countOf(CrashClass::SilentReplay); }
+
+    /** Points where recovery caught a replay (integrity tree). */
+    unsigned replayDetectedPoints() const
+    { return countOf(CrashClass::ReplayDetected); }
 
     /** Points where recovery saw corruption (integrity metadata). */
     unsigned

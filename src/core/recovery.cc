@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "core/recovery_crash.hh"
+#include "integrity/integrity_tree.hh"
 #include "runner/runner.hh"
 
 namespace cnvm
@@ -15,6 +16,18 @@ RecoveredImage::RecoveredImage(const PersistSource &src,
                                const MemController &ctl)
     : src(src), ctl(ctl)
 {
+    // Verify-root-first: one bottom-up recomputation of the tree root
+    // from the persisted counter store, compared against the persisted
+    // root. The per-line replay check below is armed only on a
+    // mismatch, so the clean-crash fast path pays one scan and zero
+    // per-line tree lookups.
+    if (ctl.config().integrityTree) {
+        const std::uint64_t *root = src.persistedTreeRoot();
+        treeArmed = root != nullptr;
+        treeMismatch = treeArmed
+            && computeTreeRoot(src, ctl.config().counterRegionBase)
+                   != *root;
+    }
 }
 
 RecoveredImage::RecoveredImage(const NvmDevice &nvm,
@@ -50,6 +63,8 @@ RecoveredImage::verifyLine(Addr line_addr) const
     // pair. Never-drained lines carry no MAC and nothing persisted to
     // corrupt, so they are exempt.
     if (ctl.config().integrityMac && cipher != nullptr) {
+        const std::uint64_t *node = !treeArmed ? nullptr
+            : src.persistedTreeNode(0, line_addr / lineBytes);
         const std::uint64_t *mac = src.persistedMac(line_addr);
         if (mac != nullptr
             && ctl.engine().lineMac(line_addr, counter, cipher_bytes)
@@ -58,43 +73,44 @@ RecoveredImage::verifyLine(Addr line_addr) const
             // Osiris-style repair: the true counter is usually near
             // the stored one (a rolled-back counter word, or a torn
             // pair whose ciphertext is a few generations off), so
-            // trial-verify a bounded window around it — outward from
-            // the stored value, nearest first, so when more than one
-            // candidate verifies the closest generation wins. The
-            // edge distances saturate instead of wrapping: a stored
-            // counter within `window` of 0 or UINT64_MAX (the
-            // counter-garbage fault case) just gets a clipped window.
-            const unsigned window = ctl.config().macRepairWindow;
-            const std::uint64_t up =
-                std::min<std::uint64_t>(window, UINT64_MAX - counter);
-            const std::uint64_t down =
-                std::min<std::uint64_t>(window, counter);
-            bool fixed = false;
+            // trial-verify a bounded window around the stored value.
+            // The search is multi-match aware — the MAC is truncated,
+            // so two window counters can collide; when they do, the
+            // integrity tree's level-0 node arbitrates, and with no
+            // tree to ask the line is quarantined rather than repaired
+            // to a guess (see repairCounterWindow).
             auto verifies = [&](std::uint64_t c) {
                 return ctl.engine().lineMac(line_addr, c, cipher_bytes)
                     == *mac;
             };
-            for (std::uint64_t d = 1;
-                 d <= std::max(up, down) && !fixed; ++d) {
-                // At equal distance, prefer the newer generation: the
-                // common torn pair persisted data *ahead* of its
-                // counter word.
-                if (d <= up && verifies(counter + d)) {
-                    counter += d;
-                    fixed = true;
-                } else if (d <= down && verifies(counter - d)) {
-                    counter -= d;
-                    fixed = true;
-                }
-            }
+            std::function<bool(std::uint64_t)> confirms;
+            if (node != nullptr)
+                confirms = [node](std::uint64_t c) {
+                    return treeSlotHash(c) == *node;
+                };
+            std::optional<std::uint64_t> fixed = repairCounterWindow(
+                counter, ctl.config().macRepairWindow, verifies,
+                confirms);
             if (!fixed) {
-                // Unrepairable: quarantine — the line reads as zeros,
-                // and recovery reports it rather than consuming
-                // garbage. An undo-log rollback may yet restore it.
+                // Unrepairable (or ambiguous): quarantine — the line
+                // reads as zeros, and recovery reports it rather than
+                // consuming garbage. An undo-log rollback may yet
+                // restore it.
                 v.quarantined = true;
                 return v;
             }
+            counter = *fixed;
             v.repaired = true;
+        } else if (treeMismatch && node != nullptr
+                   && treeSlotHash(counter) != *node) {
+            // The MAC verified but the tree rejects the stored
+            // counter: a stale-but-valid triple was re-installed
+            // whole — a replay, which no per-line check can see.
+            // Quarantine it like a corruption; an intact log backup
+            // may still restore the line.
+            v.replayed = true;
+            v.quarantined = true;
+            return v;
         }
     }
 
@@ -115,6 +131,7 @@ RecoveredImage::install(Addr line_addr, const VerifiedLine &v) const
 {
     detected += v.detected;
     repaired += v.repaired;
+    replays += v.replayed;
     if (v.quarantined)
         quarantine.insert(line_addr);
     return cache.emplace(line_addr, v.plain).first;
@@ -265,6 +282,15 @@ RecoveryEngine::persistLine(const RecoveredImage &image, Addr line_addr,
     if (ctl.config().integrityMac)
         out.drainMac(line_addr,
                      ctl.engine().lineMac(line_addr, counter, cipher));
+    // Refresh the line's level-0 tree node to match the stored counter
+    // the restoration re-encrypted at. Without this, a replayed line
+    // restored by rollback keeps tree evidence against its (now
+    // legitimate) content, and a recovery re-run after an interrupted
+    // tree reconstruction would re-quarantine it with the log already
+    // invalidated — breaking idempotence.
+    if (ctl.config().integrityTree)
+        out.drainTreeNode(0, line_addr / lineBytes,
+                          treeSlotHash(counter));
 }
 
 RecoveryReport
@@ -296,11 +322,13 @@ RecoveryEngine::recover(const Workload &workload,
     // Corruption accounting. A detected line counts as repaired
     // whether the counter-window search fixed it or a rollback
     // restored it from an intact backup — whatever is *still*
-    // quarantined at the end is unrecoverable.
+    // quarantined at the end is unrecoverable. Replayed lines are
+    // quarantined too, so they join the same arithmetic.
     report.detectedCorruptions = image.detectedCorruptions();
+    report.replaysDetected = image.replaysDetected();
     report.unrecoverableLines = image.quarantinedCount();
-    report.repairedLines =
-        report.detectedCorruptions - report.unrecoverableLines;
+    report.repairedLines = report.detectedCorruptions
+        + report.replaysDetected - report.unrecoverableLines;
     return report;
 }
 
@@ -404,6 +432,29 @@ RecoveryEngine::runRecovery(RecoveredImage &image,
         return fail(RecoveryFailure::QuarantinedLines,
                     std::to_string(image.quarantinedCount())
                         + " unrepairable corrupt line(s) quarantined");
+    }
+
+    // --- Step 1c: integrity-tree reconstruction ------------------------
+    // Every line in the region now verifies (the gate above), so the
+    // persisted tree nodes backing the region can be rebuilt from the
+    // counter store — leaves for this region's counter lines only,
+    // interior levels from the *persisted* level-1 nodes, root last.
+    // Regional scope matters in write-back mode: a global rebuild
+    // would bless another, not-yet-recovered region's replayed slots
+    // and erase the evidence its own recovery needs. Root-last keeps
+    // an interrupted reconstruction detectable and re-runnable.
+    if (opt.commitTo != nullptr && ctl.config().integrityTree
+        && image.treeRootMismatch()) {
+        const Addr ctr_lo = ctl.counterLineAddr(workload.regionBase());
+        const Addr ctr_hi =
+            ctl.counterLineAddr(workload.regionEnd() - lineBytes)
+            + lineBytes;
+        rebuildTree(*opt.commitTo, ctl.config().counterRegionBase,
+                    ctr_lo, ctr_hi, [&opt] {
+                        if (opt.crash != nullptr)
+                            opt.crash->onEvent(
+                                RecoveryEvent::TreeRebuildLeaf);
+                    });
     }
 
     // --- Step 2: structural invariants --------------------------------

@@ -51,6 +51,17 @@ class RecoveryCrashInjector;
  * quarantined line from an intact log backup, clearing the
  * quarantine; whatever remains quarantined at the end of recovery is
  * unrecoverable and reported, never silently consumed.
+ *
+ * When the controller additionally maintains the counter integrity
+ * tree (MemCtlConfig::integrityTree), construction runs the
+ * verify-root-first step: recompute the tree root bottom-up from the
+ * persisted counter store (Phoenix-style) and compare it against the
+ * persisted root. On a mismatch, every line verification also checks
+ * the stored counter's hash against its persisted level-0 tree node,
+ * which is what distinguishes a *replayed* line — stale-but-valid
+ * triple, MAC verifies, tree disagrees — from a *corrupted* one (MAC
+ * disagrees). Replayed lines are quarantined like corrupt ones; an
+ * intact log backup may restore them.
  */
 class RecoveredImage : public ByteReader
 {
@@ -91,6 +102,14 @@ class RecoveredImage : public ByteReader
     /** Mismatches the counter-window search repaired. */
     std::uint64_t windowRepairs() const { return repaired; }
 
+    /** Lines whose MAC verified but whose stored counter the
+     *  integrity tree rejected — detected replays. */
+    std::uint64_t replaysDetected() const { return replays; }
+
+    /** True when the tree is armed and the root recomputed from the
+     *  counter store disagreed with the persisted root. */
+    bool treeRootMismatch() const { return treeMismatch; }
+
     /** Lines currently quarantined (undecryptable, read as zeros). */
     std::size_t quarantinedCount() const { return quarantine.size(); }
 
@@ -110,10 +129,23 @@ class RecoveredImage : public ByteReader
     /** Decrypted lines plus rollback overlays. */
     mutable std::unordered_map<Addr, LineData> cache;
 
-    /** Integrity bookkeeping (populated lazily as lines decrypt). */
+    /**
+     * Integrity bookkeeping (populated lazily as lines decrypt).
+     * Mutated ONLY through install(), which runs on the owner thread:
+     * serially on lazy reads, and at the post-barrier merge of
+     * preScan(). Worker threads produce immutable VerifiedLine values
+     * and never touch these members — quarantine insertions in
+     * particular happen per shard, in address order, at the merge.
+     */
     mutable std::uint64_t detected = 0;
     mutable std::uint64_t repaired = 0;
+    mutable std::uint64_t replays = 0;
     mutable std::unordered_set<Addr> quarantine;
+
+    /** Verify-root-first outcome, fixed at construction (the counter
+     *  store never changes during recovery). */
+    bool treeArmed = false;
+    bool treeMismatch = false;
 
     /** Outcome of verifying one line, before it touches the image's
      *  bookkeeping — the unit of work pre-scan shards exchange. */
@@ -122,6 +154,7 @@ class RecoveredImage : public ByteReader
         LineData plain{}; //!< zeros when quarantined
         bool detected = false;
         bool repaired = false;
+        bool replayed = false;
         bool quarantined = false;
     };
 
@@ -193,6 +226,12 @@ struct RecoveryReport
     /** Lines whose stored MAC rejected the (counter, ciphertext) pair:
      *  corruption recovery *saw*, whatever happened next. */
     std::uint64_t detectedCorruptions = 0;
+
+    /** Lines whose MAC verified but whose stored counter the integrity
+     *  tree rejected — replays recovery *caught* (zero when the tree
+     *  is off; a replayed line then decrypts cleanly to stale
+     *  plaintext and never shows up here). */
+    std::uint64_t replaysDetected = 0;
 
     /** Detected lines restored — by the counter-window search or by an
      *  undo-log rollback from an intact backup. */

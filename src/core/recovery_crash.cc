@@ -18,6 +18,7 @@ recoveryEventName(RecoveryEvent ev)
       case RecoveryEvent::RollbackWrite: return "rollback";
       case RecoveryEvent::BeforeValidClear: return "pre-invalidate";
       case RecoveryEvent::AfterValidClear: return "post-invalidate";
+      case RecoveryEvent::TreeRebuildLeaf: return "treeleaf";
     }
     return "?";
 }
@@ -61,6 +62,7 @@ constexpr RecoveryEvent allRecoveryEvents[] = {
     RecoveryEvent::RollbackWrite,
     RecoveryEvent::BeforeValidClear,
     RecoveryEvent::AfterValidClear,
+    RecoveryEvent::TreeRebuildLeaf,
 };
 
 /**

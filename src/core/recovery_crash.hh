@@ -59,9 +59,10 @@ enum class RecoveryEvent
     RollbackWrite,    //!< one undo-log descriptor rolled back
     BeforeValidClear, //!< rollback done, valid flag still set
     AfterValidClear,  //!< log invalidation persisted
+    TreeRebuildLeaf,  //!< one counter line's tree leaves reconstructed
 };
 
-constexpr unsigned numRecoveryEvents = 4;
+constexpr unsigned numRecoveryEvents = 5;
 
 const char *recoveryEventName(RecoveryEvent ev);
 

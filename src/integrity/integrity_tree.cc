@@ -1,0 +1,195 @@
+#include "integrity/integrity_tree.hh"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/hash.hh"
+#include "common/logging.hh"
+#include "nvm/persist_image.hh"
+
+namespace cnvm
+{
+
+std::uint64_t
+treeSlotHash(std::uint64_t counter)
+{
+    return fnv1aU64(counter);
+}
+
+std::uint64_t
+treeCombine(const std::uint64_t children[treeArity])
+{
+    std::uint64_t state = fnvOffsetBasis;
+    for (unsigned c = 0; c < treeArity; ++c)
+        state = fnv1aU64(children[c], state);
+    return state;
+}
+
+std::uint64_t
+treeZeroHash(unsigned level)
+{
+    cnvm_assert(level <= treeRootLevel);
+    // A tiny table, but recomputing it per call would still be cheap;
+    // memoization keeps the hot per-line checks allocation-free.
+    static const auto table = [] {
+        std::array<std::uint64_t, treeRootLevel + 1> t{};
+        t[0] = treeSlotHash(0);
+        for (unsigned l = 1; l <= treeRootLevel; ++l) {
+            std::uint64_t children[treeArity];
+            for (unsigned c = 0; c < treeArity; ++c)
+                children[c] = t[l - 1];
+            t[l] = treeCombine(children);
+        }
+        return t;
+    }();
+    return table[level];
+}
+
+namespace
+{
+
+/**
+ * One 8-ary reduction step: the parents of @p level's nodes, absent
+ * children standing in for their zero hash. Ordered maps keep the
+ * grouping (and hence every caller's write order) deterministic.
+ */
+std::map<std::uint64_t, std::uint64_t>
+reduceLevel(const std::map<std::uint64_t, std::uint64_t> &level,
+            unsigned level_no)
+{
+    std::map<std::uint64_t, std::uint64_t> up;
+    auto it = level.begin();
+    while (it != level.end()) {
+        const std::uint64_t parent = it->first / treeArity;
+        std::uint64_t children[treeArity];
+        for (unsigned c = 0; c < treeArity; ++c)
+            children[c] = treeZeroHash(level_no);
+        while (it != level.end() && it->first / treeArity == parent) {
+            children[it->first % treeArity] = it->second;
+            ++it;
+        }
+        up[parent] = treeCombine(children);
+    }
+    return up;
+}
+
+/** Level-1 hash of one persisted counter line. */
+std::uint64_t
+counterLineHash(const CounterLine &values)
+{
+    std::uint64_t slots[treeArity];
+    static_assert(countersPerLine == treeArity);
+    for (unsigned s = 0; s < countersPerLine; ++s)
+        slots[s] = treeSlotHash(values[s]);
+    return treeCombine(slots);
+}
+
+/** Root of a level-1 node map, reduced all the way up. */
+std::uint64_t
+rootOf(std::map<std::uint64_t, std::uint64_t> level)
+{
+    for (unsigned l = 1; l < treeRootLevel; ++l)
+        level = reduceLevel(level, l);
+    if (level.empty())
+        return treeZeroHash(treeRootLevel);
+    cnvm_assert(level.size() == 1 && level.begin()->first == 0);
+    return level.begin()->second;
+}
+
+} // anonymous namespace
+
+std::uint64_t
+computeTreeRoot(const PersistSource &src, Addr counter_region_base)
+{
+    std::map<std::uint64_t, std::uint64_t> leaves;
+    for (Addr addr : src.counterLineAddrs()) {
+        cnvm_assert(addr >= counter_region_base);
+        const std::uint64_t index = (addr - counter_region_base)
+            / lineBytes;
+        leaves[index] = counterLineHash(src.persistedCounters(addr));
+    }
+    return rootOf(std::move(leaves));
+}
+
+std::uint64_t
+rebuildTree(PersistImage &img, Addr counter_region_base, Addr ctr_lo,
+            Addr ctr_hi, const std::function<void()> &leaf_visited)
+{
+    // Phase 1 — the region's leaves, from the store itself: per-slot
+    // level-0 nodes plus the level-1 counter-block node, one counter
+    // line at a time in address order. Each line is an interruption
+    // point for the recovery-crash sweep.
+    for (Addr addr : img.counterLineAddrs()) {
+        if (addr < ctr_lo || addr >= ctr_hi)
+            continue;
+        cnvm_assert(addr >= counter_region_base);
+        const std::uint64_t index = (addr - counter_region_base)
+            / lineBytes;
+        const CounterLine values = img.persistedCounters(addr);
+        std::uint64_t slots[treeArity];
+        for (unsigned s = 0; s < countersPerLine; ++s) {
+            slots[s] = treeSlotHash(values[s]);
+            img.drainTreeNode(0, index * countersPerLine + s, slots[s]);
+        }
+        img.drainTreeNode(1, index, treeCombine(slots));
+        if (leaf_visited)
+            leaf_visited();
+    }
+
+    // Phase 2 — the interior, from the *persisted* level-1 nodes (not
+    // the store): leaves outside [ctr_lo, ctr_hi) keep whatever was
+    // persisted for them, so a regional rebuild cannot bless another
+    // region's not-yet-recovered replay evidence.
+    std::map<std::uint64_t, std::uint64_t> level;
+    for (std::uint64_t index : img.persistedTreeLeafIndices())
+        level[index] = *img.persistedTreeNode(1, index);
+    for (unsigned l = 1; l < treeRootLevel; ++l) {
+        level = reduceLevel(level, l);
+        if (l + 1 < treeRootLevel)
+            for (const auto &[index, hash] : level)
+                img.drainTreeNode(l + 1, index, hash);
+    }
+    const std::uint64_t root = level.empty()
+        ? treeZeroHash(treeRootLevel)
+        : level.begin()->second;
+
+    // The root is written strictly last: an interrupted rebuild leaves
+    // the stale root in place, so the next attempt still sees the
+    // mismatch and re-runs the reconstruction.
+    img.drainTreeRoot(root);
+    return root;
+}
+
+std::optional<std::uint64_t>
+repairCounterWindow(std::uint64_t stored, std::uint64_t window,
+                    const std::function<bool(std::uint64_t)> &verifies,
+                    const std::function<bool(std::uint64_t)> &confirms)
+{
+    const std::uint64_t up =
+        std::min<std::uint64_t>(window, ~std::uint64_t(0) - stored);
+    const std::uint64_t down = std::min<std::uint64_t>(window, stored);
+
+    // Nearest-first, +d before -d — the order the single-match case
+    // has always used, now collecting *all* matches instead of
+    // stopping at the first.
+    std::vector<std::uint64_t> matches;
+    for (std::uint64_t d = 1; d <= std::max(up, down); ++d) {
+        if (d <= up && verifies(stored + d))
+            matches.push_back(stored + d);
+        if (d <= down && verifies(stored - d))
+            matches.push_back(stored - d);
+    }
+
+    if (matches.empty())
+        return std::nullopt;
+    if (matches.size() == 1)
+        return matches.front();
+    if (confirms)
+        for (std::uint64_t candidate : matches)
+            if (confirms(candidate))
+                return candidate;
+    return std::nullopt; // ambiguous: quarantine beats guessing
+}
+
+} // namespace cnvm

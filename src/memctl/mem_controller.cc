@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "common/logging.hh"
+#include "integrity/integrity_tree.hh"
 #include "sim/one_shot.hh"
 
 namespace cnvm
@@ -35,12 +36,25 @@ MemController::MemController(EventQueue &eq, NvmDevice &nvm,
                       "unready counter entries dropped at power failure"),
       ctrwbNoops("memctl.ctrwb_noops",
                  "counter_cache_writeback calls that had nothing to do"),
+      treeLeafUpdates("memctl.tree_leaf_updates",
+                      "integrity-tree leaves dirtied by counter persists"),
+      treeCoalesces("memctl.tree_coalesces",
+                    "leaf updates absorbed by an already-dirty node"),
+      treeNodeWrites("memctl.tree_node_writes",
+                     "integrity-tree nodes written back to the device"),
+      treeFlushes("memctl.tree_flushes",
+                  "batched epoch write-backs of the dirty tree set"),
       eventq(eq),
       nvm(nvm),
       cfg(cfg),
       ctrEngine(cfg.key.data()),
       maxInflightWrites(nvm.timing().numBanks)
 {
+    // The tree authenticates the counter store; without the per-line
+    // MAC there would be nothing tying ciphertext to those counters,
+    // so the tree axis implies the MAC axis.
+    if (this->cfg.integrityTree)
+        this->cfg.integrityMac = true;
     if (designHasCounterCache(cfg.design)) {
         counterCache = std::make_unique<CounterCache>(
             cfg.counterCacheBytes, cfg.counterCacheAssoc, registry);
@@ -64,6 +78,10 @@ MemController::MemController(EventQueue &eq, NvmDevice &nvm,
         registry->registerStat(crashDroppedData);
         registry->registerStat(crashDroppedCtr);
         registry->registerStat(ctrwbNoops);
+        registry->registerStat(treeLeafUpdates);
+        registry->registerStat(treeCoalesces);
+        registry->registerStat(treeNodeWrites);
+        registry->registerStat(treeFlushes);
     }
 }
 
@@ -828,6 +846,7 @@ MemController::handleCcEviction(const CounterEviction &ev)
       case DesignPoint::Ideal:
         // Counter persistence is free in the ideal design.
         nvm.drainCounters(ev.addr, ev.values);
+        noteCounterPersist(ev.addr);
         return;
       case DesignPoint::ColocatedCC:
         // Counters live with their data lines; the cache copy is just a
@@ -856,6 +875,60 @@ MemController::drainPendingCcEvictions()
     }
 }
 
+void
+MemController::noteCounterPersist(Addr ctr_line_addr)
+{
+    if (!cfg.integrityTree)
+        return;
+    const std::uint64_t leaf =
+        (ctr_line_addr - cfg.counterRegionBase) / lineBytes;
+    // The coalescing rule (Freij et al.): a leaf dirtied twice within
+    // one epoch costs one write-back, not two.
+    if (dirtyTreeLeaves.insert(leaf).second)
+        ++treeLeafUpdates;
+    else
+        ++treeCoalesces;
+    ++treeCtrPersists;
+    if (cfg.treeEpochDrains > 0
+        && treeCtrPersists % cfg.treeEpochDrains == 0)
+        flushTreeEpoch();
+}
+
+void
+MemController::flushTreeEpoch()
+{
+    if (dirtyTreeLeaves.empty())
+        return;
+
+    // The write-back set is the ancestor closure of the dirty leaves,
+    // deduplicated level by level: leaves sharing a parent cost that
+    // parent once. Each dirty counter-block leaf carries its 64 B
+    // slot-hash line; every node above it (level 1 up to and including
+    // the root) is an 8 B hash word.
+    std::uint64_t bytes =
+        std::uint64_t(lineBytes) * dirtyTreeLeaves.size();
+    std::uint64_t nodes = 0;
+    std::set<std::uint64_t> level = dirtyTreeLeaves;
+    nodes += level.size();
+    for (unsigned l = 1; l < treeRootLevel; ++l) {
+        std::set<std::uint64_t> up;
+        for (std::uint64_t index : level)
+            up.insert(index / treeArity);
+        level = std::move(up);
+        nodes += level.size();
+    }
+    bytes += 8 * nodes;
+
+    // One batched burst into the tree region above the counter store.
+    // The traffic (and the bank time it occupies) is the overhead the
+    // tree_overhead bench rows measure against MAC-only designs.
+    nvm.scheduleWrite(cfg.counterRegionBase * 2, eventq.curTick(),
+                      static_cast<unsigned>(bytes));
+    treeNodeWrites += static_cast<double>(nodes);
+    ++treeFlushes;
+    dirtyTreeLeaves.clear();
+}
+
 bool
 MemController::tryCtrWriteback(Addr data_line_addr,
                                std::function<void()> accepted)
@@ -882,6 +955,7 @@ MemController::tryCtrWriteback(Addr data_line_addr,
         Addr ctr_addr = counterLineAddr(data_line_addr);
         if (CounterCacheLine *line = counterCache->peek(ctr_addr)) {
             nvm.drainCounters(ctr_addr, line->values);
+            noteCounterPersist(ctr_addr);
             line->dirty = false;
         }
         accept_now();
@@ -1077,6 +1151,17 @@ void
 MemController::persistDataEntry(const DataEntry &entry)
 {
     persistDataEntryTo(nvm.persistedState(), entry);
+    // The co-located and ideal designs persist the covering counter
+    // word inside the data drain itself; mirror that into the tree.
+    switch (cfg.design) {
+      case DesignPoint::Colocated:
+      case DesignPoint::ColocatedCC:
+      case DesignPoint::Ideal:
+        noteCounterPersist(counterLineAddr(entry.addr));
+        break;
+      default:
+        break;
+    }
 }
 
 void
@@ -1149,6 +1234,16 @@ MemController::captureCrashState(PersistImage &img,
             --budget;
         }
     }
+
+    // The ADR budget's last act: flush the integrity tree, root last.
+    // The controller's volatile mirror is (by the noteCounterPersist
+    // hooks) the tree of the persisted counter store, so the flush is
+    // modeled as a rebuild from the image's own store — crucially
+    // *after* the drain overlay above, and before the fault model gets
+    // its turn, which is why a replayed counter word can never agree
+    // with the persisted tree.
+    if (cfg.integrityTree)
+        rebuildTree(img, cfg.counterRegionBase, 0, ~Addr(0));
 }
 
 void
@@ -1176,6 +1271,7 @@ MemController::completeCtrDrain(std::uint64_t seq)
     CtrIter it = locateCtrEntry(seq);
     if (it != ctrQ.end()) {
         nvm.drainCounters(it->addr, it->values);
+        noteCounterPersist(it->addr);
         unindexCtrEntry(it);
         ctrQ.erase(it);
         verifyIndexes();
@@ -1248,7 +1344,11 @@ MemController::crash(unsigned adr_drop_tail)
     budget -= std::min(adr_drop_tail, budget);
     for (const DataEntry &entry : dataQ) {
         if (entry.ready && budget > 0) {
-            persistDataEntry(entry);
+            // Raw persistence, not persistDataEntry(): the lazy tree
+            // hooks stay out of the dying drain — the full tree flush
+            // below covers everything, exactly as in
+            // captureCrashState().
+            persistDataEntryTo(nvm.persistedState(), entry);
             --budget;
         } else {
             ++crashDroppedData;
@@ -1262,6 +1362,13 @@ MemController::crash(unsigned adr_drop_tail)
             ++crashDroppedCtr;
         }
     }
+
+    // The ADR budget's last act: flush the integrity tree, root last
+    // (see captureCrashState for why this is a rebuild from the
+    // post-drain store, and why it precedes any injected fault).
+    if (cfg.integrityTree)
+        rebuildTree(nvm.persistedState(), cfg.counterRegionBase, 0,
+                    ~Addr(0));
 
     // In the ideal design every counter is persisted alongside its data
     // at drain time, so nothing in the counter cache can be lost; no
@@ -1281,6 +1388,7 @@ MemController::crash(unsigned adr_drop_tail)
     outstandingReads = 0;
     pendingCcEvictions.clear();
     retryCallbacks.clear();
+    dirtyTreeLeaves.clear(); // flushed above; the mirror dies with us
 
     // The encryption engine's counter registers are volatile and die
     // with the power failure; what survives is the persisted counter

@@ -24,6 +24,7 @@
 #include <functional>
 #include <list>
 #include <memory>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -140,6 +141,26 @@ struct MemCtlConfig
      * before declaring the line unrecoverable.
      */
     unsigned macRepairWindow = 64;
+
+    /**
+     * Bonsai Merkle Tree over the persisted counter store (see
+     * integrity/integrity_tree.hh): the controller mirrors every
+     * persisted counter into a volatile tree, writes dirty nodes back
+     * lazily on epoch boundaries, and flushes the tree — root last —
+     * through the ADR path at a power failure. Closes the replay hole
+     * per-line MACs leave open, at the cost of tree-node write
+     * traffic. Implies integrityMac (the tree authenticates counters;
+     * the MAC still authenticates ciphertext).
+     */
+    bool integrityTree = false;
+
+    /**
+     * Lazy-update epoch: dirty tree nodes coalesce across this many
+     * counter-store persists before one batched write-back (Freij et
+     * al.). Larger epochs coalesce more and write less; the crash
+     * flush covers whatever is still dirty either way.
+     */
+    unsigned treeEpochDrains = 8;
 
     /** AES-128 key used by the encryption engine. */
     std::array<std::uint8_t, 16> key{
@@ -282,6 +303,10 @@ class MemController : public MemBackend
     stats::Scalar crashDroppedData;
     stats::Scalar crashDroppedCtr;
     stats::Scalar ctrwbNoops;
+    stats::Scalar treeLeafUpdates;
+    stats::Scalar treeCoalesces;
+    stats::Scalar treeNodeWrites;
+    stats::Scalar treeFlushes;
 
   private:
     struct DataEntry
@@ -386,6 +411,18 @@ class MemController : public MemBackend
     /** Dirty counter-cache victims waiting for counter-queue space. */
     std::deque<CounterEviction> pendingCcEvictions;
 
+    /**
+     * Lazy integrity-tree update state (cfg.integrityTree): level-1
+     * leaf indexes dirtied by counter persists since the last epoch
+     * write-back. An ordered set — the write-back charges traffic in
+     * index order, and determinism here is what keeps tree-enabled
+     * sweep fingerprints identical across Replay/Fork modes.
+     */
+    std::set<std::uint64_t> dirtyTreeLeaves;
+
+    /** Counter persists since simulation start (the epoch clock). */
+    std::uint64_t treeCtrPersists = 0;
+
     /** Semantic-event observer (crash injector / sweep census). */
     std::function<void(CtlEvent)> eventHook;
 
@@ -424,6 +461,17 @@ class MemController : public MemBackend
                              bool make_dirty, bool charge_fill_on_miss);
     void handleCcEviction(const CounterEviction &ev);
     void drainPendingCcEvictions();
+
+    /**
+     * Integrity-tree hook at every counter persist to the device
+     * image: marks the covering leaf dirty and, on an epoch boundary,
+     * writes the coalesced dirty set back (charging node traffic).
+     * No-op when the tree is off.
+     */
+    void noteCounterPersist(Addr ctr_line_addr);
+
+    /** The batched epoch write-back of the dirty tree-node set. */
+    void flushTreeEpoch();
 
     /** Safe-to-persist counter values: persisted image overlaid with
      *  pending counter-queue entries in age order. */

@@ -25,7 +25,10 @@ FaultSpec::describe() const
         return "";
     std::ostringstream os;
     os << " +f(t" << tornWrites << ",b" << bitFlips << ",c"
-       << counterFaults << ",a" << adrDrops << ",s" << seed << ")";
+       << counterFaults << ",a" << adrDrops;
+    if (replays > 0)
+        os << ",p" << replays;
+    os << ",s" << seed << ")";
     return os.str();
 }
 
@@ -38,6 +41,14 @@ FaultSpec::allKinds(std::uint64_t seed)
     s.counterFaults = 1;
     s.adrDrops = 4;
     s.seed = seed;
+    return s;
+}
+
+FaultSpec
+FaultSpec::allKindsWithReplays(std::uint64_t seed)
+{
+    FaultSpec s = allKinds(seed);
+    s.replays = 2;
     return s;
 }
 
@@ -62,7 +73,7 @@ void
 FaultModel::applyMediaFaults(PersistImage &img)
 {
     if (spec.tornWrites == 0 && spec.bitFlips == 0
-        && spec.counterFaults == 0)
+        && spec.counterFaults == 0 && spec.replays == 0)
         return;
 
     // Victims come from the sorted persisted-line list: unordered_map
@@ -120,6 +131,36 @@ FaultModel::applyMediaFaults(PersistImage &img)
                 ? cur - rng.range(1, std::min<std::uint64_t>(cur, 4))
                 : (rng.next() | 1);
             img.corruptCounterSlot(ctr_addr, slot, bad, addr);
+        }
+    }
+
+    // Replay faults, drawn strictly after the media kinds so a
+    // replay-free spec consumes exactly the historical RNG stream.
+    // Victims come from the sorted list of lines with a recorded stale
+    // triple; from each draw the model probes forward (wrapping) for a
+    // line where the replay actually lands — skipping already-faulted
+    // lines (a replay atop media corruption is not stealthy) and
+    // no-op replays replayLine() refuses.
+    if (spec.replays > 0) {
+        std::vector<Addr> candidates = img.replayableLineAddrs();
+        if (candidates.empty())
+            return;
+        for (unsigned n = 0; n < spec.replays; ++n) {
+            const std::size_t start = rng.below(candidates.size());
+            for (std::size_t probe = 0; probe < candidates.size();
+                 ++probe) {
+                const Addr addr =
+                    candidates[(start + probe) % candidates.size()];
+                if (img.lineFaulted(addr) || img.lineReplayed(addr))
+                    continue;
+                const std::uint64_t line_index = addr / lineBytes;
+                const Addr ctr_addr = counterRegionBase
+                    + line_index / countersPerLine * lineBytes;
+                const auto slot = static_cast<unsigned>(
+                    line_index % countersPerLine);
+                if (img.replayLine(addr, ctr_addr, slot))
+                    break;
+            }
         }
     }
 }

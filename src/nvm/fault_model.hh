@@ -64,6 +64,14 @@ struct FaultSpec
      *  (the model draws the actual loss uniformly from [0, adrDrops]). */
     unsigned adrDrops = 0;
 
+    /**
+     * Persisted data lines whose last superseded (cipher, counter,
+     * MAC) triple is re-installed whole — the persistence-based
+     * replay attack. The triple is internally consistent, so per-line
+     * MACs verify; only the integrity tree can catch it.
+     */
+    unsigned replays = 0;
+
     /** Seed of the point's private fault RNG. */
     std::uint64_t seed = 0;
 
@@ -72,7 +80,7 @@ struct FaultSpec
     any() const
     {
         return tornWrites > 0 || bitFlips > 0 || counterFaults > 0
-            || adrDrops > 0;
+            || adrDrops > 0 || replays > 0;
     }
 
     /**
@@ -83,13 +91,18 @@ struct FaultSpec
      */
     FaultSpec forPoint(std::size_t plan_index) const;
 
-    /** " +f(t..,b..,c..,a..,s..)" — empty when !any(). Appended to
+    /** " +f(t..,b..,c..,a..,s..)" — empty when !any(), and the replay
+     *  field ",p.." appears only when replays are dosed. Appended to
      *  CrashSpec::describe(), so fault sweeps fingerprint distinctly
-     *  while clean sweeps keep their historical fingerprints. */
+     *  while clean and replay-free sweeps keep their historical
+     *  fingerprints byte for byte. */
     std::string describe() const;
 
     /** Every fault kind at a moderate dose (the CLI's --faults all). */
     static FaultSpec allKinds(std::uint64_t seed);
+
+    /** allKinds() plus a replay dose (the CLI's --replays). */
+    static FaultSpec allKindsWithReplays(std::uint64_t seed);
 };
 
 /**

@@ -12,6 +12,25 @@ PersistImage::drainData(Addr line_addr, const LineData &ciphertext,
                         std::uint64_t cipher_counter)
 {
     cnvm_assert(isLineAligned(line_addr));
+    // Record the superseded triple before overwriting: a persistence-
+    // based replay attack needs a *complete* stale (cipher, counter,
+    // MAC) snapshot, and this is the only moment it exists. The MAC
+    // drained with the old burst is still in macStore here — drainMac()
+    // for the new burst only lands after drainData().
+    auto it = cipherImage.find(line_addr);
+    if (it != cipherImage.end()) {
+        auto cc = cipherCounterOf.find(line_addr);
+        const std::uint64_t prev =
+            cc == cipherCounterOf.end() ? 0 : cc->second;
+        if (prev != cipher_counter) {
+            StaleTriple &stale = staleTriples[line_addr];
+            stale.cipher = it->second;
+            stale.counter = prev;
+            auto mac = macStore.find(line_addr);
+            stale.hasMac = mac != macStore.end();
+            stale.mac = stale.hasMac ? mac->second : 0;
+        }
+    }
     cipherImage[line_addr] = ciphertext;
     cipherCounterOf[line_addr] = cipher_counter;
 }
@@ -61,6 +80,45 @@ PersistImage::persistedMac(Addr line_addr) const
 }
 
 void
+PersistImage::drainTreeNode(unsigned level, std::uint64_t index,
+                            std::uint64_t hash)
+{
+    cnvm_assert(index < (std::uint64_t(1) << 32));
+    treeStore[treeKey(level, index)] = hash;
+}
+
+void
+PersistImage::drainTreeRoot(std::uint64_t hash)
+{
+    treeRoot = hash;
+    treeRootPresent = true;
+}
+
+const std::uint64_t *
+PersistImage::persistedTreeNode(unsigned level, std::uint64_t index) const
+{
+    auto it = treeStore.find(treeKey(level, index));
+    return it == treeStore.end() ? nullptr : &it->second;
+}
+
+const std::uint64_t *
+PersistImage::persistedTreeRoot() const
+{
+    return treeRootPresent ? &treeRoot : nullptr;
+}
+
+std::vector<std::uint64_t>
+PersistImage::persistedTreeLeafIndices() const
+{
+    std::vector<std::uint64_t> indices;
+    for (const auto &[key, hash] : treeStore)
+        if ((key >> 32) == 1)
+            indices.push_back(key & 0xffffffffull);
+    std::sort(indices.begin(), indices.end());
+    return indices;
+}
+
+void
 PersistImage::corruptDataLine(Addr line_addr, const LineData &corrupted)
 {
     auto it = cipherImage.find(line_addr);
@@ -84,12 +142,67 @@ PersistImage::lineFaulted(Addr line_addr) const
     return faulted.count(line_addr) > 0;
 }
 
+bool
+PersistImage::lineReplayed(Addr line_addr) const
+{
+    return replayed.count(line_addr) > 0;
+}
+
+bool
+PersistImage::replayLine(Addr line_addr, Addr ctr_line_addr,
+                         unsigned slot)
+{
+    cnvm_assert(slot < countersPerLine);
+    auto it = staleTriples.find(line_addr);
+    if (it == staleTriples.end())
+        return false;
+    auto cs = counterStore.find(ctr_line_addr);
+    const std::uint64_t stored =
+        cs == counterStore.end() ? 0 : cs->second[slot];
+    // A "replay" to the value already stored would change nothing —
+    // undetectable because there is nothing to detect. Skip it so the
+    // replayed ground truth only marks lines that really rolled back.
+    if (it->second.counter == stored)
+        return false;
+    cipherImage[line_addr] = it->second.cipher;
+    cipherCounterOf[line_addr] = it->second.counter;
+    if (it->second.hasMac)
+        macStore[line_addr] = it->second.mac;
+    else
+        macStore.erase(line_addr);
+    counterStore[ctr_line_addr][slot] = it->second.counter;
+    replayed.insert(line_addr);
+    return true;
+}
+
+std::vector<Addr>
+PersistImage::replayableLineAddrs() const
+{
+    std::vector<Addr> addrs;
+    addrs.reserve(staleTriples.size());
+    for (const auto &[addr, stale] : staleTriples)
+        addrs.push_back(addr);
+    std::sort(addrs.begin(), addrs.end());
+    return addrs;
+}
+
 std::vector<Addr>
 PersistImage::dataLineAddrs() const
 {
     std::vector<Addr> addrs;
     addrs.reserve(cipherImage.size());
     for (const auto &[addr, line] : cipherImage)
+        addrs.push_back(addr);
+    std::sort(addrs.begin(), addrs.end());
+    return addrs;
+}
+
+std::vector<Addr>
+PersistImage::counterLineAddrs() const
+{
+    std::vector<Addr> addrs;
+    addrs.reserve(counterStore.size());
+    for (const auto &[addr, values] : counterStore)
         addrs.push_back(addr);
     std::sort(addrs.begin(), addrs.end());
     return addrs;

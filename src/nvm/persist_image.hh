@@ -73,6 +73,33 @@ class PersistSource
      * so the oracle can tell silent corruption from detected.
      */
     virtual bool lineFaulted(Addr line_addr) const = 0;
+
+    /**
+     * Simulator-only ground truth: true when an injected replay fault
+     * re-installed a stale-but-valid triple on this data line. Like
+     * lineFaulted(), recovery code must never consult this — the
+     * oracle uses it to tell a silent replay from a detected one.
+     */
+    virtual bool lineReplayed(Addr line_addr) const = 0;
+
+    /**
+     * Every persisted counter-line address, sorted. Recovery's
+     * verify-root-first step scans the counter region with it —
+     * architecturally legitimate, the counter store is persistent
+     * state recovery already walks to rebuild the engine registers.
+     */
+    virtual std::vector<Addr> counterLineAddrs() const = 0;
+
+    /**
+     * Persisted integrity-tree node at (@p level, @p index), or
+     * nullptr when none was written (tree disabled, or the subtree
+     * untouched — an absent subtree hashes to its zero constant).
+     */
+    virtual const std::uint64_t *
+    persistedTreeNode(unsigned level, std::uint64_t index) const = 0;
+
+    /** Persisted tree root, or nullptr when never flushed. */
+    virtual const std::uint64_t *persistedTreeRoot() const = 0;
 };
 
 /**
@@ -111,6 +138,16 @@ class PersistImage final : public PersistSource
      */
     void drainMac(Addr line_addr, std::uint64_t mac);
 
+    /**
+     * Stores one integrity-tree node (the controller's lazy epoch
+     * write-back, the crash flush, or recovery's reconstruction).
+     */
+    void drainTreeNode(unsigned level, std::uint64_t index,
+                       std::uint64_t hash);
+
+    /** Stores the integrity-tree root — always written last. */
+    void drainTreeRoot(std::uint64_t hash);
+
     // ------------------------------------------------------------------
     // Fault injection (FaultModel only)
     // ------------------------------------------------------------------
@@ -130,6 +167,29 @@ class PersistImage final : public PersistSource
     void corruptCounterSlot(Addr ctr_line_addr, unsigned slot,
                             std::uint64_t value, Addr data_line_addr);
 
+    /**
+     * Re-installs the stale-but-valid triple recorded the last time
+     * @p line_addr was overwritten at a new counter: the old
+     * ciphertext, the old MAC, and the old counter value written back
+     * into the store word (@p ctr_line_addr / @p slot). The whole
+     * triple is internally consistent, so the per-line MAC verifies —
+     * only the integrity tree can tell the counter was rolled back.
+     *
+     * Returns false (and changes nothing) when the line was never
+     * overwritten, or when the recorded counter equals the currently
+     * stored one — a no-op replay would be undetectable *and*
+     * harmless, so the fault model skips it. The line is deliberately
+     * NOT marked faulted: a replay is the stealthy case the faulted
+     * ground truth must not conflate with media corruption.
+     */
+    bool replayLine(Addr line_addr, Addr ctr_line_addr, unsigned slot);
+
+    /**
+     * Every data line with a recorded stale triple, sorted — the
+     * fault model's replay-victim candidate list.
+     */
+    std::vector<Addr> replayableLineAddrs() const;
+
     // ------------------------------------------------------------------
     // PersistSource
     // ------------------------------------------------------------------
@@ -139,6 +199,18 @@ class PersistImage final : public PersistSource
     std::uint64_t persistedCipherCounter(Addr line_addr) const override;
     const std::uint64_t *persistedMac(Addr line_addr) const override;
     bool lineFaulted(Addr line_addr) const override;
+    bool lineReplayed(Addr line_addr) const override;
+    std::vector<Addr> counterLineAddrs() const override;
+    const std::uint64_t *
+    persistedTreeNode(unsigned level, std::uint64_t index) const override;
+    const std::uint64_t *persistedTreeRoot() const override;
+
+    /** Sorted indices of the persisted level-1 (counter-block) tree
+     *  nodes — rebuildTree()'s interior recomputation domain. */
+    std::vector<std::uint64_t> persistedTreeLeafIndices() const;
+
+    /** Number of data lines an injected replay rolled back. */
+    std::size_t replayedLineCount() const { return replayed.size(); }
 
     /**
      * The whole persisted counter store. The controller's crash path
@@ -166,6 +238,23 @@ class PersistImage final : public PersistSource
     std::vector<Addr> dataLineAddrs() const;
 
   private:
+    /** The triple a data line held before its last overwrite at a new
+     *  counter — the replay attack's raw material. */
+    struct StaleTriple
+    {
+        LineData cipher{};
+        std::uint64_t counter = 0;
+        std::uint64_t mac = 0;
+        bool hasMac = false;
+    };
+
+    /** Packed (level, index) key of one persisted tree node. */
+    static std::uint64_t
+    treeKey(unsigned level, std::uint64_t index)
+    {
+        return (static_cast<std::uint64_t>(level) << 32) | index;
+    }
+
     std::unordered_map<Addr, LineData> cipherImage;
     std::unordered_map<Addr, CounterLine> counterStore;
 
@@ -176,8 +265,22 @@ class PersistImage final : public PersistSource
     /** Per-line integrity MACs (ECC spare bits), when enabled. */
     std::unordered_map<Addr, std::uint64_t> macStore;
 
+    /** Persisted integrity-tree nodes, keyed by treeKey(). */
+    std::unordered_map<std::uint64_t, std::uint64_t> treeStore;
+
+    /** Persisted integrity-tree root (valid iff treeRootPresent). */
+    std::uint64_t treeRoot = 0;
+    bool treeRootPresent = false;
+
     /** Data lines corrupted by injected faults (oracle ground truth). */
     std::unordered_set<Addr> faulted;
+
+    /** Last superseded triple per overwritten line (attack surface). */
+    std::unordered_map<Addr, StaleTriple> staleTriples;
+
+    /** Data lines an injected replay rolled back (oracle ground
+     *  truth — recovery code must never consult it). */
+    std::unordered_set<Addr> replayed;
 };
 
 } // namespace cnvm

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # CI entry point: AddressSanitizer+UBSan build, full test suite, a
 # crash-point sweep across every design (20 points each, fixed seed,
-# parallel Execute phase), a fault-injection sweep under the same
-# sanitizers, parallel-recovery and crash-during-recovery sweeps, CLI
-# usage-contract smokes, a ThreadSanitizer pass over the parallel
-# sweep and recovery paths, and a Release bench smoke.
+# parallel Execute phase), fault-injection and replay-dosed
+# integrity-tree sweeps under the same sanitizers, parallel-recovery
+# and crash-during-recovery sweeps, CLI usage-contract smokes, a
+# ThreadSanitizer pass over the parallel sweep and recovery paths
+# (replay-dosed pre-scan included), and a Release bench smoke.
 #
 #   tools/ci.sh [build-dir] [release-build-dir] [tsan-build-dir]
 #
@@ -62,6 +63,31 @@ done
     --faults \
     --design ColocatedCC --design FCA --design SCA --design Unsafe
 
+# Replay-attack smoke under ASan+UBSan, both gate directions: with the
+# integrity tree, a replay-dosed sweep must classify zero points silent
+# of any kind and catch at least one replay; MAC-only, the same dose
+# must demonstrate at least one silent replay. The tree paths hash and
+# rebuild persisted node maps at crash capture and during recovery —
+# exactly where an off-by-one leaf index or a stale root pointer would
+# hide.
+"$build/tools/cnvm_crash_sweep" --points 12 --jobs 4 --mode fork \
+    --faults --replays --integrity-tree \
+    --design ColocatedCC --design FCA --design SCA --design Unsafe
+"$build/tools/cnvm_crash_sweep" --points 12 --jobs 4 --mode fork \
+    --faults --replays --integrity \
+    --design ColocatedCC --design FCA --design SCA --design Unsafe
+
+# The unified argument checker: a tuning flag without its prerequisite
+# is a usage error (exit 2), not a silent enable.
+if "$build/tools/cnvm_crash_sweep" --points 10 --fault-seed 5 \
+        > /dev/null 2>&1; then
+    echo "FAIL: cnvm_crash_sweep accepted --fault-seed without --faults" >&2
+    exit 1
+elif [ $? -ne 2 ]; then
+    echo "FAIL: --fault-seed without --faults should exit 2" >&2
+    exit 1
+fi
+
 # Parallel recovery under ASan+UBSan: the sharded integrity pre-scan
 # (--recovery-jobs) inside a pooled fork-mode sweep, and the
 # crash-during-recovery idempotence family (interrupted write-back
@@ -104,6 +130,15 @@ cmake --build "$tsan" -j "$(nproc)" \
     --recovery-jobs 4 --faults --integrity --design SCA
 "$tsan/tools/cnvm_crash_sweep" --points 6 --recovery-crashes 10 \
     --jobs 4 --recovery-jobs 4 --faults --integrity \
+    --design SCA --design Unsafe
+# Replay-dosed parallel pre-scan under TSan: shards produce quarantine
+# AND replay verdicts concurrently against the shared tree nodes; the
+# quarantine-race regression test pins the same path at unit scale.
+cmake --build "$tsan" -j "$(nproc)" --target integrity_tree_test
+"$tsan/tests/integrity_tree_test" \
+    --gtest_filter='QuarantineRace.*:ReplaySweep.*'
+"$tsan/tools/cnvm_crash_sweep" --points 8 --jobs 4 --mode fork \
+    --recovery-jobs 4 --faults --replays --integrity-tree \
     --design SCA --design Unsafe
 
 # Bench smoke in Release: cnvm_bench runs each kernel a few iterations

@@ -21,7 +21,11 @@
  * behavior-preservation checks added with the queue indexes; the
  * fault-matrix gates: with integrity MACs armed, a media-fault sweep
  * must classify zero points as silent corruption; without them, the
- * same sweep must demonstrate at least one; the recovery gates:
+ * same sweep must demonstrate at least one; the tree-matrix gates:
+ * with the counter integrity tree armed, a replay-dosed sweep must
+ * classify zero points silent of any kind while catching at least one
+ * replay, and MAC-only must let at least one replay slip silently;
+ * the recovery gates:
  * recovery output byte-identical at any --recovery-jobs value, and
  * the crash-during-recovery sweep idempotent — zero divergent points
  * over every design), 2 on usage errors.
@@ -45,6 +49,7 @@
 #include "memctl/mem_controller.hh"
 #include "runner/runner.hh"
 #include "sim/one_shot.hh"
+#include "tool_args.hh"
 
 using namespace cnvm;
 
@@ -710,6 +715,175 @@ runFaultMatrix(bool quick, WorkPool &pool)
 }
 
 // ----------------------------------------------------------------------
+// Tree matrix: replay-dosed faults × integrity tree
+// ----------------------------------------------------------------------
+
+/** One design × tree-mode cell of the replay matrix. */
+struct TreeCell
+{
+    DesignPoint design = DesignPoint::SCA;
+    bool tree = false; //!< false = MAC-only control
+    unsigned points = 0;
+    unsigned reached = 0;
+    unsigned silentPoints = 0;
+    unsigned replayDetectedPoints = 0;
+    unsigned silentReplayPoints = 0;
+    std::uint64_t replayedLines = 0;
+    std::uint64_t replaysCaught = 0;
+    double hostMs = 0;
+};
+
+struct TreeMatrixResult
+{
+    std::vector<TreeCell> cells;
+    unsigned pointsPerCell = 0;
+    unsigned treeReached = 0;    //!< reached points, tree armed
+    unsigned treeSilent = 0;     //!< silent corruption + silent replay
+    std::uint64_t treeReplaysCaught = 0;
+    unsigned macOnlySilentReplays = 0;
+
+    /** The headline invariant: with the tree armed, nothing in the
+     *  replay-dosed matrix was silent — no corruption, no replay —
+     *  and the dose demonstrably bit (>= 1 replay caught). */
+    bool zeroSilentWithTree = false;
+
+    /** The negative control: MAC-only, at least one replayed line was
+     *  consumed silently. */
+    bool replaysSlipWithoutTree = false;
+
+    bool ok() const
+    { return zeroSilentWithTree && replaysSlipWithoutTree; }
+};
+
+/**
+ * Runs the replay-dosed fault sweep over every crash-handling design,
+ * with the counter integrity tree armed and with per-line MACs alone,
+ * and gates both directions: the tree half must classify zero points
+ * silent of any kind while catching at least one replay, and the
+ * MAC-only half must let at least one replay through silently —
+ * proving the attack defeats per-line MACs and the tree stops it.
+ */
+TreeMatrixResult
+runTreeMatrix(bool quick, WorkPool &pool)
+{
+    TreeMatrixResult m;
+    m.pointsPerCell = quick ? 16 : 60;
+    for (DesignPoint d : {DesignPoint::ColocatedCC, DesignPoint::FCA,
+                          DesignPoint::SCA, DesignPoint::Unsafe}) {
+        for (bool tree : {true, false}) {
+            auto start = Clock::now();
+            SystemConfig cfg = faultMatrixConfig(quick);
+            cfg.design = d;
+            cfg.memctl.integrityMac = true;
+            cfg.memctl.integrityTree = tree;
+
+            SweepOptions opt;
+            opt.points = m.pointsPerCell;
+            opt.mode = SweepMode::Fork;
+            opt.faults = FaultSpec::allKindsWithReplays(1);
+            SweepResult r = runSweep(cfg, opt, &pool);
+
+            TreeCell c;
+            c.design = d;
+            c.tree = tree;
+            c.points = static_cast<unsigned>(r.points.size());
+            c.reached = c.points - r.unreachedPoints();
+            c.silentPoints = r.silentPoints();
+            c.replayDetectedPoints = r.replayDetectedPoints();
+            c.silentReplayPoints = r.silentReplayPoints();
+            c.replayedLines = r.totalOf(&SweepPoint::replayedLines);
+            c.replaysCaught = r.totalOf(&SweepPoint::replaysDetected);
+            c.hostMs = msSince(start);
+            if (tree) {
+                m.treeReached += c.reached;
+                m.treeSilent += c.silentPoints + c.silentReplayPoints;
+                m.treeReplaysCaught += c.replaysCaught;
+            } else {
+                m.macOnlySilentReplays += c.silentReplayPoints;
+            }
+            m.cells.push_back(c);
+        }
+    }
+    m.zeroSilentWithTree = m.treeReached > 0 && m.treeSilent == 0
+        && m.treeReplaysCaught >= 1;
+    m.replaysSlipWithoutTree = m.macOnlySilentReplays >= 1;
+    return m;
+}
+
+// ----------------------------------------------------------------------
+// Tree overhead: lazy tree maintenance vs MAC-only runtime and traffic
+// ----------------------------------------------------------------------
+
+/** One design's tree-on vs MAC-only full-run comparison. */
+struct TreeOverheadRow
+{
+    DesignPoint design = DesignPoint::SCA;
+    std::uint64_t macTicks = 0;
+    std::uint64_t treeTicks = 0;
+    double macKbWritten = 0;
+    double treeKbWritten = 0;
+    double tickOverheadPct = 0;
+    double writeOverheadPct = 0;
+    std::uint64_t leafUpdates = 0;
+    std::uint64_t coalesces = 0;
+    std::uint64_t nodeWrites = 0;
+    std::uint64_t flushes = 0;
+    double hostMs = 0;
+};
+
+/**
+ * Measures what the lazy epoch-batched tree write-back actually costs
+ * on a full fixed-seed run: simulated runtime and NVM write traffic,
+ * tree-on vs MAC-only, per design. The coalesce counter is the point
+ * of the laziness — every coalesced leaf update is a tree write the
+ * eager scheme would have issued.
+ */
+std::vector<TreeOverheadRow>
+benchTreeOverhead(bool quick)
+{
+    std::vector<TreeOverheadRow> rows;
+    for (DesignPoint d : {DesignPoint::FCA, DesignPoint::SCA}) {
+        auto start = Clock::now();
+        TreeOverheadRow row;
+        row.design = d;
+        for (bool tree : {false, true}) {
+            SystemConfig cfg = figConfig(quick ? 30 : 100);
+            cfg.design = d;
+            cfg.memctl.integrityMac = true;
+            cfg.memctl.integrityTree = tree;
+            System sys(cfg);
+            RunResult result = sys.run();
+            if (tree) {
+                row.treeTicks = result.endTick;
+                row.treeKbWritten = sys.nvmBytesWritten() / 1024.0;
+                const MemController &ctl = sys.controller();
+                row.leafUpdates = static_cast<std::uint64_t>(
+                    ctl.treeLeafUpdates.value());
+                row.coalesces = static_cast<std::uint64_t>(
+                    ctl.treeCoalesces.value());
+                row.nodeWrites = static_cast<std::uint64_t>(
+                    ctl.treeNodeWrites.value());
+                row.flushes = static_cast<std::uint64_t>(
+                    ctl.treeFlushes.value());
+            } else {
+                row.macTicks = result.endTick;
+                row.macKbWritten = sys.nvmBytesWritten() / 1024.0;
+            }
+        }
+        row.tickOverheadPct = row.macTicks > 0
+            ? 100.0 * (static_cast<double>(row.treeTicks)
+                       / static_cast<double>(row.macTicks) - 1.0)
+            : 0;
+        row.writeOverheadPct = row.macKbWritten > 0
+            ? 100.0 * (row.treeKbWritten / row.macKbWritten - 1.0)
+            : 0;
+        row.hostMs = msSince(start);
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+// ----------------------------------------------------------------------
 // Recovery scaling: crash-to-fully-recovered wall clock vs region size
 // ----------------------------------------------------------------------
 
@@ -914,6 +1088,8 @@ emitJson(std::ostream &os, const std::vector<KernelResult> &kernels,
          const SweepScalingResult &scaling,
          const SweepForkSpeedupResult &fork_speedup,
          const FaultMatrixResult &faults,
+         const TreeMatrixResult &tree,
+         const std::vector<TreeOverheadRow> &tree_overhead,
          const RecoveryScalingResult &rscaling,
          const RecrashResult &recrash)
 {
@@ -953,6 +1129,68 @@ emitJson(std::ostream &os, const std::vector<KernelResult> &kernels,
         os << buf;
     }
     os << "    ]\n  },\n";
+    os << "  \"tree_matrix\": {\n";
+    std::snprintf(buf, sizeof(buf),
+                  "    \"points_per_cell\": %u, "
+                  "\"tree_reached_points\": %u,\n"
+                  "    \"zero_silent_with_tree\": %s, "
+                  "\"tree_replays_caught\": %llu,\n"
+                  "    \"mac_only_silent_replay_points\": %u, "
+                  "\"replays_slip_without_tree\": %s,\n",
+                  tree.pointsPerCell, tree.treeReached,
+                  tree.zeroSilentWithTree ? "true" : "false",
+                  static_cast<unsigned long long>(tree.treeReplaysCaught),
+                  tree.macOnlySilentReplays,
+                  tree.replaysSlipWithoutTree ? "true" : "false");
+    os << buf;
+    os << "    \"cells\": [\n";
+    for (std::size_t i = 0; i < tree.cells.size(); ++i) {
+        const TreeCell &c = tree.cells[i];
+        std::snprintf(buf, sizeof(buf),
+                      "      {\"design\": \"%s\", \"tree\": %s, "
+                      "\"reached\": %u, \"silent_points\": %u, "
+                      "\"replay_detected_points\": %u, "
+                      "\"silent_replay_points\": %u, "
+                      "\"replayed_lines\": %llu, "
+                      "\"replays_caught\": %llu, "
+                      "\"host_ms\": %.2f}%s\n",
+                      designName(c.design), c.tree ? "true" : "false",
+                      c.reached, c.silentPoints, c.replayDetectedPoints,
+                      c.silentReplayPoints,
+                      static_cast<unsigned long long>(c.replayedLines),
+                      static_cast<unsigned long long>(c.replaysCaught),
+                      c.hostMs, i + 1 < tree.cells.size() ? "," : "");
+        os << buf;
+    }
+    os << "    ]\n  },\n";
+    os << "  \"tree_overhead\": [\n";
+    for (std::size_t i = 0; i < tree_overhead.size(); ++i) {
+        const TreeOverheadRow &r = tree_overhead[i];
+        std::snprintf(buf, sizeof(buf),
+                      "    {\"design\": \"%s\", \"mac_ticks\": %llu, "
+                      "\"tree_ticks\": %llu, \"tick_overhead_pct\": %.2f,\n"
+                      "     \"mac_kb_written\": %.1f, "
+                      "\"tree_kb_written\": %.1f, "
+                      "\"write_overhead_pct\": %.2f,\n",
+                      designName(r.design),
+                      static_cast<unsigned long long>(r.macTicks),
+                      static_cast<unsigned long long>(r.treeTicks),
+                      r.tickOverheadPct, r.macKbWritten, r.treeKbWritten,
+                      r.writeOverheadPct);
+        os << buf;
+        std::snprintf(buf, sizeof(buf),
+                      "     \"leaf_updates\": %llu, \"coalesces\": %llu, "
+                      "\"node_writes\": %llu, \"flushes\": %llu, "
+                      "\"host_ms\": %.2f}%s\n",
+                      static_cast<unsigned long long>(r.leafUpdates),
+                      static_cast<unsigned long long>(r.coalesces),
+                      static_cast<unsigned long long>(r.nodeWrites),
+                      static_cast<unsigned long long>(r.flushes),
+                      r.hostMs,
+                      i + 1 < tree_overhead.size() ? "," : "");
+        os << buf;
+    }
+    os << "  ],\n";
     std::snprintf(buf, sizeof(buf),
                   "  \"recovery_scaling\": {\"jobs\": %u, "
                   "\"host_concurrency\": %u, \"reports_identical\": %s,\n"
@@ -1061,11 +1299,7 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         auto need_value = [&]() -> const char * {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "missing value for %s\n", argv[i]);
-                usage(2);
-            }
-            return argv[++i];
+            return toolargs::needValue(argc, argv, i, usage);
         };
         if (arg == "--out") {
             out_path = need_value();
@@ -1074,15 +1308,10 @@ main(int argc, char **argv)
         } else if (arg == "--quick") {
             quick = true;
         } else if (arg == "--repeat") {
-            repeat = static_cast<unsigned>(std::atoi(need_value()));
-            if (repeat < 1)
-                repeat = 1;
+            repeat = toolargs::parsePositive("--repeat", need_value(),
+                                            usage);
         } else if (arg == "--jobs") {
-            jobs = static_cast<unsigned>(std::atoi(need_value()));
-            if (jobs == 0) {
-                std::fprintf(stderr, "--jobs needs N >= 1\n");
-                usage(2);
-            }
+            jobs = toolargs::parsePositive("--jobs", need_value(), usage);
         } else if (arg == "--help" || arg == "-h") {
             usage(0);
         } else {
@@ -1195,6 +1424,41 @@ main(int argc, char **argv)
                 fault_matrix.noIntegritySilent,
                 fault_matrix.silentWithoutIntegrity ? "ok" : "FAILED");
 
+    TreeMatrixResult tree_matrix = runTreeMatrix(quick, pool);
+    checks_ok = checks_ok && tree_matrix.ok();
+    for (const TreeCell &c : tree_matrix.cells)
+        std::printf("tree matrix %-13s tree=%-3s reached=%u "
+                    "silent-pts=%u rp-det-pts=%u rp-sil-pts=%u "
+                    "replayed=%llu caught=%llu (%.1f ms)\n",
+                    designName(c.design), c.tree ? "on" : "off",
+                    c.reached, c.silentPoints, c.replayDetectedPoints,
+                    c.silentReplayPoints,
+                    static_cast<unsigned long long>(c.replayedLines),
+                    static_cast<unsigned long long>(c.replaysCaught),
+                    c.hostMs);
+    std::printf("tree matrix: %u tree-armed points, silent with tree: "
+                "%u, replays caught: %llu (%s), silent replays "
+                "mac-only: %u (%s)\n",
+                tree_matrix.treeReached, tree_matrix.treeSilent,
+                static_cast<unsigned long long>(
+                    tree_matrix.treeReplaysCaught),
+                tree_matrix.zeroSilentWithTree ? "ok" : "FAILED",
+                tree_matrix.macOnlySilentReplays,
+                tree_matrix.replaysSlipWithoutTree ? "ok" : "FAILED");
+
+    std::vector<TreeOverheadRow> tree_overhead = benchTreeOverhead(quick);
+    for (const TreeOverheadRow &r : tree_overhead)
+        std::printf("tree overhead %-13s ticks +%.2f%% writes +%.2f%% "
+                    "(leaf=%llu coalesced=%llu node-writes=%llu "
+                    "flushes=%llu, %.1f ms)\n",
+                    designName(r.design), r.tickOverheadPct,
+                    r.writeOverheadPct,
+                    static_cast<unsigned long long>(r.leafUpdates),
+                    static_cast<unsigned long long>(r.coalesces),
+                    static_cast<unsigned long long>(r.nodeWrites),
+                    static_cast<unsigned long long>(r.flushes),
+                    r.hostMs);
+
     for (const KernelResult &k : kernels)
         std::printf("%-34s %10.2f ns/op  (%llu ops, %.1f ms)\n",
                     k.name.c_str(), k.nsPerOp,
@@ -1207,7 +1471,7 @@ main(int argc, char **argv)
     if (out_path.empty()) {
         emitJson(std::cout, kernels, systems, quick, baseline_json,
                  checks, checks_ok, scaling, fork_speedup, fault_matrix,
-                 rscaling, recrash);
+                 tree_matrix, tree_overhead, rscaling, recrash);
     } else {
         std::ofstream out(out_path);
         if (!out) {
@@ -1216,7 +1480,7 @@ main(int argc, char **argv)
         }
         emitJson(out, kernels, systems, quick, baseline_json, checks,
                  checks_ok, scaling, fork_speedup, fault_matrix,
-                 rscaling, recrash);
+                 tree_matrix, tree_overhead, rscaling, recrash);
         std::printf("wrote %s\n", out_path.c_str());
     }
     return checks_ok ? 0 : 1;

@@ -42,6 +42,7 @@
 #include "core/crash_sweep.hh"
 #include "core/recovery_crash.hh"
 #include "runner/runner.hh"
+#include "tool_args.hh"
 
 using namespace cnvm;
 
@@ -61,7 +62,10 @@ struct Options
     bool verbose = false;
     bool printFingerprint = false;
     bool faults = false;
+    bool replays = false;
     bool integrity = false;
+    bool integrityTree = false;
+    bool faultSeedSet = false;
     std::uint64_t faultSeed = 1;
 };
 
@@ -106,12 +110,21 @@ options:
                     writes, bit flips, counter corruption/rollback, ADR
                     energy loss); deterministic per --fault-seed
   --fault-seed N    base seed of the per-point fault RNG streams
-                    (default 1; implies --faults)
+                    (default 1; requires --faults)
+  --replays         add a replay dose to every faulted point: whole
+                    stale (ciphertext, counter, MAC) triples are
+                    re-installed — internally consistent, so per-line
+                    MACs verify (requires --faults)
   --integrity       arm the per-line integrity MACs: recovery verifies
                     every line, repairs counters by bounded trial
                     re-decryption, and quarantines what it cannot fix.
                     With --faults the sweep gates on the headline
                     invariant — zero silent-corruption points
+  --integrity-tree  arm the counter integrity tree on top of the MACs
+                    (implies --integrity): recovery verifies the tree
+                    root first and catches replayed counters per line.
+                    With --faults --replays the gate extends to zero
+                    silent-replay points
   --verbose         print every crash point, not just the matrix row
   --fingerprint     print the deterministic sweep fingerprint
   --help            this text
@@ -141,11 +154,7 @@ parseArgs(int argc, char **argv)
     opt.cfg.memctl.counterCacheBytes = 16u << 10;
 
     auto need_value = [&](int &i) -> const char * {
-        if (i + 1 >= argc) {
-            std::fprintf(stderr, "missing value for %s\n", argv[i]);
-            usage(2);
-        }
-        return argv[++i];
+        return toolargs::needValue(argc, argv, i, usage);
     };
 
     for (int i = 1; i < argc; ++i) {
@@ -161,28 +170,18 @@ parseArgs(int argc, char **argv)
             }
             opt.designs.push_back(*d);
         } else if (arg == "--points") {
-            opt.points = static_cast<unsigned>(std::atoi(need_value(i)));
+            opt.points =
+                toolargs::parsePositive("--points", need_value(i), usage);
         } else if (arg == "--jobs") {
-            opt.jobs = static_cast<unsigned>(std::atoi(need_value(i)));
-            if (opt.jobs == 0) {
-                std::fprintf(stderr, "--jobs needs N >= 1\n");
-                usage(2);
-            }
+            opt.jobs =
+                toolargs::parsePositive("--jobs", need_value(i), usage);
         } else if (arg == "--recovery-jobs") {
-            opt.recoveryJobs =
-                static_cast<unsigned>(std::atoi(need_value(i)));
-            if (opt.recoveryJobs == 0) {
-                std::fprintf(stderr, "--recovery-jobs needs N >= 1\n");
-                usage(2);
-            }
+            opt.recoveryJobs = toolargs::parsePositive("--recovery-jobs",
+                                                       need_value(i),
+                                                       usage);
         } else if (arg == "--recovery-crashes") {
-            opt.recoveryCrashes =
-                static_cast<unsigned>(std::atoi(need_value(i)));
-            if (opt.recoveryCrashes == 0) {
-                std::fprintf(stderr,
-                             "--recovery-crashes needs R >= 1\n");
-                usage(2);
-            }
+            opt.recoveryCrashes = toolargs::parsePositive(
+                "--recovery-crashes", need_value(i), usage);
         } else if (arg == "--mode") {
             std::string name = need_value(i);
             if (name == "replay") {
@@ -208,15 +207,22 @@ parseArgs(int argc, char **argv)
             opt.cfg.memctl.counterCacheBytes =
                 std::strtoull(need_value(i), nullptr, 10) << 10;
         } else if (arg == "--seed") {
-            opt.cfg.wl.seed = std::strtoull(need_value(i), nullptr, 10);
+            opt.cfg.wl.seed =
+                toolargs::parseU64("--seed", need_value(i), usage);
         } else if (arg == "--ticks-only") {
             opt.semanticTriggers = false;
         } else if (arg == "--faults") {
             opt.faults = true;
         } else if (arg == "--fault-seed") {
-            opt.faultSeed = std::strtoull(need_value(i), nullptr, 10);
-            opt.faults = true;
+            opt.faultSeed =
+                toolargs::parseU64("--fault-seed", need_value(i), usage);
+            opt.faultSeedSet = true;
+        } else if (arg == "--replays") {
+            opt.replays = true;
         } else if (arg == "--integrity") {
+            opt.integrity = true;
+        } else if (arg == "--integrity-tree") {
+            opt.integrityTree = true;
             opt.integrity = true;
         } else if (arg == "--verbose") {
             opt.verbose = true;
@@ -228,10 +234,10 @@ parseArgs(int argc, char **argv)
         }
     }
 
-    if (opt.points == 0) {
-        std::fprintf(stderr, "--points must be positive\n");
-        usage(2);
-    }
+    toolargs::enforceFlagRules(
+        {{opt.faultSeedSet, opt.faults, "--fault-seed", "--faults"},
+         {opt.replays, opt.faults, "--replays", "--faults"}},
+        usage);
     if (opt.designs.empty()) {
         for (DesignPoint d : allDesignPoints())
             opt.designs.push_back(d);
@@ -239,15 +245,24 @@ parseArgs(int argc, char **argv)
     return opt;
 }
 
+/** Matrix-level tallies the per-design sweeps accumulate into. */
+struct MatrixTotals
+{
+    unsigned silent = 0;       //!< silent-corruption points
+    unsigned silentReplay = 0; //!< silent-replay points
+    std::uint64_t replaysCaught = 0; //!< replayed lines recovery caught
+};
+
 /** Sweeps one design; returns whether it behaved as designed and adds
- *  its silent-corruption points into @p total_silent. */
+ *  its silent/replay points into @p totals. */
 bool
 sweepDesign(const Options &opt, DesignPoint design, WorkPool &pool,
-            unsigned &total_silent)
+            MatrixTotals &totals)
 {
     SystemConfig cfg = opt.cfg;
     cfg.design = design;
     cfg.memctl.integrityMac = opt.integrity;
+    cfg.memctl.integrityTree = opt.integrityTree;
 
     SweepOptions sweep_opt;
     sweep_opt.points = opt.points;
@@ -255,7 +270,9 @@ sweepDesign(const Options &opt, DesignPoint design, WorkPool &pool,
     sweep_opt.mode = opt.mode;
     sweep_opt.recoveryJobs = opt.recoveryJobs;
     if (opt.faults)
-        sweep_opt.faults = FaultSpec::allKinds(opt.faultSeed);
+        sweep_opt.faults = opt.replays
+            ? FaultSpec::allKindsWithReplays(opt.faultSeed)
+            : FaultSpec::allKinds(opt.faultSeed);
     SweepResult result = runSweep(cfg, sweep_opt, &pool);
 
     if (opt.verbose) {
@@ -281,6 +298,12 @@ sweepDesign(const Options &opt, DesignPoint design, WorkPool &pool,
                             static_cast<unsigned long long>(p.repairedLines),
                             static_cast<unsigned long long>(
                                 p.unrecoverableLines));
+            if (opt.replays)
+                std::printf(" replayed=%llu caught=%llu",
+                            static_cast<unsigned long long>(
+                                p.replayedLines),
+                            static_cast<unsigned long long>(
+                                p.replaysDetected));
             std::printf("%s%s\n", p.detail.empty() ? "" : " : ",
                         p.detail.c_str());
         }
@@ -289,7 +312,7 @@ sweepDesign(const Options &opt, DesignPoint design, WorkPool &pool,
     unsigned reached =
         static_cast<unsigned>(result.points.size()) -
         result.unreachedPoints();
-    std::printf("%-13s %7u %8u %11u %10u %9u %9u %9u %9u %7u\n",
+    std::printf("%-13s %7u %8u %11u %10u %9u %9u %9u %9u %7u %7u %7u\n",
                 shortDesignName(design),
                 static_cast<unsigned>(result.points.size()), reached,
                 result.countOf(CrashClass::Consistent),
@@ -299,26 +322,39 @@ sweepDesign(const Options &opt, DesignPoint design, WorkPool &pool,
                 result.countOf(CrashClass::Inconsistent),
                 result.inconsistentPoints(),
                 result.countOf(CrashClass::DetectedCorruption),
-                result.silentPoints());
+                result.silentPoints(),
+                result.replayDetectedPoints(),
+                result.silentReplayPoints());
 
     if (opt.printFingerprint)
         std::printf("  fingerprint(%s): %s\n", shortDesignName(design),
                     result.fingerprint().c_str());
 
-    total_silent += result.silentPoints();
+    totals.silent += result.silentPoints();
+    totals.silentReplay += result.silentReplayPoints();
+    totals.replaysCaught += result.totalOf(&SweepPoint::replaysDetected);
 
     if (opt.faults && opt.integrity) {
         // The headline invariant: with integrity metadata armed, no
-        // injected fault is ever silent. Crash-consistent designs may
-        // fail recovery under media faults, but only detectably; the
+        // injected fault is ever silent — and with the tree on top,
+        // no replay is either. Crash-consistent designs may fail
+        // recovery under media faults, but only detectably; the
         // negative control must still demonstrate *some* failure.
         if (result.silentPoints() != 0)
             return false;
+        if (opt.integrityTree && result.silentReplayPoints() != 0)
+            return false;
+        // MAC-only replays are *expected* to slip: the stale triple
+        // verifies. They count as accounted-for failures here and the
+        // matrix-level gate in main() requires they actually occur.
+        unsigned accounted =
+            result.countOf(CrashClass::DetectedCorruption)
+            + result.replayDetectedPoints();
+        if (!opt.integrityTree)
+            accounted += result.silentReplayPoints();
         if (designCrashConsistent(design))
-            return result.inconsistentPoints() ==
-                   result.countOf(CrashClass::DetectedCorruption);
-        return result.mismatchPoints() +
-               result.countOf(CrashClass::DetectedCorruption) >= 1;
+            return result.inconsistentPoints() == accounted;
+        return result.mismatchPoints() + accounted >= 1;
     }
     if (opt.faults) {
         // Integrity off: nothing to assert per design — recovery may
@@ -341,6 +377,7 @@ recrashDesign(const Options &opt, DesignPoint design, WorkPool &pool)
     SystemConfig cfg = opt.cfg;
     cfg.design = design;
     cfg.memctl.integrityMac = opt.integrity;
+    cfg.memctl.integrityTree = opt.integrityTree;
 
     RecoveryCrashOptions rc_opt;
     rc_opt.points = opt.recoveryCrashes;
@@ -348,7 +385,9 @@ recrashDesign(const Options &opt, DesignPoint design, WorkPool &pool)
     rc_opt.recoveryJobs = opt.recoveryJobs;
     rc_opt.semanticTriggers = opt.semanticTriggers;
     if (opt.faults)
-        rc_opt.faults = FaultSpec::allKinds(opt.faultSeed);
+        rc_opt.faults = opt.replays
+            ? FaultSpec::allKindsWithReplays(opt.faultSeed)
+            : FaultSpec::allKinds(opt.faultSeed);
 
     RecoveryCrashResult result = runRecoveryCrashSweep(cfg, rc_opt,
                                                        &pool);
@@ -400,7 +439,8 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(opt.cfg.wl.seed),
                     pool.jobs(), opt.recoveryJobs,
                     opt.faults ? ", media faults" : "",
-                    opt.integrity ? ", integrity MACs" : "");
+                    opt.integrityTree ? ", integrity tree"
+                        : opt.integrity ? ", integrity MACs" : "");
         std::printf("%-13s %7s %8s %11s %10s %9s\n", "design", "images",
                     "captured", "points", "fired", "divergent");
         bool all_ok = true;
@@ -416,25 +456,63 @@ main(int argc, char **argv)
     }
 
     std::printf("crash-point sweep: %u points/design, workload %s, "
-                "%u core(s), %u txns, seed %llu, %u job(s), %s mode%s%s%s\n",
+                "%u core(s), %u txns, seed %llu, %u job(s), %s mode"
+                "%s%s%s%s\n",
                 opt.points, workloadKindName(opt.cfg.workload),
                 opt.cfg.numCores, opt.cfg.wl.txnTarget,
                 static_cast<unsigned long long>(opt.cfg.wl.seed),
                 pool.jobs(), sweepModeName(opt.mode),
                 opt.semanticTriggers ? "" : ", ticks only",
                 opt.faults ? ", media faults" : "",
-                opt.integrity ? ", integrity MACs" : "");
-    std::printf("%-13s %7s %8s %11s %10s %9s %9s %9s %9s %7s\n", "design",
-                "points", "reached", "consistent", "torn-data",
-                "torn-ctr", "other", "inconsist", "detected", "silent");
+                opt.replays ? " + replays" : "",
+                opt.integrityTree ? ", integrity tree"
+                    : opt.integrity ? ", integrity MACs" : "");
+    std::printf("%-13s %7s %8s %11s %10s %9s %9s %9s %9s %7s %7s %7s\n",
+                "design", "points", "reached", "consistent", "torn-data",
+                "torn-ctr", "other", "inconsist", "detected", "silent",
+                "rp-det", "rp-sil");
 
     bool all_ok = true;
-    unsigned total_silent = 0;
+    MatrixTotals totals;
     for (DesignPoint d : opt.designs) {
-        if (!sweepDesign(opt, d, pool, total_silent)) {
+        if (!sweepDesign(opt, d, pool, totals)) {
             all_ok = false;
             std::printf("  ^^ %s did not behave as designed\n",
                         shortDesignName(d));
+        }
+    }
+    unsigned total_silent = totals.silent;
+
+    if (opt.replays) {
+        if (opt.integrityTree) {
+            // The replay dose must bite *and* be caught: across the
+            // matrix, recovery caught at least one replayed line.
+            // (A dose nothing detects would make the zero-silent gate
+            // above vacuous.)
+            if (totals.replaysCaught == 0) {
+                all_ok = false;
+                std::printf("^^ no replay caught anywhere: the replay "
+                            "dose did not bite\n");
+            } else {
+                std::printf("replay control: %llu replayed line(s) "
+                            "caught by the integrity tree\n",
+                            static_cast<unsigned long long>(
+                                totals.replaysCaught));
+            }
+        } else {
+            // Negative control: without the tree, replayed triples
+            // verify per line and at least one point must consume one
+            // silently — proving the attack works against MACs alone.
+            if (totals.silentReplay == 0) {
+                all_ok = false;
+                std::printf("^^ no silent replay anywhere: the replay "
+                            "dose did not demonstrate the MAC-only "
+                            "failure mode\n");
+            } else {
+                std::printf("negative control: %u silent-replay "
+                            "point(s) without the integrity tree\n",
+                            totals.silentReplay);
+            }
         }
     }
 

@@ -24,6 +24,7 @@
 #include "core/recovery_crash.hh"
 #include "core/system.hh"
 #include "runner/runner.hh"
+#include "tool_args.hh"
 
 using namespace cnvm;
 
@@ -40,7 +41,10 @@ struct Options
     unsigned recoveryCrashes = 0; //!< >0: crash-during-recovery sweep
     SweepMode sweepMode = SweepMode::Replay;
     bool faults = false;
+    bool replays = false;
     bool integrity = false;
+    bool integrityTree = false;
+    bool faultSeedSet = false;
     std::uint64_t faultSeed = 1;
     bool verify = false;
     bool dumpStats = false;
@@ -91,12 +95,19 @@ options:
                        --crash-sweep)
   --faults             dose every --crash-sweep point with media faults
                        (torn writes, bit flips, counter corruption, ADR
-                       energy loss)
+                       energy loss; requires --crash-sweep)
   --fault-seed N       base seed of the per-point fault RNG streams
-                       (default 1; implies --faults)
+                       (default 1; requires --faults)
+  --replays            add a replay dose to every faulted point: whole
+                       stale (ciphertext, counter, MAC) triples are
+                       re-installed (requires --faults)
   --integrity          arm per-line integrity MACs: recovery verifies,
                        repairs counters by trial re-decryption, and
                        quarantines unrepairable lines
+  --integrity-tree     arm the counter integrity tree on top of the
+                       MACs (implies --integrity): recovery verifies
+                       the tree root first and catches replayed
+                       counters per line
   --verify             recover after the crash and verify consistency
   --stats              dump the full stat registry
   --quiet              suppress the metric summary
@@ -141,11 +152,7 @@ parseArgs(int argc, char **argv)
     double read_mult = 1.0, write_mult = 1.0;
 
     auto need_value = [&](int &i) -> const char * {
-        if (i + 1 >= argc) {
-            std::fprintf(stderr, "missing value for %s\n", argv[i]);
-            usage(2);
-        }
-        return argv[++i];
+        return toolargs::needValue(argc, argv, i, usage);
     };
 
     for (int i = 1; i < argc; ++i) {
@@ -198,33 +205,19 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--crash-at-frac") {
             opt.crashFrac = std::atof(need_value(i));
         } else if (arg == "--crash-sweep") {
-            opt.sweepPoints =
-                static_cast<unsigned>(std::atoi(need_value(i)));
-            if (opt.sweepPoints == 0) {
-                std::fprintf(stderr, "--crash-sweep needs K >= 1\n");
-                usage(2);
-            }
+            opt.sweepPoints = toolargs::parsePositive("--crash-sweep",
+                                                      need_value(i),
+                                                      usage);
         } else if (arg == "--jobs") {
-            opt.jobs = static_cast<unsigned>(std::atoi(need_value(i)));
-            if (opt.jobs == 0) {
-                std::fprintf(stderr, "--jobs needs N >= 1\n");
-                usage(2);
-            }
+            opt.jobs =
+                toolargs::parsePositive("--jobs", need_value(i), usage);
         } else if (arg == "--recovery-jobs") {
-            opt.recoveryJobs =
-                static_cast<unsigned>(std::atoi(need_value(i)));
-            if (opt.recoveryJobs == 0) {
-                std::fprintf(stderr, "--recovery-jobs needs N >= 1\n");
-                usage(2);
-            }
+            opt.recoveryJobs = toolargs::parsePositive("--recovery-jobs",
+                                                       need_value(i),
+                                                       usage);
         } else if (arg == "--recovery-crashes") {
-            opt.recoveryCrashes =
-                static_cast<unsigned>(std::atoi(need_value(i)));
-            if (opt.recoveryCrashes == 0) {
-                std::fprintf(stderr,
-                             "--recovery-crashes needs R >= 1\n");
-                usage(2);
-            }
+            opt.recoveryCrashes = toolargs::parsePositive(
+                "--recovery-crashes", need_value(i), usage);
         } else if (arg == "--sweep-mode") {
             std::string name = need_value(i);
             if (name == "replay") {
@@ -239,9 +232,15 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--faults") {
             opt.faults = true;
         } else if (arg == "--fault-seed") {
-            opt.faultSeed = std::strtoull(need_value(i), nullptr, 10);
-            opt.faults = true;
+            opt.faultSeed =
+                toolargs::parseU64("--fault-seed", need_value(i), usage);
+            opt.faultSeedSet = true;
+        } else if (arg == "--replays") {
+            opt.replays = true;
         } else if (arg == "--integrity") {
+            opt.integrity = true;
+        } else if (arg == "--integrity-tree") {
+            opt.integrityTree = true;
             opt.integrity = true;
         } else if (arg == "--verify") {
             opt.verify = true;
@@ -260,15 +259,14 @@ parseArgs(int argc, char **argv)
     if (opt.verify || opt.crashFrac >= 0 || opt.sweepPoints > 0)
         opt.cfg.wl.recordDigests = true;
     opt.cfg.memctl.integrityMac = opt.integrity;
-    if (opt.faults && opt.sweepPoints == 0) {
-        std::fprintf(stderr, "--faults requires --crash-sweep\n");
-        usage(2);
-    }
-    if (opt.recoveryCrashes > 0 && opt.sweepPoints == 0) {
-        std::fprintf(stderr,
-                     "--recovery-crashes requires --crash-sweep\n");
-        usage(2);
-    }
+    opt.cfg.memctl.integrityTree = opt.integrityTree;
+    toolargs::enforceFlagRules(
+        {{opt.faults, opt.sweepPoints > 0, "--faults", "--crash-sweep"},
+         {opt.recoveryCrashes > 0, opt.sweepPoints > 0,
+          "--recovery-crashes", "--crash-sweep"},
+         {opt.faultSeedSet, opt.faults, "--fault-seed", "--faults"},
+         {opt.replays, opt.faults, "--replays", "--faults"}},
+        usage);
     return opt;
 }
 
@@ -282,7 +280,9 @@ runRecoveryCrashes(const Options &opt)
     rc_opt.recoveryJobs = opt.recoveryJobs;
     rc_opt.jobs = opt.jobs == 0 ? WorkPool::hardwareJobs() : opt.jobs;
     if (opt.faults)
-        rc_opt.faults = FaultSpec::allKinds(opt.faultSeed);
+        rc_opt.faults = opt.replays
+            ? FaultSpec::allKindsWithReplays(opt.faultSeed)
+            : FaultSpec::allKinds(opt.faultSeed);
 
     if (!opt.quiet)
         std::printf("crash-during-recovery sweep: %u images, %u "
@@ -322,7 +322,9 @@ runCrashSweep(const Options &opt)
     sweep_opt.mode = opt.sweepMode;
     sweep_opt.recoveryJobs = opt.recoveryJobs;
     if (opt.faults)
-        sweep_opt.faults = FaultSpec::allKinds(opt.faultSeed);
+        sweep_opt.faults = opt.replays
+            ? FaultSpec::allKindsWithReplays(opt.faultSeed)
+            : FaultSpec::allKinds(opt.faultSeed);
 
     if (!opt.quiet)
         std::printf("sweeping %u crash points (%u jobs, %s mode%s%s): %s\n",
@@ -359,10 +361,27 @@ runCrashSweep(const Options &opt)
                     static_cast<unsigned long long>(
                         result.totalOf(&SweepPoint::unrecoverableLines)),
                     result.detectedPoints(), result.silentPoints());
-        // With integrity armed the invariant is zero silent points;
-        // without it the sweep is informational (the failures are the
-        // expected behavior of unprotected media).
-        return opt.integrity ? (result.silentPoints() == 0 ? 0 : 1) : 0;
+        if (opt.replays)
+            std::printf("replays: %llu replayed lines, %llu caught; "
+                        "%u replay-detected point(s), %u silent-replay "
+                        "point(s)\n",
+                        static_cast<unsigned long long>(
+                            result.totalOf(&SweepPoint::replayedLines)),
+                        static_cast<unsigned long long>(
+                            result.totalOf(&SweepPoint::replaysDetected)),
+                        result.replayDetectedPoints(),
+                        result.silentReplayPoints());
+        // With integrity armed the invariant is zero silent points —
+        // extended to zero silent replays when the tree is on too;
+        // without integrity the sweep is informational (the failures
+        // are the expected behavior of unprotected media).
+        if (!opt.integrity)
+            return 0;
+        if (result.silentPoints() != 0)
+            return 1;
+        if (opt.integrityTree && result.silentReplayPoints() != 0)
+            return 1;
+        return 0;
     }
     return result.inconsistentPoints() == 0 ? 0 : 1;
 }
