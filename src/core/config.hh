@@ -20,14 +20,29 @@ struct SystemConfig
 
     unsigned numCores = 1;
 
+    /**
+     * Memory channels sharding the address space (power of two). Each
+     * channel gets its own controller — counter cache, write queues,
+     * encryption engine, integrity-tree mirror — and its own NVM bank
+     * group and bus; cross-channel persist ordering goes through the
+     * shared PersistSequencer.
+     */
+    unsigned numChannels = 1;
+
     /** Core clock (Table 2: 4.0 GHz out-of-order; modelled in-order). */
     double cpuGHz = 4.0;
 
     /** Private L1/L2 per core (Table 2). */
     CachePathConfig cache;
 
-    /** Controller geometry; counterCacheBytes is per core and scaled
-     *  by numCores at build time (Table 2: "1MB per core, shared"). */
+    /**
+     * Controller geometry. counterCacheBytes is the explicit *total*
+     * counter-cache capacity of the system, split evenly across the
+     * channels at build time. (It is deliberately not scaled by core
+     * count any more: the old `per-core × numCores` rule silently
+     * inflated capacity as cores grew, washing out the FCA/SCA gap at
+     * scale.)
+     */
     MemCtlConfig memctl;
 
     /** PCM timing (Table 2), scalable for the figure-17 sweeps. */

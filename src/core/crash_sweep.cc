@@ -73,7 +73,7 @@ probeRun(const SystemConfig &cfg)
 {
     System sys(cfg);
     SweepProbe probe;
-    sys.controller().setEventHook([&probe](CtlEvent ev) {
+    sys.setCtlEventHook([&probe](CtlEvent ev) {
         ++probe.eventCounts[static_cast<unsigned>(ev)];
     });
     RunResult result = sys.run();

@@ -4,6 +4,7 @@
 
 #include "common/intmath.hh"
 #include "common/logging.hh"
+#include "integrity/integrity_tree.hh"
 #include "runner/runner.hh"
 
 namespace cnvm
@@ -12,18 +13,39 @@ namespace cnvm
 namespace
 {
 
-/** Stride between per-core regions, rounded for clean bank mapping. */
+/** Per-core bank-stagger step (see build(): 33 lines, coprime to the
+ *  bank-interleave period). */
+constexpr Addr bankStaggerStep = Addr(33) * lineBytes;
+
+/**
+ * Stride between per-core regions, rounded for clean bank mapping and
+ * padded so that every core's staggered region still fits inside its
+ * own slot: core i's region starts bankStaggerStep * i past its slot
+ * base, so the slot must absorb the largest stagger or the last cores
+ * would bleed into their neighbours' slots.
+ */
 Addr
-regionStride(const WorkloadParams &wl)
+regionStride(const WorkloadParams &wl, unsigned num_cores)
 {
-    return roundUp(wl.regionBytes, 1ull << 20);
+    Addr max_stagger = Addr(num_cores - 1) * bankStaggerStep;
+    return roundUp(wl.regionBytes + max_stagger, 1ull << 20);
+}
+
+/** Validated interleave map for the configured channel count. */
+ChannelMap
+makeChannelMap(const SystemConfig &cfg)
+{
+    if (!isPowerOfTwo(cfg.numChannels))
+        cnvm_fatal("numChannels must be a nonzero power of two, got %u",
+                   cfg.numChannels);
+    return ChannelMap(cfg.numChannels, cfg.memctl.counterRegionBase);
 }
 
 } // anonymous namespace
 
 System::System(const SystemConfig &cfg_in)
     : cfg(cfg_in),
-      nvmDev(cfg_in.nvm, &registry)
+      nvmDev(cfg_in.nvm, &registry, makeChannelMap(cfg_in))
 {
     cnvm_assert(cfg.numCores >= 1);
     build();
@@ -34,29 +56,77 @@ System::~System() = default;
 void
 System::build()
 {
-    // Table 2: the counter cache is sized per core.
     MemCtlConfig mc = cfg.memctl;
     mc.design = cfg.design;
-    mc.counterCacheBytes = cfg.memctl.counterCacheBytes * cfg.numCores;
-    memCtl = std::make_unique<MemController>(eventq, nvmDev, mc,
-                                             &registry);
+    mc.numChannels = cfg.numChannels;
+    // The configured counter-cache capacity is the explicit system
+    // total; each channel owns an equal slice of it.
+    if (cfg.memctl.counterCacheBytes % cfg.numChannels != 0) {
+        cnvm_fatal("counter cache (%llu B) does not split evenly over "
+                   "%u channels",
+                   static_cast<unsigned long long>(
+                       cfg.memctl.counterCacheBytes),
+                   cfg.numChannels);
+    }
+    mc.counterCacheBytes = cfg.memctl.counterCacheBytes / cfg.numChannels;
+    for (unsigned ch = 0; ch < cfg.numChannels; ++ch) {
+        mc.channelId = ch;
+        memCtls.push_back(std::make_unique<MemController>(
+            eventq, nvmDev, mc, &registry, &sequencer));
+    }
+
+    MemBackend *backend = memCtls.front().get();
+    if (cfg.numChannels > 1) {
+        std::vector<MemBackend *> chans;
+        chans.reserve(memCtls.size());
+        for (auto &ctl : memCtls)
+            chans.push_back(ctl.get());
+        router = std::make_unique<ChannelRouter>(std::move(chans),
+                                                 nvmDev.channelMap());
+        backend = router.get();
+    }
 
     ClockDomain cpu_clock(static_cast<Tick>(1000.0 / cfg.cpuGHz));
 
+    Addr prev_region_end = 0;
     for (unsigned i = 0; i < cfg.numCores; ++i) {
         WorkloadParams wl = cfg.wl;
         // The stagger keeps different cores' hot lines (log headers,
         // metadata) off the same NVM banks: a plain power-of-two
         // stride is a multiple of the bank-interleave period, which
         // would pile every core's log area onto one bank.
-        Addr bank_stagger = Addr(i) * 33 * lineBytes;
-        wl.regionBase = cfg.dataRegionBase + i * regionStride(cfg.wl)
+        Addr bank_stagger = Addr(i) * bankStaggerStep;
+        wl.regionBase = cfg.dataRegionBase
+                      + i * regionStride(cfg.wl, cfg.numCores)
                       + bank_stagger;
+        // Layout guards: a region that reaches into its neighbour (or
+        // past the data half of the address space into the counter
+        // store) would silently corrupt another core's state long
+        // before any crash machinery could notice.
+        if (wl.regionBase < prev_region_end) {
+            cnvm_fatal("core %u region [%#llx, %#llx) overlaps core %u "
+                       "(stride too small for the bank stagger)",
+                       i,
+                       static_cast<unsigned long long>(wl.regionBase),
+                       static_cast<unsigned long long>(wl.regionBase
+                                                       + wl.regionBytes),
+                       i - 1);
+        }
+        prev_region_end = wl.regionBase + wl.regionBytes;
+        if (prev_region_end > cfg.memctl.counterRegionBase) {
+            cnvm_fatal("core %u region [%#llx, %#llx) overflows into "
+                       "the counter region at %#llx",
+                       i,
+                       static_cast<unsigned long long>(wl.regionBase),
+                       static_cast<unsigned long long>(prev_region_end),
+                       static_cast<unsigned long long>(
+                           cfg.memctl.counterRegionBase));
+        }
         wl.seed = cfg.coreSeed(i);
         workloads.push_back(makeWorkload(cfg.workload, wl));
 
         memPaths.push_back(std::make_unique<CoreMemPath>(
-            eventq, cpu_clock, *memCtl, cfg.cache, i, &registry));
+            eventq, cpu_clock, *backend, cfg.cache, i, &registry));
         cores.push_back(std::make_unique<Core>(
             eventq, cpu_clock, *memPaths.back(), *workloads.back(), i,
             &registry));
@@ -71,15 +141,18 @@ System::build()
     }
 
     // Install each workload's initial state consistently: live view,
-    // encrypted image and counters, as a freshly booted system.
+    // encrypted image and counters, as a freshly booted system. Setup
+    // routes each line to its owning channel so the per-channel
+    // counter engines see exactly their shard.
+    const ChannelMap &map = nvmDev.channelMap();
     for (auto &wl : workloads) {
         wl->setup([this](Addr a, const void *d, unsigned s) {
             nvmDev.livePlainStore(
                 a, s, static_cast<const std::uint8_t *>(d));
         });
         wl->shadowMem().forEachLine(
-            [this](Addr addr, const LineData &data) {
-                memCtl->initLine(addr, data);
+            [this, &map](Addr addr, const LineData &data) {
+                memCtls[map.channelOf(addr)]->initLine(addr, data);
             });
     }
     if (cfg.warmCounterCache) {
@@ -89,8 +162,8 @@ System::build()
         // would regress the persisted counters.
         for (auto &wl : workloads) {
             wl->shadowMem().forEachLine(
-                [this](Addr addr, const LineData &) {
-                    memCtl->warmCounterLine(addr);
+                [this, &map](Addr addr, const LineData &) {
+                    memCtls[map.channelOf(addr)]->warmCounterLine(addr);
                 });
         }
     }
@@ -129,6 +202,55 @@ System::run()
     return runInternal();
 }
 
+unsigned
+System::totalReadyEntries() const
+{
+    unsigned n = 0;
+    for (const auto &ctl : memCtls)
+        n += ctl->readyEntryCount();
+    return n;
+}
+
+std::vector<AdrCut>
+System::adrCuts(unsigned drop) const
+{
+    std::vector<ChannelReady> ready(memCtls.size());
+    for (std::size_t c = 0; c < memCtls.size(); ++c) {
+        ready[c].dataSeqs = memCtls[c]->readyDataSeqs();
+        ready[c].ctrSeqs = memCtls[c]->readyCtrSeqs();
+    }
+    return computeDrainKeeps(ready, drop);
+}
+
+void
+System::crashChannels(unsigned adr_drop_tail)
+{
+    // Global ADR drain: translate the drop into per-channel keep
+    // prefixes of the shared sequence order, drain each channel, then
+    // rebuild the integrity tree once over the merged image — the
+    // root persists last *globally*, after every channel's counters.
+    std::vector<AdrCut> cuts = adrCuts(adr_drop_tail);
+    for (std::size_t c = 0; c < memCtls.size(); ++c)
+        memCtls[c]->crashWithCut(cuts[c]);
+    if (controller().config().integrityTree) {
+        rebuildTree(nvmDev.persistedState(),
+                    controller().config().counterRegionBase, 0,
+                    ~Addr(0));
+    }
+}
+
+void
+System::captureChannels(PersistImage &img, unsigned drop) const
+{
+    std::vector<AdrCut> cuts = adrCuts(drop);
+    for (std::size_t c = 0; c < memCtls.size(); ++c)
+        memCtls[c]->captureCrashStateWithCut(img, cuts[c]);
+    if (controller().config().integrityTree) {
+        rebuildTree(img, controller().config().counterRegionBase, 0,
+                    ~Addr(0));
+    }
+}
+
 void
 System::doCrash()
 {
@@ -137,27 +259,36 @@ System::doCrash()
 
     snapshot.valid = true;
     snapshot.tick = eventq.curTick();
-    snapshot.dataQueue = memCtl->dataQueueOccupancy();
-    snapshot.ctrQueue = memCtl->ctrQueueOccupancy();
-    snapshot.landing = memCtl->landingDepth();
-    snapshot.pipeline = memCtl->pipelineDepth();
-    snapshot.inflight = memCtl->inflightDepth();
-    snapshot.outstandingReads = memCtl->outstandingReadCount();
+    snapshot.dataQueue = 0;
+    snapshot.ctrQueue = 0;
+    snapshot.landing = 0;
+    snapshot.pipeline = 0;
+    snapshot.inflight = 0;
+    snapshot.outstandingReads = 0;
+    for (const auto &ctl : memCtls) {
+        snapshot.dataQueue += ctl->dataQueueOccupancy();
+        snapshot.ctrQueue += ctl->ctrQueueOccupancy();
+        snapshot.landing += ctl->landingDepth();
+        snapshot.pipeline += ctl->pipelineDepth();
+        snapshot.inflight += ctl->inflightDepth();
+        snapshot.outstandingReads += ctl->outstandingReadCount();
+    }
 
     for (auto &core : cores)
         core->halt();
     for (auto &path : memPaths)
         path->dropAll();
     if (activeSpec.faults.any()) {
-        // Same order as fork capture: draw the ADR energy loss, drain
-        // under that budget, then corrupt the persisted image.
+        // Same order as fork capture: draw the ADR energy loss over
+        // the global ready population, drain under that budget, then
+        // corrupt the persisted image.
         FaultModel fm(activeSpec.faults,
-                      memCtl->config().counterRegionBase);
-        unsigned drop = fm.adrDropCount(memCtl->readyEntryCount());
-        memCtl->crash(drop);
+                      controller().config().counterRegionBase);
+        unsigned drop = fm.adrDropCount(totalReadyEntries());
+        crashChannels(drop);
         fm.applyMediaFaults(nvmDev.persistedState());
     } else {
-        memCtl->crash();
+        crashChannels();
     }
     eventq.requestStop();
 }
@@ -175,7 +306,7 @@ System::runWithCrash(const CrashSpec &spec)
     injector = std::make_unique<CrashInjector>(eventq, spec,
                                                [this]() { doCrash(); });
     if (ctlEventFor(spec.kind)) {
-        memCtl->setEventHook(
+        setCtlEventHook(
             [this](CtlEvent ev) { injector->onCtlEvent(ev); });
     }
     injector->start();
@@ -188,26 +319,35 @@ System::captureFork(const CrashSpec &spec) const
     PersistFork fork;
     fork.snapshot.valid = true;
     fork.snapshot.tick = eventq.curTick();
-    fork.snapshot.dataQueue = memCtl->dataQueueOccupancy();
-    fork.snapshot.ctrQueue = memCtl->ctrQueueOccupancy();
-    fork.snapshot.landing = memCtl->landingDepth();
-    fork.snapshot.pipeline = memCtl->pipelineDepth();
-    fork.snapshot.inflight = memCtl->inflightDepth();
-    fork.snapshot.outstandingReads = memCtl->outstandingReadCount();
+    fork.snapshot.dataQueue = 0;
+    fork.snapshot.ctrQueue = 0;
+    fork.snapshot.landing = 0;
+    fork.snapshot.pipeline = 0;
+    fork.snapshot.inflight = 0;
+    fork.snapshot.outstandingReads = 0;
+    for (const auto &ctl : memCtls) {
+        fork.snapshot.dataQueue += ctl->dataQueueOccupancy();
+        fork.snapshot.ctrQueue += ctl->ctrQueueOccupancy();
+        fork.snapshot.landing += ctl->landingDepth();
+        fork.snapshot.pipeline += ctl->pipelineDepth();
+        fork.snapshot.inflight += ctl->inflightDepth();
+        fork.snapshot.outstandingReads += ctl->outstandingReadCount();
+    }
 
     // Persisted state as a crash here would leave it: the device's
-    // image, then the ADR drain of the controller's ready queue
+    // image, then the global ADR drain of every channel's ready queue
     // entries overlaid on the copy, then the spec's fault dose — the
     // same draw order as doCrash(), so Replay and Fork corrupt
     // identically. The trunk's own image stays untouched.
     fork.image = nvmDev.persistedState();
     if (spec.faults.any()) {
-        FaultModel fm(spec.faults, memCtl->config().counterRegionBase);
-        unsigned drop = fm.adrDropCount(memCtl->readyEntryCount());
-        memCtl->captureCrashState(fork.image, drop);
+        FaultModel fm(spec.faults,
+                      controller().config().counterRegionBase);
+        unsigned drop = fm.adrDropCount(totalReadyEntries());
+        captureChannels(fork.image, drop);
         fm.applyMediaFaults(fork.image);
     } else {
-        memCtl->captureCrashState(fork.image);
+        captureChannels(fork.image, 0);
     }
 
     // Digest logs snapshot: the trunk keeps committing after the
@@ -235,7 +375,7 @@ System::runWithForkCapture(const std::vector<CrashSpec> &specs,
             sink(i, std::move(fork));
         });
     if (semantic) {
-        memCtl->setEventHook(
+        setCtlEventHook(
             [this](CtlEvent ev) { injector->onCtlEvent(ev); });
     }
     injector->start();
@@ -254,7 +394,7 @@ System::recoverAll(unsigned recovery_jobs)
         ropt.pool = pool.get();
     }
 
-    RecoveryEngine engine(nvmDev, *memCtl);
+    RecoveryEngine engine(nvmDev, controller());
     std::vector<RecoveryReport> reports;
     reports.reserve(workloads.size());
     for (auto &wl : workloads)
@@ -272,7 +412,7 @@ System::examineAll(unsigned recovery_jobs)
         ropt.pool = pool.get();
     }
 
-    CrashOracle oracle(nvmDev, *memCtl);
+    CrashOracle oracle(nvmDev, controller());
     std::vector<OracleReport> reports;
     reports.reserve(workloads.size());
     for (auto &wl : workloads)
@@ -305,12 +445,24 @@ System::throughputTxnPerSec() const
 double
 System::counterCacheMissRate() const
 {
-    const stats::Stat *hits = registry.find("ctrcache.read_hits");
-    const stats::Stat *misses = registry.find("ctrcache.read_misses");
-    if (hits == nullptr || misses == nullptr)
+    double hit_count = 0.0;
+    double miss_count = 0.0;
+    bool found = false;
+    for (unsigned c = 0; c < cfg.numChannels; ++c) {
+        std::string prefix =
+            c == 0 ? "ctrcache." : "ctrcache.ch" + std::to_string(c) + ".";
+        const stats::Stat *hits = registry.find(prefix + "read_hits");
+        const stats::Stat *misses = registry.find(prefix + "read_misses");
+        if (hits == nullptr || misses == nullptr)
+            continue;
+        found = true;
+        hit_count += hits->value();
+        miss_count += misses->value();
+    }
+    if (!found)
         return 0.0;
-    double total = hits->value() + misses->value();
-    return total == 0.0 ? 0.0 : misses->value() / total;
+    double total = hit_count + miss_count;
+    return total == 0.0 ? 0.0 : miss_count / total;
 }
 
 std::string
@@ -318,8 +470,10 @@ System::describe() const
 {
     std::ostringstream os;
     os << designName(cfg.design) << ", " << cfg.numCores << " core(s), "
+       << cfg.numChannels << " channel(s), "
        << workloadKindName(cfg.workload) << ", "
-       << (cfg.memctl.counterCacheBytes >> 10) << "KB counter cache/core, "
+       << (cfg.memctl.counterCacheBytes >> 10)
+       << "KB counter cache total, "
        << cfg.memctl.dataWqEntries << "/" << cfg.memctl.ctrWqEntries
        << " data/counter WQ entries";
     return os.str();

@@ -26,8 +26,10 @@
 #include "core/persist_fork.hh"
 #include "core/recovery.hh"
 #include "cpu/core.hh"
+#include "mem/channel_router.hh"
 #include "mem/core_mem_path.hh"
 #include "memctl/mem_controller.hh"
+#include "memctl/persist_sequencer.hh"
 #include "nvm/nvm_device.hh"
 #include "sim/eventq.hh"
 #include "stats/stats.hh"
@@ -128,8 +130,50 @@ class System
     double counterCacheMissRate() const;
 
     stats::StatRegistry &statsRegistry() { return registry; }
-    MemController &controller() { return *memCtl; }
-    const MemController &controller() const { return *memCtl; }
+
+    /** Channel 0's controller — the configuration reference every
+     *  channel shares (recovery and the oracle read only immutable
+     *  config and address-space helpers from it). */
+    MemController &controller() { return *memCtls.front(); }
+    const MemController &controller() const { return *memCtls.front(); }
+
+    /** A specific channel's controller. */
+    MemController &controller(unsigned channel)
+    { return *memCtls.at(channel); }
+    const MemController &controller(unsigned channel) const
+    { return *memCtls.at(channel); }
+
+    unsigned numChannels() const { return cfg.numChannels; }
+
+    /**
+     * Installs a semantic-event observer on *every* channel (events
+     * from all channels funnel into one hook; the single-threaded
+     * event loop keeps their order deterministic). The sweep's probe
+     * census and the crash injector go through here — hooking only
+     * channel 0 would blind them to the other channels' activity.
+     */
+    void
+    setCtlEventHook(std::function<void(CtlEvent)> hook)
+    {
+        for (auto &ctl : memCtls)
+            ctl->setEventHook(hook);
+    }
+
+    /**
+     * Models a power failure across all channels right now, outside
+     * the event loop: computes the global ADR cut over every
+     * channel's ready entries, drains each channel's keep-prefix, and
+     * (with the integrity tree on) rebuilds the tree over the merged
+     * image last — the cross-channel "root persists last globally"
+     * contract. The clean-shutdown image check in the CLI uses this
+     * with the default full budget.
+     *
+     * @param adr_drop_tail ready entries lost off the tail of the
+     *        global drain order (energy exhaustion), as for
+     *        MemController::crash().
+     */
+    void crashChannels(unsigned adr_drop_tail = 0);
+
     NvmDevice &nvm() { return nvmDev; }
     const NvmDevice &nvm() const { return nvmDev; }
     Workload &workload(unsigned core) { return *workloads.at(core); }
@@ -147,7 +191,17 @@ class System
     EventQueue eventq;
     stats::StatRegistry registry;
     NvmDevice nvmDev;
-    std::unique_ptr<MemController> memCtl;
+
+    /** Shared persist-order source across every channel's queues. */
+    PersistSequencer sequencer;
+
+    /** One controller per channel; index == channel id. */
+    std::vector<std::unique_ptr<MemController>> memCtls;
+
+    /** Address-interleaved fan-out (only built when numChannels > 1;
+     *  a single channel wires the paths straight to the controller). */
+    std::unique_ptr<ChannelRouter> router;
+
     std::vector<std::unique_ptr<Workload>> workloads;
     std::vector<std::unique_ptr<CoreMemPath>> memPaths;
     std::vector<std::unique_ptr<Core>> cores;
@@ -163,6 +217,16 @@ class System
     void build();
     void doCrash();
     RunResult runInternal();
+
+    /** Ready (ADR-eligible) entries across every channel. */
+    unsigned totalReadyEntries() const;
+
+    /** The global ADR cut for @p drop lost entries, per channel. */
+    std::vector<AdrCut> adrCuts(unsigned drop) const;
+
+    /** Fork-capture twin of crashChannels(): overlays each channel's
+     *  keep-prefix drain on @p img, then rebuilds the tree globally. */
+    void captureChannels(PersistImage &img, unsigned drop) const;
 
     /** Deep-copies the crash closure of the current instant (see
      *  PersistFork): persisted image + ADR overlay + @p spec's fault

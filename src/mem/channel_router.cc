@@ -1,0 +1,73 @@
+#include "mem/channel_router.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace cnvm
+{
+
+ChannelRouter::ChannelRouter(std::vector<MemBackend *> channels_in,
+                             ChannelMap map_in)
+    : channels(std::move(channels_in)), map(map_in)
+{
+    cnvm_assert(!channels.empty());
+    cnvm_assert(channels.size() == map.channels);
+    for (MemBackend *ch : channels)
+        cnvm_assert(ch != nullptr);
+}
+
+MemBackend &
+ChannelRouter::channelFor(Addr addr) const
+{
+    return *channels[map.channelOf(addr)];
+}
+
+void
+ChannelRouter::issueRead(Addr addr, unsigned core_id, ReadCallback done)
+{
+    channelFor(addr).issueRead(addr, core_id, std::move(done));
+}
+
+bool
+ChannelRouter::tryWrite(const WriteReq &req)
+{
+    return channelFor(req.addr).tryWrite(req);
+}
+
+bool
+ChannelRouter::tryCtrWriteback(Addr data_line_addr,
+                               std::function<void()> accepted)
+{
+    // The counter line covering a data line is owned by the same
+    // channel as the data line (ChannelMap co-location), so routing
+    // by the data address reaches the right counter shard.
+    return channelFor(data_line_addr)
+        .tryCtrWriteback(data_line_addr, std::move(accepted));
+}
+
+void
+ChannelRouter::registerRetry(std::function<void()> retry)
+{
+    // Fan the kick out: whichever channel frees queue space first
+    // wakes the path. Spurious wakeups are no-ops by the retry
+    // protocol's contract.
+    for (std::size_t i = 0; i + 1 < channels.size(); ++i)
+        channels[i]->registerRetry(retry);
+    channels.back()->registerRetry(std::move(retry));
+}
+
+LineData
+ChannelRouter::functionalRead(Addr addr) const
+{
+    return channelFor(addr).functionalRead(addr);
+}
+
+void
+ChannelRouter::functionalStore(Addr addr, unsigned size,
+                               const std::uint8_t *bytes)
+{
+    channelFor(addr).functionalStore(addr, size, bytes);
+}
+
+} // namespace cnvm

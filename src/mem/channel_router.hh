@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fans a core's memory traffic out to the owning memory channel.
+ *
+ * One router instance sits between all CoreMemPaths and the N
+ * per-channel MemControllers; every request is forwarded to the
+ * channel that owns its address under the ChannelMap, so a channel
+ * never sees an address outside its shard. Retry registrations are
+ * forwarded to every channel: CoreMemPath::drainStalled() is a no-op
+ * when nothing is stalled and re-registers itself while the head
+ * still fails, so a retry kick from the "wrong" channel is harmless —
+ * and a stalled path cannot know which channel will free space first.
+ */
+
+#ifndef CNVM_MEM_CHANNEL_ROUTER_HH
+#define CNVM_MEM_CHANNEL_ROUTER_HH
+
+#include <vector>
+
+#include "mem/channel_map.hh"
+#include "mem/mem_backend.hh"
+
+namespace cnvm
+{
+
+class ChannelRouter : public MemBackend
+{
+  public:
+    ChannelRouter(std::vector<MemBackend *> channels_in, ChannelMap map);
+
+    void issueRead(Addr addr, unsigned core_id,
+                   ReadCallback done) override;
+    bool tryWrite(const WriteReq &req) override;
+    bool tryCtrWriteback(Addr data_line_addr,
+                         std::function<void()> accepted) override;
+    void registerRetry(std::function<void()> retry) override;
+    LineData functionalRead(Addr addr) const override;
+    void functionalStore(Addr addr, unsigned size,
+                         const std::uint8_t *bytes) override;
+
+  private:
+    std::vector<MemBackend *> channels;
+    ChannelMap map;
+
+    MemBackend &channelFor(Addr addr) const;
+};
+
+} // namespace cnvm
+
+#endif // CNVM_MEM_CHANNEL_ROUTER_HH

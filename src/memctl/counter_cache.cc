@@ -7,13 +7,17 @@ namespace cnvm
 {
 
 CounterCache::CounterCache(std::uint64_t size_bytes, unsigned assoc,
-                           stats::StatRegistry *registry)
+                           stats::StatRegistry *registry,
+                           const std::string &stat_prefix,
+                           unsigned index_shift)
     : ways(assoc),
-      readHits("ctrcache.read_hits", "counter cache read hits"),
-      readMisses("ctrcache.read_misses", "counter cache read misses"),
-      writeHits("ctrcache.write_hits", "counter cache write hits"),
-      writeMisses("ctrcache.write_misses", "counter cache write misses"),
-      dirtyEvictions("ctrcache.dirty_evictions",
+      indexShift(index_shift),
+      readHits(stat_prefix + "read_hits", "counter cache read hits"),
+      readMisses(stat_prefix + "read_misses", "counter cache read misses"),
+      writeHits(stat_prefix + "write_hits", "counter cache write hits"),
+      writeMisses(stat_prefix + "write_misses",
+                  "counter cache write misses"),
+      dirtyEvictions(stat_prefix + "dirty_evictions",
                      "dirty counter lines displaced")
 {
     cnvm_assert(assoc > 0);
@@ -37,7 +41,7 @@ CounterCache::CounterCache(std::uint64_t size_bytes, unsigned assoc,
 std::uint64_t
 CounterCache::setIndex(Addr addr) const
 {
-    return (addr / lineBytes) & (numSets - 1);
+    return ((addr / lineBytes) >> indexShift) & (numSets - 1);
 }
 
 CounterCacheLine *

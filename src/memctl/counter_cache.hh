@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
@@ -48,12 +49,23 @@ class CounterCache
 {
   public:
     /**
-     * @param size_bytes capacity; each entry models lineBytes of
-     *                   counter storage
-     * @param assoc      ways (paper: 16)
+     * @param size_bytes  capacity; each entry models lineBytes of
+     *                    counter storage
+     * @param assoc       ways (paper: 16)
+     * @param stat_prefix stat-name prefix; per-channel caches register
+     *                    under distinct prefixes ("ctrcache.ch1." ...)
+     * @param index_shift line-index bits dropped before set selection.
+     *                    A channel-sharded cache only ever sees line
+     *                    indices whose low log2(channels) bits equal
+     *                    its channel id; indexing with them in place
+     *                    would strand all but numSets/channels sets.
+     *                    Pass log2(channels) to fold the constant bits
+     *                    out (0 for an unsharded cache).
      */
     CounterCache(std::uint64_t size_bytes, unsigned assoc,
-                 stats::StatRegistry *registry);
+                 stats::StatRegistry *registry,
+                 const std::string &stat_prefix = "ctrcache.",
+                 unsigned index_shift = 0);
 
     /** Looks up a counter line; on hit refreshes LRU. */
     CounterCacheLine *access(Addr ctr_line_addr);
@@ -92,6 +104,7 @@ class CounterCache
   private:
     std::uint64_t numSets;
     unsigned ways;
+    unsigned indexShift = 0;
     std::uint64_t nextStamp = 1;
     std::vector<CounterCacheLine> lines;
 

@@ -10,44 +10,74 @@
 namespace cnvm
 {
 
+namespace
+{
+
+/**
+ * Stat-name prefix for a channel. Channel 0 keeps the legacy flat
+ * names so single-channel stat dumps (and everything keyed on them)
+ * are byte-identical to the pre-channel controller.
+ */
+std::string
+ctlStatPrefix(const MemCtlConfig &cfg)
+{
+    if (cfg.channelId == 0)
+        return "memctl.";
+    return "memctl.ch" + std::to_string(cfg.channelId) + ".";
+}
+
+std::string
+ccStatPrefix(const MemCtlConfig &cfg)
+{
+    if (cfg.channelId == 0)
+        return "ctrcache.";
+    return "ctrcache.ch" + std::to_string(cfg.channelId) + ".";
+}
+
+} // namespace
+
 MemController::MemController(EventQueue &eq, NvmDevice &nvm,
                              const MemCtlConfig &cfg,
-                             stats::StatRegistry *registry)
-    : dataInserts("memctl.data_inserts", "data write-queue insertions"),
-      ctrInserts("memctl.ctr_inserts", "counter write-queue insertions"),
-      ctrCoalesces("memctl.ctr_coalesces",
+                             stats::StatRegistry *registry,
+                             PersistSequencer *sequencer_in)
+    : dataInserts(ctlStatPrefix(cfg) + "data_inserts",
+                  "data write-queue insertions"),
+      ctrInserts(ctlStatPrefix(cfg) + "ctr_inserts",
+                 "counter write-queue insertions"),
+      ctrCoalesces(ctlStatPrefix(cfg) + "ctr_coalesces",
                    "counter writes merged into pending entries"),
-      dataCoalesces("memctl.data_coalesces",
+      dataCoalesces(ctlStatPrefix(cfg) + "data_coalesces",
                     "data writes merged into pending entries"),
-      writeRejects("memctl.write_rejects",
+      writeRejects(ctlStatPrefix(cfg) + "write_rejects",
                    "writes refused for lack of queue space"),
-      readForwards("memctl.read_forwards",
+      readForwards(ctlStatPrefix(cfg) + "read_forwards",
                    "reads served from the data write queue"),
-      atomicPairs("memctl.atomic_pairs",
+      atomicPairs(ctlStatPrefix(cfg) + "atomic_pairs",
                   "counter-atomic data/counter pairs enforced"),
-      pairBlocks("memctl.pair_blocks",
+      pairBlocks(ctlStatPrefix(cfg) + "pair_blocks",
                  "writes blocked behind an incomplete pair on the same "
                  "counter line (Figure 7a serialization)"),
-      ccFillReads("memctl.cc_fill_reads",
+      ccFillReads(ctlStatPrefix(cfg) + "cc_fill_reads",
                   "NVM reads issued to fill the counter cache"),
-      crashDroppedData("memctl.crash_dropped_data",
+      crashDroppedData(ctlStatPrefix(cfg) + "crash_dropped_data",
                        "unready data entries dropped at power failure"),
-      crashDroppedCtr("memctl.crash_dropped_ctr",
+      crashDroppedCtr(ctlStatPrefix(cfg) + "crash_dropped_ctr",
                       "unready counter entries dropped at power failure"),
-      ctrwbNoops("memctl.ctrwb_noops",
+      ctrwbNoops(ctlStatPrefix(cfg) + "ctrwb_noops",
                  "counter_cache_writeback calls that had nothing to do"),
-      treeLeafUpdates("memctl.tree_leaf_updates",
+      treeLeafUpdates(ctlStatPrefix(cfg) + "tree_leaf_updates",
                       "integrity-tree leaves dirtied by counter persists"),
-      treeCoalesces("memctl.tree_coalesces",
+      treeCoalesces(ctlStatPrefix(cfg) + "tree_coalesces",
                     "leaf updates absorbed by an already-dirty node"),
-      treeNodeWrites("memctl.tree_node_writes",
+      treeNodeWrites(ctlStatPrefix(cfg) + "tree_node_writes",
                      "integrity-tree nodes written back to the device"),
-      treeFlushes("memctl.tree_flushes",
+      treeFlushes(ctlStatPrefix(cfg) + "tree_flushes",
                   "batched epoch write-backs of the dirty tree set"),
       eventq(eq),
       nvm(nvm),
       cfg(cfg),
       ctrEngine(cfg.key.data()),
+      sequencer(sequencer_in != nullptr ? sequencer_in : &ownSequencer),
       maxInflightWrites(nvm.timing().numBanks)
 {
     // The tree authenticates the counter store; without the per-line
@@ -55,9 +85,19 @@ MemController::MemController(EventQueue &eq, NvmDevice &nvm,
     // so the tree axis implies the MAC axis.
     if (this->cfg.integrityTree)
         this->cfg.integrityMac = true;
+    cnvm_assert(isPowerOfTwo(cfg.numChannels));
+    cnvm_assert(cfg.channelId < cfg.numChannels);
     if (designHasCounterCache(cfg.design)) {
+        // Fold the channel-id bits out of the set index: this shard
+        // only sees counter-line indices ≡ channelId (mod channels),
+        // and indexing with those constant bits in place would strand
+        // all but numSets/channels of the sets.
+        unsigned index_shift = 0;
+        while ((1u << index_shift) < cfg.numChannels)
+            ++index_shift;
         counterCache = std::make_unique<CounterCache>(
-            cfg.counterCacheBytes, cfg.counterCacheAssoc, registry);
+            cfg.counterCacheBytes, cfg.counterCacheAssoc, registry,
+            ccStatPrefix(cfg), index_shift);
     }
     // The queue indexes are bounded by the queue capacities; sizing
     // their tables up front keeps rehashing out of the hot path.
@@ -101,6 +141,14 @@ MemController::counterSlot(Addr data_line_addr) const
 {
     return static_cast<unsigned>((data_line_addr / lineBytes)
                                  % countersPerLine);
+}
+
+unsigned
+MemController::ctrLineChannel(Addr ctr_line_addr) const
+{
+    return static_cast<unsigned>(
+        ((ctr_line_addr - cfg.counterRegionBase) / lineBytes)
+        & (cfg.numChannels - 1));
 }
 
 // ----------------------------------------------------------------------
@@ -702,7 +750,7 @@ MemController::landDataWrite(const WriteReq &req, std::uint64_t counter,
     } else {
         dataQ.push_back(DataEntry{});
         entry = &dataQ.back();
-        entry->seq = nextSeq++;
+        entry->seq = sequencer->acquire();
         entry->addr = req.addr;
         entry->cipher = cipher;
         entry->counter = counter;
@@ -787,7 +835,7 @@ MemController::enqueueCtrValues(Addr ctr_addr, const CounterLine &values,
     }
 
     CtrEntry entry;
-    entry.seq = nextSeq++;
+    entry.seq = sequencer->acquire();
     entry.addr = ctr_addr;
     entry.values = values;
     entry.ready = true;
@@ -919,11 +967,14 @@ MemController::flushTreeEpoch()
     }
     bytes += 8 * nodes;
 
-    // One batched burst into the tree region above the counter store.
-    // The traffic (and the bank time it occupies) is the overhead the
-    // tree_overhead bench rows measure against MAC-only designs.
-    nvm.scheduleWrite(cfg.counterRegionBase * 2, eventq.curTick(),
-                      static_cast<unsigned>(bytes));
+    // One batched burst into the tree region above the counter store —
+    // at this channel's own slot, so the flush occupies this channel's
+    // bank group and bus, not channel 0's. The traffic (and the bank
+    // time it occupies) is the overhead the tree_overhead bench rows
+    // measure against MAC-only designs.
+    nvm.scheduleWrite(cfg.counterRegionBase * 2
+                          + Addr(cfg.channelId) * lineBytes,
+                      eventq.curTick(), static_cast<unsigned>(bytes));
     treeNodeWrites += static_cast<double>(nodes);
     ++treeFlushes;
     dirtyTreeLeaves.clear();
@@ -1211,27 +1262,78 @@ MemController::readyEntryCount() const
     return n;
 }
 
+std::vector<std::uint64_t>
+MemController::readyDataSeqs() const
+{
+    std::vector<std::uint64_t> seqs;
+    seqs.reserve(dataQ.size());
+    for (const DataEntry &entry : dataQ) {
+        if (entry.ready)
+            seqs.push_back(entry.seq);
+    }
+    return seqs;
+}
+
+std::vector<std::uint64_t>
+MemController::readyCtrSeqs() const
+{
+    std::vector<std::uint64_t> seqs;
+    seqs.reserve(ctrQ.size());
+    for (const CtrEntry &entry : ctrQ) {
+        if (entry.ready && entry.pendingPartners == 0)
+            seqs.push_back(entry.seq);
+    }
+    return seqs;
+}
+
+AdrCut
+MemController::cutFor(unsigned adr_drop_tail) const
+{
+    unsigned ready_data = 0;
+    for (const DataEntry &entry : dataQ)
+        ready_data += entry.ready;
+    unsigned ready_ctr = readyEntryCount() - ready_data;
+
+    unsigned budget = ready_data + ready_ctr;
+    budget -= std::min(adr_drop_tail, budget);
+
+    AdrCut cut;
+    cut.dataKeep = std::min(budget, ready_data);
+    cut.ctrKeep = budget - cut.dataKeep;
+    cut.flushTree = true;
+    return cut;
+}
+
 void
 MemController::captureCrashState(PersistImage &img,
                                  unsigned adr_drop_tail) const
 {
-    // Same ADR semantics and the same order as crash(): every ready
-    // data entry in queue (age) order, then every fully-paired ready
-    // counter entry — the order matters for the co-located designs,
-    // whose data drains read-modify-write the counter store. An
-    // energy-exhaustion fault loses the tail of this order.
-    unsigned budget = readyEntryCount();
-    budget -= std::min(adr_drop_tail, budget);
+    captureCrashStateWithCut(img, cutFor(adr_drop_tail));
+}
+
+void
+MemController::captureCrashStateWithCut(PersistImage &img,
+                                        const AdrCut &cut) const
+{
+    // Same ADR semantics and the same order as the crash path: every
+    // kept ready data entry in queue (age) order, then every kept
+    // fully-paired ready counter entry — the order matters for the
+    // co-located designs, whose data drains read-modify-write the
+    // counter store. An energy-exhaustion fault loses the tail of the
+    // *global* drain order, which computeDrainKeeps has already
+    // translated into the per-channel keep prefixes of @p cut.
+    unsigned data_keep = cut.dataKeep;
+    unsigned ctr_keep = cut.ctrKeep;
     for (const DataEntry &entry : dataQ) {
-        if (entry.ready && budget > 0) {
+        if (entry.ready && data_keep > 0) {
             persistDataEntryTo(img, entry);
-            --budget;
+            --data_keep;
         }
     }
     for (const CtrEntry &entry : ctrQ) {
-        if (entry.ready && entry.pendingPartners == 0 && budget > 0) {
+        if (entry.ready && entry.pendingPartners == 0 && ctr_keep > 0) {
             img.drainCounters(entry.addr, entry.values);
-            --budget;
+            --ctr_keep;
         }
     }
 
@@ -1241,8 +1343,10 @@ MemController::captureCrashState(PersistImage &img,
     // modeled as a rebuild from the image's own store — crucially
     // *after* the drain overlay above, and before the fault model gets
     // its turn, which is why a replayed counter word can never agree
-    // with the persisted tree.
-    if (cfg.integrityTree)
+    // with the persisted tree. Multi-channel callers clear flushTree
+    // and rebuild once over the merged image after *every* channel has
+    // drained, so the root is globally last.
+    if (cut.flushTree && cfg.integrityTree)
         rebuildTree(img, cfg.counterRegionBase, 0, ~Addr(0));
 }
 
@@ -1337,27 +1441,33 @@ MemController::warmCounterLine(Addr data_line_addr)
 void
 MemController::crash(unsigned adr_drop_tail)
 {
-    // ADR: drain exactly the ready entries (section 5.2.2, steps 4-5).
-    // An injected energy-exhaustion fault (adr_drop_tail > 0) loses
-    // the tail of the drain order; the lost entries count as dropped.
-    unsigned budget = readyEntryCount();
-    budget -= std::min(adr_drop_tail, budget);
+    crashWithCut(cutFor(adr_drop_tail));
+}
+
+void
+MemController::crashWithCut(const AdrCut &cut)
+{
+    // ADR: drain exactly the kept ready entries (section 5.2.2, steps
+    // 4-5). An injected energy-exhaustion fault loses the tail of the
+    // global drain order; this channel's lost entries count as dropped.
+    unsigned data_keep = cut.dataKeep;
+    unsigned ctr_keep = cut.ctrKeep;
     for (const DataEntry &entry : dataQ) {
-        if (entry.ready && budget > 0) {
+        if (entry.ready && data_keep > 0) {
             // Raw persistence, not persistDataEntry(): the lazy tree
             // hooks stay out of the dying drain — the full tree flush
             // below covers everything, exactly as in
             // captureCrashState().
             persistDataEntryTo(nvm.persistedState(), entry);
-            --budget;
+            --data_keep;
         } else {
             ++crashDroppedData;
         }
     }
     for (const CtrEntry &entry : ctrQ) {
-        if (entry.ready && entry.pendingPartners == 0 && budget > 0) {
+        if (entry.ready && entry.pendingPartners == 0 && ctr_keep > 0) {
             nvm.drainCounters(entry.addr, entry.values);
-            --budget;
+            --ctr_keep;
         } else {
             ++crashDroppedCtr;
         }
@@ -1365,8 +1475,10 @@ MemController::crash(unsigned adr_drop_tail)
 
     // The ADR budget's last act: flush the integrity tree, root last
     // (see captureCrashState for why this is a rebuild from the
-    // post-drain store, and why it precedes any injected fault).
-    if (cfg.integrityTree)
+    // post-drain store, and why it precedes any injected fault). The
+    // multi-channel coordinator clears flushTree and rebuilds globally
+    // once all channels have drained.
+    if (cut.flushTree && cfg.integrityTree)
         rebuildTree(nvm.persistedState(), cfg.counterRegionBase, 0,
                     ~Addr(0));
 
@@ -1401,6 +1513,10 @@ MemController::crash(unsigned adr_drop_tail)
     currentCounter.clear();
     globalCounter = 0;
     for (const auto &[ctr_addr, values] : nvm.persistedCounterLines()) {
+        // The image is shared across channels; this channel's engine
+        // only rebuilds the counters of the lines it owns.
+        if (ctrLineChannel(ctr_addr) != cfg.channelId)
+            continue;
         std::uint64_t first_line =
             (ctr_addr - cfg.counterRegionBase) / lineBytes
             * countersPerLine;

@@ -32,6 +32,7 @@
 #include "mem/mem_backend.hh"
 #include "memctl/counter_cache.hh"
 #include "memctl/design.hh"
+#include "memctl/persist_sequencer.hh"
 #include "nvm/nvm_device.hh"
 #include "sim/eventq.hh"
 #include "stats/stats.hh"
@@ -78,8 +79,23 @@ struct MemCtlConfig
     unsigned dataWqEntries = 64;
     unsigned ctrWqEntries = 16;
 
+    /**
+     * Counter-cache capacity of *this controller instance*. At the
+     * System level MemCtlConfig::counterCacheBytes is the explicit
+     * total across all channels (it no longer scales with core count);
+     * System splits it evenly per channel before construction.
+     */
     std::uint64_t counterCacheBytes = 1ull << 20;
     unsigned counterCacheAssoc = 16;
+
+    /**
+     * Multi-channel identity: how many channels shard the address
+     * space, and which shard this controller owns. Channel 0 keeps
+     * the legacy stat names ("memctl.*", "ctrcache.*"); higher
+     * channels register under "memctl.chN.*" / "ctrcache.chN.*".
+     */
+    unsigned numChannels = 1;
+    unsigned channelId = 0;
 
     /** AES engine latency for OTP generation (Table 2: 40 ns). */
     Tick encLatency = nsToTicks(40);
@@ -171,8 +187,14 @@ struct MemCtlConfig
 class MemController : public MemBackend
 {
   public:
+    /**
+     * @param sequencer shared cross-channel persist-order source; null
+     *        (single-channel and unit-test construction) gives the
+     *        controller a private sequencer with identical numbering.
+     */
     MemController(EventQueue &eq, NvmDevice &nvm, const MemCtlConfig &cfg,
-                  stats::StatRegistry *registry);
+                  stats::StatRegistry *registry,
+                  PersistSequencer *sequencer = nullptr);
 
     // ------------------------------------------------------------------
     // MemBackend interface (cache-side)
@@ -220,6 +242,36 @@ class MemController : public MemBackend
      */
     void captureCrashState(PersistImage &img,
                            unsigned adr_drop_tail = 0) const;
+
+    /**
+     * The single-channel ADR cut for @p adr_drop_tail dropped entries:
+     * all ready data entries first, then fully-paired ready counter
+     * entries, losing the tail. crash()/captureCrashState() are
+     * exactly crashWithCut(cutFor(n)) / captureCrashStateWithCut().
+     */
+    AdrCut cutFor(unsigned adr_drop_tail) const;
+
+    /**
+     * Multi-channel crash: drains the keep-prefixes of @p cut (as
+     * computed globally by computeDrainKeeps over every channel's
+     * ready entries) and tears down the volatile state of this
+     * channel. With cut.flushTree cleared, the caller owns the global
+     * integrity-tree rebuild over the merged image.
+     */
+    void crashWithCut(const AdrCut &cut);
+
+    /** Fork-capture twin of crashWithCut(): overlay only, no
+     *  teardown, no stats movement. */
+    void captureCrashStateWithCut(PersistImage &img,
+                                  const AdrCut &cut) const;
+
+    /** Sequence numbers of ready data entries, in queue (age) order —
+     *  one channel's input to computeDrainKeeps(). */
+    std::vector<std::uint64_t> readyDataSeqs() const;
+
+    /** Sequence numbers of ready, fully paired counter entries, in
+     *  queue order. */
+    std::vector<std::uint64_t> readyCtrSeqs() const;
 
     /**
      * Ready-marked entries the ADR drain would persist right now
@@ -344,7 +396,12 @@ class MemController : public MemBackend
 
     std::list<DataEntry> dataQ;
     std::list<CtrEntry> ctrQ;
-    std::uint64_t nextSeq = 1;
+
+    /** Private fallback sequencer (single-channel construction). */
+    PersistSequencer ownSequencer;
+
+    /** Where queue entries draw their global persist order from. */
+    PersistSequencer *sequencer;
 
     using DataIter = std::list<DataEntry>::iterator;
     using CtrIter = std::list<CtrEntry>::iterator;
@@ -472,6 +529,9 @@ class MemController : public MemBackend
 
     /** The batched epoch write-back of the dirty tree-node set. */
     void flushTreeEpoch();
+
+    /** The channel owning a counter line under the block interleave. */
+    unsigned ctrLineChannel(Addr ctr_line_addr) const;
 
     /** Safe-to-persist counter values: persisted image overlaid with
      *  pending counter-queue entries in age order. */

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Cross-channel persist ordering (the multi-queue atomicity idiom).
+ *
+ * Every write-queue entry on every channel draws its sequence number
+ * from one shared PersistSequencer, so program persist order is a
+ * single global total order even though the entries live in N
+ * independent per-channel queues. The ADR drain contract ("the K
+ * oldest ready entries survive a power failure") is then defined over
+ * that global order: computeDrainKeeps() turns a global drop count
+ * into a per-channel keep *prefix* — a commit record enqueued on
+ * channel 0 after its undo entries on channel 3 can never be kept
+ * while the undo entries are dropped, because its sequence number is
+ * strictly larger.
+ *
+ * The simulation is single-threaded (one event queue), so the
+ * sequencer needs no synchronization; determinism comes from the
+ * event order, which is already deterministic.
+ */
+
+#ifndef CNVM_MEMCTL_PERSIST_SEQUENCER_HH
+#define CNVM_MEMCTL_PERSIST_SEQUENCER_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace cnvm
+{
+
+/** Shared monotonic sequence source for all channels' queue entries. */
+class PersistSequencer
+{
+  public:
+    std::uint64_t acquire() { return next++; }
+
+    /** The next sequence number that acquire() would hand out. */
+    std::uint64_t peek() const { return next; }
+
+    void reset() { next = 1; }
+
+  private:
+    std::uint64_t next = 1;
+};
+
+/**
+ * One channel's share of a global ADR cut: how many of its oldest
+ * ready data entries and oldest ready (fully paired) counter entries
+ * drain before power is lost. Keeps are always prefixes of the
+ * per-channel ready lists in sequence order.
+ */
+struct AdrCut
+{
+    unsigned dataKeep = 0;
+    unsigned ctrKeep = 0;
+
+    /**
+     * Whether the channel rebuilds the integrity tree over its image
+     * after draining. Single-channel callers leave this set; the
+     * multi-channel coordinator clears it and rebuilds the tree once,
+     * globally, so the root is persisted last across *all* channels.
+     */
+    bool flushTree = true;
+};
+
+/** The ready (ADR-eligible) entries of one channel, by sequence. */
+struct ChannelReady
+{
+    /** Sequence numbers of ready data entries, ascending. */
+    std::vector<std::uint64_t> dataSeqs;
+
+    /** Sequence numbers of ready, fully paired counter entries,
+     *  ascending. */
+    std::vector<std::uint64_t> ctrSeqs;
+};
+
+/**
+ * Computes the per-channel keep prefixes for a global ADR drain that
+ * loses the @p drop youngest ready entries.
+ *
+ * Matches the single-channel drain order exactly: all ready data
+ * entries persist before any counter entry, each class in global
+ * sequence order. The returned cuts have flushTree = false — the
+ * caller owns the global tree rebuild.
+ */
+inline std::vector<AdrCut>
+computeDrainKeeps(const std::vector<ChannelReady> &ready, unsigned drop)
+{
+    struct Tagged
+    {
+        std::uint64_t seq;
+        unsigned channel;
+    };
+
+    std::vector<Tagged> data;
+    std::vector<Tagged> ctr;
+    for (unsigned c = 0; c < ready.size(); ++c) {
+        for (std::size_t i = 0; i < ready[c].dataSeqs.size(); ++i) {
+            cnvm_assert(i == 0 || ready[c].dataSeqs[i - 1]
+                                      < ready[c].dataSeqs[i]);
+            data.push_back({ready[c].dataSeqs[i], c});
+        }
+        for (std::size_t i = 0; i < ready[c].ctrSeqs.size(); ++i) {
+            cnvm_assert(i == 0 || ready[c].ctrSeqs[i - 1]
+                                      < ready[c].ctrSeqs[i]);
+            ctr.push_back({ready[c].ctrSeqs[i], c});
+        }
+    }
+    auto by_seq = [](const Tagged &a, const Tagged &b)
+    { return a.seq < b.seq; };
+    std::sort(data.begin(), data.end(), by_seq);
+    std::sort(ctr.begin(), ctr.end(), by_seq);
+
+    std::uint64_t total = data.size() + ctr.size();
+    std::uint64_t budget = total - std::min<std::uint64_t>(drop, total);
+
+    std::vector<AdrCut> cuts(ready.size());
+    for (auto &cut : cuts)
+        cut.flushTree = false;
+    for (const Tagged &t : data) {
+        if (budget == 0)
+            break;
+        ++cuts[t.channel].dataKeep;
+        --budget;
+    }
+    for (const Tagged &t : ctr) {
+        if (budget == 0)
+            break;
+        ++cuts[t.channel].ctrKeep;
+        --budget;
+    }
+    return cuts;
+}
+
+} // namespace cnvm
+
+#endif // CNVM_MEMCTL_PERSIST_SEQUENCER_HH

@@ -8,16 +8,21 @@
 namespace cnvm
 {
 
-NvmDevice::NvmDevice(NvmTiming timing, stats::StatRegistry *registry)
+NvmDevice::NvmDevice(NvmTiming timing, stats::StatRegistry *registry,
+                     ChannelMap map)
     : params(timing),
-      bankFreeAt(timing.numBanks, 0),
-      pausableFrom(timing.numBanks, 0),
+      chanMap(map),
+      bankFreeAt(std::size_t(map.channels) * timing.numBanks, 0),
+      pausableFrom(std::size_t(map.channels) * timing.numBanks, 0),
+      busFreeAt(map.channels, 0),
+      lastWasWrite(map.channels, false),
       readBytes("nvm.bytes_read", "bytes read from NVMM"),
       writeBytes("nvm.bytes_written", "bytes written to NVMM"),
       readsIssued("nvm.reads", "line reads issued to NVMM"),
       writesIssued("nvm.writes", "line writes issued to NVMM")
 {
     cnvm_assert(timing.numBanks > 0);
+    cnvm_assert(isPowerOfTwo(map.channels));
     if (registry != nullptr) {
         registry->registerStat(readBytes);
         registry->registerStat(writeBytes);
@@ -29,13 +34,16 @@ NvmDevice::NvmDevice(NvmTiming timing, stats::StatRegistry *registry)
 unsigned
 NvmDevice::bankOf(Addr addr) const
 {
-    return static_cast<unsigned>((addr / lineBytes) % params.numBanks);
+    unsigned bank =
+        static_cast<unsigned>((addr / lineBytes) % params.numBanks);
+    return chanMap.channelOf(addr) * params.numBanks + bank;
 }
 
 Tick
 NvmDevice::scheduleRead(Addr addr, Tick now)
 {
     unsigned bank = bankOf(addr);
+    unsigned ch = bank / params.numBanks;
 
     // A bank busy with write recovery may be paused after tPause; the
     // suspended programming resumes once the read completes.
@@ -52,12 +60,13 @@ NvmDevice::scheduleRead(Addr addr, Tick now)
 
     Tick start = std::max(now, bank_avail);
     Tick data_ready = start + params.tRCD + params.tCL;
-    // Write-to-read turnaround penalty on the shared bus.
-    Tick bus_earliest = busFreeAt + (lastWasWrite ? params.tWTR : 0);
+    // Write-to-read turnaround penalty on the channel's shared bus.
+    Tick bus_earliest =
+        busFreeAt[ch] + (lastWasWrite[ch] ? params.tWTR : 0);
     Tick burst_start = std::max(data_ready, bus_earliest);
     Tick done = burst_start + params.tBurst;
 
-    busFreeAt = done;
+    busFreeAt[ch] = done;
     if (paused) {
         // The interrupted recovery still owes its remaining time.
         bankFreeAt[bank] += done - start;
@@ -70,7 +79,7 @@ NvmDevice::scheduleRead(Addr addr, Tick now)
         bankFreeAt[bank] = done;
         pausableFrom[bank] = done;
     }
-    lastWasWrite = false;
+    lastWasWrite[ch] = false;
 
     ++readsIssued;
     readBytes += lineBytes;
@@ -81,15 +90,16 @@ Tick
 NvmDevice::scheduleWrite(Addr addr, Tick now, unsigned bytes)
 {
     unsigned bank = bankOf(addr);
+    unsigned ch = bank / params.numBanks;
 
     Tick start = std::max(now, bankFreeAt[bank]);
-    Tick burst_start = std::max(start + params.tCWD, busFreeAt);
+    Tick burst_start = std::max(start + params.tCWD, busFreeAt[ch]);
     // DDR bursts are fixed-length (BL8): even a partial counter-line
     // write occupies a full burst frame on the bus, although only the
     // touched bytes count as traffic and programming effort.
     Tick burst_end = burst_start + params.tBurst;
 
-    busFreeAt = burst_end;
+    busFreeAt[ch] = burst_end;
     // The PCM cell programming keeps the bank busy well past the
     // burst; that recovery window is pausable by reads. Programming
     // time scales with the payload: PCM writes proceed in
@@ -99,7 +109,7 @@ NvmDevice::scheduleWrite(Addr addr, Tick now, unsigned bytes)
                                    params.tWR / 8);
     bankFreeAt[bank] = burst_end + recovery;
     pausableFrom[bank] = burst_end;
-    lastWasWrite = true;
+    lastWasWrite[ch] = true;
 
     ++writesIssued;
     writeBytes += bytes;

@@ -31,6 +31,7 @@
 
 #include "common/types.hh"
 #include "crypto/ctr_engine.hh"
+#include "mem/channel_map.hh"
 #include "nvm/nvm_timing.hh"
 #include "nvm/persist_image.hh"
 #include "stats/stats.hh"
@@ -42,11 +43,17 @@ class NvmDevice
 {
   public:
     /**
-     * @param timing   channel/bank timing
+     * @param timing   per-channel bank timing
      * @param registry stat registry (may be null in unit tests)
+     * @param map      address interleaving; each channel gets its own
+     *                 bank group of timing.numBanks banks and its own
+     *                 data bus. The default single-channel map keeps
+     *                 the device timing-identical to the pre-channel
+     *                 device.
      */
     explicit NvmDevice(NvmTiming timing,
-                       stats::StatRegistry *registry = nullptr);
+                       stats::StatRegistry *registry = nullptr,
+                       ChannelMap map = ChannelMap{});
 
     // ------------------------------------------------------------------
     // Timing path
@@ -160,6 +167,7 @@ class NvmDevice
     }
 
     const NvmTiming &timing() const { return params; }
+    const ChannelMap &channelMap() const { return chanMap; }
 
     /**
      * Optional observer invoked for every line write the device
@@ -180,8 +188,10 @@ class NvmDevice
 
   private:
     NvmTiming params;
+    ChannelMap chanMap;
 
-    /** Next tick each bank is free to start a new column access. */
+    /** Next tick each bank is free to start a new column access
+     *  (channel-major: channel * numBanks + bank). */
     std::vector<Tick> bankFreeAt;
 
     /**
@@ -191,11 +201,11 @@ class NvmDevice
      */
     std::vector<Tick> pausableFrom;
 
-    /** Next tick the shared data bus is free. */
-    Tick busFreeAt = 0;
+    /** Next tick each channel's data bus is free. */
+    std::vector<Tick> busFreeAt;
 
-    /** Whether the last bus transfer was a write (for tWTR). */
-    bool lastWasWrite = false;
+    /** Whether each channel's last bus transfer was a write (tWTR). */
+    std::vector<bool> lastWasWrite;
 
     std::unordered_map<Addr, LineData> livePlain;
 

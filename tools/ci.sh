@@ -2,10 +2,12 @@
 # CI entry point: AddressSanitizer+UBSan build, full test suite, a
 # crash-point sweep across every design (20 points each, fixed seed,
 # parallel Execute phase), fault-injection and replay-dosed
-# integrity-tree sweeps under the same sanitizers, parallel-recovery
-# and crash-during-recovery sweeps, CLI usage-contract smokes, a
+# integrity-tree sweeps under the same sanitizers — single- and
+# multi-channel (--channels 4) — parallel-recovery and
+# crash-during-recovery sweeps, CLI usage-contract smokes, a
 # ThreadSanitizer pass over the parallel sweep and recovery paths
-# (replay-dosed pre-scan included), and a Release bench smoke.
+# (replay-dosed pre-scan and the 4-channel fork capture included), and
+# a Release bench smoke.
 #
 #   tools/ci.sh [build-dir] [release-build-dir] [tsan-build-dir]
 #
@@ -88,6 +90,28 @@ elif [ $? -ne 2 ]; then
     exit 1
 fi
 
+# ... and the channel count is an address mask, so a non-power-of-two
+# is a usage error (exit 2), never a silently degenerate interleave.
+for bad in 0 3; do
+    if "$build/tools/cnvm_crash_sweep" --points 10 --channels "$bad" \
+            > /dev/null 2>&1; then
+        echo "FAIL: cnvm_crash_sweep accepted --channels $bad" >&2
+        exit 1
+    elif [ $? -ne 2 ]; then
+        echo "FAIL: --channels $bad should exit 2" >&2
+        exit 1
+    fi
+done
+
+# Multi-channel sweep under ASan+UBSan: the sharded controllers, the
+# global ADR cut at crash capture, and the root-persists-last tree
+# rebuild over the merged image — exactly where a per-channel keep
+# prefix walking off its queue tail or a tree rebuilt over a partial
+# drain would hide.
+"$build/tools/cnvm_crash_sweep" --points 12 --channels 4 --jobs 4 \
+    --mode fork --faults --replays --integrity-tree \
+    --design ColocatedCC --design FCA --design SCA --design Unsafe
+
 # Parallel recovery under ASan+UBSan: the sharded integrity pre-scan
 # (--recovery-jobs) inside a pooled fork-mode sweep, and the
 # crash-during-recovery idempotence family (interrupted write-back
@@ -140,6 +164,12 @@ cmake --build "$tsan" -j "$(nproc)" --target integrity_tree_test
 "$tsan/tools/cnvm_crash_sweep" --points 8 --jobs 4 --mode fork \
     --recovery-jobs 4 --faults --replays --integrity-tree \
     --design SCA --design Unsafe
+# Multi-channel sweep under TSan: fork capture drains four channels'
+# queues and rebuilds the tree globally while workers classify earlier
+# forks — any channel state aliased into a fork instead of deep-copied
+# races here.
+"$tsan/tools/cnvm_crash_sweep" --points 8 --channels 4 --jobs 4 \
+    --mode fork --faults --integrity-tree --design SCA --design Unsafe
 
 # Bench smoke in Release: cnvm_bench runs each kernel a few iterations
 # and, more importantly, exits non-zero if the indexed queue lookups
@@ -151,4 +181,6 @@ cmake --build "$tsan" -j "$(nproc)" --target integrity_tree_test
 cmake -B "$release" -S "$repo" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$release" -j "$(nproc)"
 "$release/tools/cnvm_crash_sweep" --points 20 --jobs 4 --mode fork
+"$release/tools/cnvm_crash_sweep" --points 20 --channels 4 --jobs 4 \
+    --mode fork
 "$release/tools/cnvm_bench" --quick --repeat 1 --jobs 4

@@ -552,6 +552,73 @@ benchSweepScaling(bool quick, unsigned jobs)
 }
 
 // ----------------------------------------------------------------------
+// Channel scaling: simulated throughput, 1 vs 4 memory channels
+// ----------------------------------------------------------------------
+
+struct ChannelScalingResult
+{
+    unsigned cores = 0;
+    unsigned channels = 0;  //!< the multi-channel point
+    double txnPerSec1 = 0;  //!< simulated txn/s at 1 channel
+    double txnPerSecN = 0;  //!< simulated txn/s at @ref channels
+    double speedup = 0;     //!< simulated-time ratio (not host time)
+    double hostMs = 0;
+    bool identical = false; //!< channels=N sweep fingerprints across jobs
+    bool scalesUp = false;  //!< txnPerSecN >= txnPerSec1
+
+    bool ok() const { return identical && scalesUp; }
+};
+
+/**
+ * Runs a memory-bound contended multi-core SCA workload at 1 and at 4
+ * channels and compares *simulated* transaction throughput — the
+ * speedup is architectural (more banks and busses in flight), so
+ * unlike the host-side jobs-scaling ratios it is meaningful even on a
+ * single-hardware-thread host. Two gates fold into checks_ok: the
+ * multi-channel system must not be slower than the single-channel one
+ * in simulated time, and a faulted channels=4 sweep must keep the
+ * byte-identical fingerprint across Execute-phase jobs counts.
+ */
+ChannelScalingResult
+benchChannelScaling(bool quick)
+{
+    ChannelScalingResult r;
+    r.cores = 4;
+    r.channels = 4;
+
+    auto start = Clock::now();
+    SystemConfig cfg = figConfig(quick ? 30 : 120);
+    cfg.numCores = r.cores;
+    cfg.wl.computePerTxn = 0; // memory-bound: contention is the point
+
+    auto txnRate = [&](unsigned channels) {
+        SystemConfig c = cfg;
+        c.numChannels = channels;
+        System sys(c);
+        sys.run();
+        return sys.throughputTxnPerSec();
+    };
+    r.txnPerSec1 = txnRate(1);
+    r.txnPerSecN = txnRate(r.channels);
+    r.speedup = r.txnPerSec1 > 0 ? r.txnPerSecN / r.txnPerSec1 : 0;
+    r.scalesUp = r.txnPerSecN >= r.txnPerSec1;
+
+    SystemConfig sweep_cfg = figConfig(quick ? 15 : 40);
+    sweep_cfg.numChannels = r.channels;
+    SweepOptions opt;
+    opt.points = quick ? 8 : 16;
+    opt.faults = FaultSpec::allKinds(1);
+    opt.jobs = 1;
+    std::string fp1 = runSweep(sweep_cfg, opt).fingerprint();
+    opt.jobs = 4;
+    std::string fp4 = runSweep(sweep_cfg, opt).fingerprint();
+    r.identical = fp1 == fp4;
+
+    r.hostMs = msSince(start);
+    return r;
+}
+
+// ----------------------------------------------------------------------
 // Fork vs replay: the algorithmic speedup of the single-pass sweep
 // ----------------------------------------------------------------------
 
@@ -1087,6 +1154,7 @@ emitJson(std::ostream &os, const std::vector<KernelResult> &kernels,
          const std::vector<CheckResult> &checks, bool checks_ok,
          const SweepScalingResult &scaling,
          const SweepForkSpeedupResult &fork_speedup,
+         const ChannelScalingResult &chscaling,
          const FaultMatrixResult &faults,
          const TreeMatrixResult &tree,
          const std::vector<TreeOverheadRow> &tree_overhead,
@@ -1247,6 +1315,20 @@ emitJson(std::ostream &os, const std::vector<KernelResult> &kernels,
                   fork_speedup.forkMs, fork_speedup.speedup,
                   fork_speedup.identical ? "true" : "false");
     os << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  \"channel_scaling\": {\"cores\": %u, "
+                  "\"channels\": %u, \"txn_per_sec_1ch\": %.0f, "
+                  "\"txn_per_sec_%uch\": %.0f, \"sim_speedup\": %.2f,\n"
+                  "    \"scales_up\": %s, "
+                  "\"fingerprints_identical\": %s, "
+                  "\"host_ms\": %.2f},\n",
+                  chscaling.cores, chscaling.channels,
+                  chscaling.txnPerSec1, chscaling.channels,
+                  chscaling.txnPerSecN, chscaling.speedup,
+                  chscaling.scalesUp ? "true" : "false",
+                  chscaling.identical ? "true" : "false",
+                  chscaling.hostMs);
+    os << buf;
     os << "  \"checks\": {";
     for (std::size_t i = 0; i < checks.size(); ++i) {
         os << "\"" << checks[i].name << "\": "
@@ -1385,6 +1467,16 @@ main(int argc, char **argv)
                 fork_speedup.jobs, fork_speedup.hostConcurrency,
                 fork_speedup.identical ? "identical" : "DIFFER");
 
+    ChannelScalingResult chscaling = benchChannelScaling(quick);
+    checks_ok = checks_ok && chscaling.ok();
+    std::printf("channel scaling: %u cores, %.0f txn/s at 1 channel, "
+                "%.0f txn/s at %u channels (%.2fx simulated, "
+                "fingerprints %s)\n",
+                chscaling.cores, chscaling.txnPerSec1,
+                chscaling.txnPerSecN, chscaling.channels,
+                chscaling.speedup,
+                chscaling.identical ? "identical" : "DIFFER");
+
     RecoveryScalingResult rscaling = benchRecoveryScaling(quick, 4);
     checks_ok = checks_ok && rscaling.allIdentical();
     for (const RecoveryScalingRow &r : rscaling.rows)
@@ -1470,8 +1562,9 @@ main(int argc, char **argv)
 
     if (out_path.empty()) {
         emitJson(std::cout, kernels, systems, quick, baseline_json,
-                 checks, checks_ok, scaling, fork_speedup, fault_matrix,
-                 tree_matrix, tree_overhead, rscaling, recrash);
+                 checks, checks_ok, scaling, fork_speedup, chscaling,
+                 fault_matrix, tree_matrix, tree_overhead, rscaling,
+                 recrash);
     } else {
         std::ofstream out(out_path);
         if (!out) {
@@ -1479,8 +1572,9 @@ main(int argc, char **argv)
             return 2;
         }
         emitJson(out, kernels, systems, quick, baseline_json, checks,
-                 checks_ok, scaling, fork_speedup, fault_matrix,
-                 tree_matrix, tree_overhead, rscaling, recrash);
+                 checks_ok, scaling, fork_speedup, chscaling,
+                 fault_matrix, tree_matrix, tree_overhead, rscaling,
+                 recrash);
         std::printf("wrote %s\n", out_path.c_str());
     }
     return checks_ok ? 0 : 1;

@@ -100,10 +100,13 @@ options:
                     converge to the single-shot digest and report
   --workload NAME   array | queue | hash | btree | rbtree (default array)
   --cores N         number of cores (default 1)
+  --channels N      memory channels sharding the address space
+                    (power of two; default 1)
   --txns N          transactions per core (default 40)
   --footprint-kb N  per-core region size (default 256)
-  --cc-kb N         counter cache KB per core (default 16; small, so
-                    dirty evictions are reachable crash states)
+  --cc-kb N         total counter cache KB, split evenly across the
+                    channels (default 16; small, so dirty evictions
+                    are reachable crash states)
   --seed N          workload seed (default 1)
   --ticks-only      plan only absolute-tick points (no semantic triggers)
   --faults          dose every crash point with media faults (torn line
@@ -197,6 +200,9 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--cores") {
             opt.cfg.numCores =
                 static_cast<unsigned>(std::atoi(need_value(i)));
+        } else if (arg == "--channels") {
+            opt.cfg.numChannels = toolargs::parsePowerOfTwo(
+                "--channels", need_value(i), usage);
         } else if (arg == "--txns") {
             opt.cfg.wl.txnTarget =
                 static_cast<unsigned>(std::atoi(need_value(i)));

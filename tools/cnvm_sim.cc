@@ -61,10 +61,13 @@ options:
                        FCA | SCA (default) | Unsafe
   --workload NAME      array | queue | hash | btree | rbtree
   --cores N            number of cores (default 1)
+  --channels N         memory channels sharding the address space
+                       (power of two; default 1)
   --txns N             transactions per core (default 300)
   --batch N            mutations per transaction (default 1)
   --footprint-mb N     per-core region size (default 6)
-  --cc-kb N            counter cache KB per core (default 1024)
+  --cc-kb N            total counter cache KB, split evenly across the
+                       channels (default 1024)
   --compute N          compute cycles per transaction (default 1000)
   --seed N             workload seed (default 1)
   --read-mult X        scale NVM read latency (default 1.0)
@@ -179,6 +182,9 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--cores") {
             opt.cfg.numCores =
                 static_cast<unsigned>(std::atoi(need_value(i)));
+        } else if (arg == "--channels") {
+            opt.cfg.numChannels = toolargs::parsePowerOfTwo(
+                "--channels", need_value(i), usage);
         } else if (arg == "--txns") {
             opt.cfg.wl.txnTarget =
                 static_cast<unsigned>(std::atoi(need_value(i)));
@@ -435,7 +441,7 @@ main(int argc, char **argv)
                         "nothing to verify\n");
         } else {
             if (result.crashed == false)
-                sys.controller().crash(); // clean-shutdown image check
+                sys.crashChannels(); // clean-shutdown image check
             auto reports = sys.recoverAll(opt.recoveryJobs);
             for (unsigned c = 0; c < reports.size(); ++c) {
                 const RecoveryReport &r = reports[c];

@@ -77,6 +77,24 @@ parsePositive(const char *flag, const char *text, UsageFn &&usage)
     return static_cast<unsigned>(v);
 }
 
+/** @p text as a positive power-of-two fitting in unsigned; the
+ *  interleave math (`addr & (channels - 1)`) is only valid for
+ *  powers of two, so 0, 3, 6, ... are usage errors, not truncations. */
+template <typename UsageFn>
+unsigned
+parsePowerOfTwo(const char *flag, const char *text, UsageFn &&usage)
+{
+    std::uint64_t v = parseU64(flag, text, usage);
+    if (v == 0 || (v & (v - 1)) != 0 ||
+        v > std::numeric_limits<unsigned>::max()) {
+        std::fprintf(stderr,
+                     "%s needs a power-of-two integer, got '%s'\n",
+                     flag, text);
+        usage(2);
+    }
+    return static_cast<unsigned>(v);
+}
+
 /**
  * One cross-flag prerequisite: @p flag was given (set) but only makes
  * sense alongside @p needs (prereq). A flag that merely *tunes*
