@@ -115,6 +115,14 @@ CrashInjector::fireSoon(std::size_t i)
     Armed &a = armed[i];
     if (disarmed || a.didFire || a.fireEvent->scheduled())
         return;
+    if (immediateFire) {
+        // Barrier replay (see setImmediateFire): the controllers are
+        // quiescent, so fire in place.
+        a.didFire = true;
+        ++firedCount;
+        fire(i);
+        return;
+    }
     // MinPriority: the failure observes the triggering controller state
     // before any other model event pending for this tick runs.
     eventq.schedule(*a.fireEvent, eventq.curTick());

@@ -1,5 +1,6 @@
 #include "core/system.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/intmath.hh"
@@ -56,6 +57,25 @@ System::~System() = default;
 void
 System::build()
 {
+    if (cfg.simJobs > 0) {
+        // Partitioned kernel: one domain per channel plus the
+        // coordinator (CPU/cache/workload) domain, synchronized in
+        // windows of the cross-domain hop latency. The channel
+        // domains come first so domain index == channel id.
+        kernel = std::make_unique<ParallelKernel>(cfg.channelHopLatency,
+                                                  cfg.simJobs);
+        for (unsigned ch = 0; ch < cfg.numChannels; ++ch) {
+            chanQueues.push_back(std::make_unique<EventQueue>());
+            auto seq = std::make_unique<PersistSequencer>();
+            seq->enableStamped(ch);
+            chanSequencers.push_back(std::move(seq));
+            kernel->addDomain(chanQueues.back().get());
+        }
+        coordDomain = kernel->addDomain(&eventq);
+        chanEventLogs.resize(cfg.numChannels);
+        kernel->setBarrierHook([this](Tick t) { onBarrier(t); });
+    }
+
     MemCtlConfig mc = cfg.memctl;
     mc.design = cfg.design;
     mc.numChannels = cfg.numChannels;
@@ -71,19 +91,52 @@ System::build()
     mc.counterCacheBytes = cfg.memctl.counterCacheBytes / cfg.numChannels;
     for (unsigned ch = 0; ch < cfg.numChannels; ++ch) {
         mc.channelId = ch;
+        // Partitioned: the controller lives on its channel's queue and
+        // stamps sequence numbers from its own simulated clock, making
+        // global persist order a pure function of simulated time.
+        EventQueue &ctl_eq = partitioned() ? *chanQueues[ch] : eventq;
+        PersistSequencer *seq =
+            partitioned() ? chanSequencers[ch].get() : &sequencer;
         memCtls.push_back(std::make_unique<MemController>(
-            eventq, nvmDev, mc, &registry, &sequencer));
+            ctl_eq, nvmDev, mc, &registry, seq));
+        if (partitioned()) {
+            // Record semantic events locally (single-writer log);
+            // onBarrier() merges and replays them deterministically.
+            memCtls.back()->setEventHook([this, ch](CtlEvent ev) {
+                chanEventLogs[ch].push_back(
+                    ChanEvent{chanQueues[ch]->curTick(), ev});
+            });
+        }
     }
 
-    MemBackend *backend = memCtls.front().get();
-    if (cfg.numChannels > 1) {
-        std::vector<MemBackend *> chans;
-        chans.reserve(memCtls.size());
-        for (auto &ctl : memCtls)
-            chans.push_back(ctl.get());
-        router = std::make_unique<ChannelRouter>(std::move(chans),
-                                                 nvmDev.channelMap());
-        backend = router.get();
+    MemBackend *backend;
+    if (partitioned()) {
+        for (unsigned ch = 0; ch < cfg.numChannels; ++ch) {
+            chanPorts.push_back(std::make_unique<ChannelPort>(
+                *kernel, coordDomain, ch, *memCtls[ch],
+                cfg.channelHopLatency));
+        }
+        backend = chanPorts.front().get();
+        if (cfg.numChannels > 1) {
+            std::vector<MemBackend *> chans;
+            chans.reserve(chanPorts.size());
+            for (auto &port : chanPorts)
+                chans.push_back(port.get());
+            router = std::make_unique<ChannelRouter>(std::move(chans),
+                                                     nvmDev.channelMap());
+            backend = router.get();
+        }
+    } else {
+        backend = memCtls.front().get();
+        if (cfg.numChannels > 1) {
+            std::vector<MemBackend *> chans;
+            chans.reserve(memCtls.size());
+            for (auto &ctl : memCtls)
+                chans.push_back(ctl.get());
+            router = std::make_unique<ChannelRouter>(std::move(chans),
+                                                     nvmDev.channelMap());
+            backend = router.get();
+        }
     }
 
     ClockDomain cpu_clock(static_cast<Tick>(1000.0 / cfg.cpuGHz));
@@ -135,7 +188,10 @@ System::build()
             if (finishedCores == cfg.numCores) {
                 if (injector)
                     injector->disarm();
-                eventq.requestStop();
+                // Partitioned: no stop — the kernel runs on to
+                // natural quiescence, which is the settle phase.
+                if (!partitioned())
+                    eventq.requestStop();
             }
         });
     }
@@ -175,7 +231,13 @@ System::runInternal()
     for (auto &core : cores)
         core->start();
 
-    eventq.run();
+    if (partitioned()) {
+        // The kernel runs to global quiescence (or a crash stop at a
+        // barrier) — the settle phase is built in.
+        kernel->run();
+    } else {
+        eventq.run();
+    }
 
     RunResult result;
     result.crashed = lastResult.crashed;
@@ -188,12 +250,85 @@ System::runInternal()
         result.endTick = latest;
         // Let outstanding queue drains settle for accurate traffic
         // accounting.
-        eventq.run();
+        if (!partitioned())
+            eventq.run();
     }
     for (auto &wl : workloads)
         result.txnsIssued += wl->txnsIssued();
     lastResult = result;
     return result;
+}
+
+void
+System::setCtlEventHook(std::function<void(CtlEvent)> hook)
+{
+    if (partitioned()) {
+        // The per-channel recorders are installed at build time; the
+        // barrier replay feeds this observer.
+        userCtlHook = std::move(hook);
+        return;
+    }
+    for (auto &ctl : memCtls)
+        ctl->setEventHook(hook);
+}
+
+Tick
+System::captureTick() const
+{
+    return partitioned() ? kernel->barrierTick() : eventq.curTick();
+}
+
+void
+System::onBarrier(Tick barrier_tick)
+{
+    (void)barrier_tick;
+    // Replay the window's semantic events into the observer in
+    // (tick, channel, log index) order. Within-tick cross-channel
+    // order has no simulated happens-before — the channel id is the
+    // deterministic tie-break, fixed at any host thread count.
+    if (userCtlHook) {
+        struct Tagged
+        {
+            Tick tick;
+            unsigned ch;
+            std::size_t idx;
+        };
+        std::vector<Tagged> merged;
+        for (unsigned c = 0; c < chanEventLogs.size(); ++c) {
+            for (std::size_t i = 0; i < chanEventLogs[c].size(); ++i)
+                merged.push_back(Tagged{chanEventLogs[c][i].tick, c, i});
+        }
+        std::sort(merged.begin(), merged.end(),
+                  [](const Tagged &a, const Tagged &b) {
+                      if (a.tick != b.tick)
+                          return a.tick < b.tick;
+                      if (a.ch != b.ch)
+                          return a.ch < b.ch;
+                      return a.idx < b.idx;
+                  });
+        for (const Tagged &t : merged)
+            userCtlHook(chanEventLogs[t.ch][t.idx].ev);
+    }
+    for (auto &log : chanEventLogs)
+        log.clear();
+
+    // Process the power failures recorded this window — tick triggers
+    // that fired on the coordinator queue plus semantic triggers the
+    // replay above just delivered. Every channel is quiescent here, so
+    // teardown/capture sees a settled, deterministic state. A Replay
+    // teardown stops the kernel; later fires of the same window (fork
+    // plans only arm capture, so this only guards the single-spec
+    // replay case) are dropped with it.
+    if (!pendingFires.empty()) {
+        std::vector<std::size_t> fires;
+        fires.swap(pendingFires);
+        for (std::size_t i : fires) {
+            if (lastResult.crashed)
+                break;
+            if (fireAction)
+                fireAction(i);
+        }
+    }
 }
 
 RunResult
@@ -255,10 +390,10 @@ void
 System::doCrash()
 {
     lastResult.crashed = true;
-    lastResult.endTick = eventq.curTick();
+    lastResult.endTick = captureTick();
 
     snapshot.valid = true;
-    snapshot.tick = eventq.curTick();
+    snapshot.tick = captureTick();
     snapshot.dataQueue = 0;
     snapshot.ctrQueue = 0;
     snapshot.landing = 0;
@@ -290,7 +425,10 @@ System::doCrash()
     } else {
         crashChannels();
     }
-    eventq.requestStop();
+    if (partitioned())
+        kernel->requestStop();
+    else
+        eventq.requestStop();
 }
 
 RunResult
@@ -303,8 +441,20 @@ RunResult
 System::runWithCrash(const CrashSpec &spec)
 {
     activeSpec = spec;
-    injector = std::make_unique<CrashInjector>(eventq, spec,
-                                               [this]() { doCrash(); });
+    if (partitioned()) {
+        // Fires are recorded when triggered and processed at the next
+        // window barrier, where every channel is quiescent — Replay
+        // teardown and Fork capture both happen at barriers, so they
+        // see identical state (keeping Replay ≡ Fork).
+        fireAction = [this](std::size_t) { doCrash(); };
+        injector = std::make_unique<CrashInjector>(
+            eventq, std::vector<CrashSpec>{spec},
+            [this](std::size_t i) { pendingFires.push_back(i); });
+        injector->setImmediateFire(true);
+    } else {
+        injector = std::make_unique<CrashInjector>(
+            eventq, spec, [this]() { doCrash(); });
+    }
     if (ctlEventFor(spec.kind)) {
         setCtlEventHook(
             [this](CtlEvent ev) { injector->onCtlEvent(ev); });
@@ -318,7 +468,7 @@ System::captureFork(const CrashSpec &spec) const
 {
     PersistFork fork;
     fork.snapshot.valid = true;
-    fork.snapshot.tick = eventq.curTick();
+    fork.snapshot.tick = captureTick();
     fork.snapshot.dataQueue = 0;
     fork.snapshot.ctrQueue = 0;
     fork.snapshot.landing = 0;
@@ -367,13 +517,28 @@ System::runWithForkCapture(const std::vector<CrashSpec> &specs,
     for (const CrashSpec &spec : specs)
         semantic = semantic || ctlEventFor(spec.kind).has_value();
 
-    injector = std::make_unique<CrashInjector>(
-        eventq, specs,
-        [this, specs, sink = std::move(sink)](std::size_t i) {
+    if (partitioned()) {
+        // Capture at the barrier, where every channel is quiescent —
+        // the same instant a Replay teardown of the same spec would
+        // capture at, so fork and replay fingerprints stay identical.
+        fireAction = [this, specs, sink](std::size_t i) {
             PersistFork fork = captureFork(specs[i]);
             fork.planIndex = i;
             sink(i, std::move(fork));
-        });
+        };
+        injector = std::make_unique<CrashInjector>(
+            eventq, specs,
+            [this](std::size_t i) { pendingFires.push_back(i); });
+        injector->setImmediateFire(true);
+    } else {
+        injector = std::make_unique<CrashInjector>(
+            eventq, specs,
+            [this, specs, sink = std::move(sink)](std::size_t i) {
+                PersistFork fork = captureFork(specs[i]);
+                fork.planIndex = i;
+                sink(i, std::move(fork));
+            });
+    }
     if (semantic) {
         setCtlEventHook(
             [this](CtlEvent ev) { injector->onCtlEvent(ev); });
@@ -449,8 +614,7 @@ System::counterCacheMissRate() const
     double miss_count = 0.0;
     bool found = false;
     for (unsigned c = 0; c < cfg.numChannels; ++c) {
-        std::string prefix =
-            c == 0 ? "ctrcache." : "ctrcache.ch" + std::to_string(c) + ".";
+        std::string prefix = "ctrcache.ch" + std::to_string(c) + ".";
         const stats::Stat *hits = registry.find(prefix + "read_hits");
         const stats::Stat *misses = registry.find(prefix + "read_misses");
         if (hits == nullptr || misses == nullptr)

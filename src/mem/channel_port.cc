@@ -1,0 +1,165 @@
+#include "mem/channel_port.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace cnvm
+{
+
+ChannelPort::ChannelPort(ParallelKernel &kernel, std::size_t coord_dom,
+                         std::size_t chan_dom, MemBackend &ctl, Tick hop,
+                         unsigned credit_pool)
+    : kernel(kernel),
+      coordDom(coord_dom),
+      chanDom(chan_dom),
+      ctl(ctl),
+      hop(hop),
+      credits(credit_pool)
+{
+    cnvm_assert(credit_pool > 0);
+}
+
+void
+ChannelPort::toChannel(std::function<void()> fn)
+{
+    Tick now = kernel.domain(coordDom).curTick();
+    kernel.post(coordDom, chanDom, now + hop, Event::DefaultPriority,
+                std::move(fn));
+}
+
+void
+ChannelPort::toCoordinator(std::function<void()> fn)
+{
+    Tick now = kernel.domain(chanDom).curTick();
+    kernel.post(chanDom, coordDom, now + hop, Event::DefaultPriority,
+                std::move(fn));
+}
+
+void
+ChannelPort::issueRead(Addr addr, unsigned core_id, ReadCallback done)
+{
+    toChannel([this, addr, core_id, done = std::move(done)]() mutable {
+        ctl.issueRead(addr, core_id,
+                      [this, done = std::move(done)]() mutable {
+                          toCoordinator(std::move(done));
+                      });
+    });
+}
+
+void
+ChannelPort::chanArmRetry()
+{
+    if (chanRetryArmed)
+        return;
+    chanRetryArmed = true;
+    ctl.registerRetry([this]() {
+        chanRetryArmed = false;
+        chanDrainParked();
+    });
+}
+
+void
+ChannelPort::chanDrainParked()
+{
+    while (!parked.empty()) {
+        if (!parked.front()()) {
+            chanArmRetry();
+            return;
+        }
+        parked.pop_front();
+    }
+}
+
+void
+ChannelPort::chanSubmit(std::function<bool()> attempt)
+{
+    // Arrival order is the admission order the coordinator saw; a new
+    // request may not overtake parked ones even if it would fit.
+    if (parked.empty() && attempt())
+        return;
+    parked.push_back(std::move(attempt));
+    chanArmRetry();
+}
+
+void
+ChannelPort::refundCredit()
+{
+    ++credits;
+    if (retryCallbacks.empty())
+        return;
+    std::vector<std::function<void()>> cbs;
+    cbs.swap(retryCallbacks);
+    for (auto &cb : cbs)
+        cb();
+}
+
+bool
+ChannelPort::tryWrite(const WriteReq &req)
+{
+    if (credits == 0)
+        return false;
+    --credits;
+    WriteReq fwd = req;
+    // The accepted callback fires on the channel domain (landing /
+    // pairing completion); hop it home before the fence logic sees it.
+    if (fwd.accepted) {
+        fwd.accepted = [this, orig = std::move(fwd.accepted)]() {
+            toCoordinator(orig);
+        };
+    }
+    toChannel([this, fwd = std::move(fwd)]() {
+        chanSubmit([this, fwd]() {
+            if (!ctl.tryWrite(fwd))
+                return false;
+            toCoordinator([this]() { refundCredit(); });
+            return true;
+        });
+    });
+    return true;
+}
+
+bool
+ChannelPort::tryCtrWriteback(Addr data_line_addr,
+                             std::function<void()> accepted)
+{
+    if (credits == 0)
+        return false;
+    --credits;
+    std::function<void()> acc;
+    if (accepted) {
+        acc = [this, orig = std::move(accepted)]() {
+            toCoordinator(orig);
+        };
+    }
+    toChannel([this, data_line_addr, acc = std::move(acc)]() {
+        chanSubmit([this, data_line_addr, acc]() {
+            if (!ctl.tryCtrWriteback(data_line_addr, acc))
+                return false;
+            toCoordinator([this]() { refundCredit(); });
+            return true;
+        });
+    });
+    return true;
+}
+
+void
+ChannelPort::registerRetry(std::function<void()> retry)
+{
+    retryCallbacks.push_back(std::move(retry));
+}
+
+LineData
+ChannelPort::functionalRead(Addr addr) const
+{
+    return ctl.functionalRead(addr);
+}
+
+void
+ChannelPort::functionalStore(Addr addr, unsigned size,
+                             const std::uint8_t *bytes)
+{
+    ctl.functionalStore(addr, size, bytes);
+}
+
+} // namespace cnvm

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Cross-domain proxy for one memory channel (the --sim-jobs issue path).
+ *
+ * Under the partitioned kernel the CPU/cache front end (coordinator
+ * domain) and each channel's MemController (channel domain) live on
+ * different event queues, so the synchronous MemBackend calls the
+ * caches make cannot reach the controller directly. A ChannelPort
+ * implements MemBackend on the coordinator side and forwards every
+ * timing-path call through kernel mailboxes, one hop of simulated
+ * latency each way:
+ *
+ *  - issueRead: forwarded to the channel; the completion callback is
+ *    wrapped to hop back to the coordinator. Reads are always
+ *    accepted, as in the direct backend.
+ *  - tryWrite / tryCtrWriteback: the synchronous accept/reject
+ *    decision cannot cross an asynchronous boundary, so the port
+ *    answers it locally with a credit pool modelling its request
+ *    buffer: a request is admitted (true) while credits remain and
+ *    refused (false) otherwise — the caller's existing retry
+ *    machinery handles refusal exactly as it handles a full write
+ *    queue. Admitted requests hop to the channel, where an ingress
+ *    FIFO replays them into the controller in arrival order, parking
+ *    on controller back-pressure and re-attempting on the
+ *    controller's retry notifications. When the controller takes a
+ *    request its credit hops back and pending coordinator retries
+ *    fire.
+ *  - functionalRead / functionalStore: zero-time live-plaintext
+ *    accesses, called only from the coordinator; they short-circuit
+ *    to the controller directly (the channel thread never touches the
+ *    live view).
+ *
+ * All hops use the kernel's quantum as their latency, so the
+ * conservative-lookahead contract holds and delivery order is
+ * deterministic at any --sim-jobs. Relative to the classic
+ * single-queue backend the port adds one hop of latency each
+ * direction — the partitioned kernel is its own (internally
+ * consistent and deterministic) timing configuration, compared
+ * against the classic one only through the partitioned-serial
+ * reference (--sim-jobs 1).
+ */
+
+#ifndef CNVM_MEM_CHANNEL_PORT_HH
+#define CNVM_MEM_CHANNEL_PORT_HH
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "mem/mem_backend.hh"
+#include "sim/parallel_kernel.hh"
+
+namespace cnvm
+{
+
+class ChannelPort : public MemBackend
+{
+  public:
+    /**
+     * @param kernel      the partitioned kernel carrying the mailboxes
+     * @param coord_dom   coordinator domain index
+     * @param chan_dom    this channel's domain index
+     * @param ctl         the channel's controller (as a MemBackend)
+     * @param hop         cross-domain hop latency (>= kernel quantum)
+     * @param credit_pool admission credits for writes + ctr writebacks
+     */
+    ChannelPort(ParallelKernel &kernel, std::size_t coord_dom,
+                std::size_t chan_dom, MemBackend &ctl, Tick hop,
+                unsigned credit_pool = 32);
+
+    void issueRead(Addr addr, unsigned core_id, ReadCallback done) override;
+    bool tryWrite(const WriteReq &req) override;
+    bool tryCtrWriteback(Addr data_line_addr,
+                         std::function<void()> accepted) override;
+    void registerRetry(std::function<void()> retry) override;
+    LineData functionalRead(Addr addr) const override;
+    void functionalStore(Addr addr, unsigned size,
+                         const std::uint8_t *bytes) override;
+
+  private:
+    /** Runs on the channel domain: attempt the request now or park it
+     *  behind earlier parked ones (arrival order is preserved). */
+    void chanSubmit(std::function<bool()> attempt);
+
+    /** Replays parked attempts in order until one refuses again. */
+    void chanDrainParked();
+
+    /** Arms a one-shot controller retry to drain the parked FIFO. */
+    void chanArmRetry();
+
+    /** Runs on the coordinator domain: return one credit and kick any
+     *  registered retry callbacks. */
+    void refundCredit();
+
+    /** Posts @p fn from the coordinator to the channel domain. */
+    void toChannel(std::function<void()> fn);
+
+    /** Posts @p fn from the channel to the coordinator domain. */
+    void toCoordinator(std::function<void()> fn);
+
+    ParallelKernel &kernel;
+    std::size_t coordDom;
+    std::size_t chanDom;
+    MemBackend &ctl;
+    Tick hop;
+
+    // --- coordinator-domain state ---
+    unsigned credits;
+    std::vector<std::function<void()>> retryCallbacks;
+
+    // --- channel-domain state ---
+    std::deque<std::function<bool()>> parked;
+    bool chanRetryArmed = false;
+};
+
+} // namespace cnvm
+
+#endif // CNVM_MEM_CHANNEL_PORT_HH

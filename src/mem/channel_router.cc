@@ -9,7 +9,8 @@ namespace cnvm
 
 ChannelRouter::ChannelRouter(std::vector<MemBackend *> channels_in,
                              ChannelMap map_in)
-    : channels(std::move(channels_in)), map(map_in)
+    : channels(std::move(channels_in)), map(map_in),
+      pumpArmed(channels.size(), false)
 {
     cnvm_assert(!channels.empty());
     cnvm_assert(channels.size() == map.channels);
@@ -49,12 +50,35 @@ ChannelRouter::tryCtrWriteback(Addr data_line_addr,
 void
 ChannelRouter::registerRetry(std::function<void()> retry)
 {
-    // Fan the kick out: whichever channel frees queue space first
-    // wakes the path. Spurious wakeups are no-ops by the retry
-    // protocol's contract.
-    for (std::size_t i = 0; i + 1 < channels.size(); ++i)
-        channels[i]->registerRetry(retry);
-    channels.back()->registerRetry(std::move(retry));
+    // Park the callback here and arm (at most) one pump per channel:
+    // whichever channel frees queue space first drains the shared
+    // list, and the other pumps fire later as cheap no-ops. Copying
+    // every callback into every channel instead would let a channel
+    // that never notifies — one whose drain is saturated by a hot
+    // counter line, say — accumulate stale registrations without
+    // bound while the stalled paths retry.
+    retryCbs.push_back(std::move(retry));
+    for (std::size_t i = 0; i < channels.size(); ++i) {
+        if (pumpArmed[i])
+            continue;
+        pumpArmed[i] = true;
+        channels[i]->registerRetry([this, i]() { pumpRetries(i); });
+    }
+}
+
+void
+ChannelRouter::pumpRetries(std::size_t channel)
+{
+    pumpArmed[channel] = false;
+    if (retryCbs.empty())
+        return; // another channel's pump already drained the list
+    std::vector<std::function<void()>> pending;
+    pending.swap(retryCbs);
+    // Registration order, exactly as the per-channel fan-out would
+    // have delivered them: the order stalled paths re-attempt is part
+    // of the deterministic schedule.
+    for (auto &cb : pending)
+        cb();
 }
 
 LineData

@@ -6,10 +6,14 @@
  * per-channel MemControllers; every request is forwarded to the
  * channel that owns its address under the ChannelMap, so a channel
  * never sees an address outside its shard. Retry registrations are
- * forwarded to every channel: CoreMemPath::drainStalled() is a no-op
- * when nothing is stalled and re-registers itself while the head
- * still fails, so a retry kick from the "wrong" channel is harmless —
- * and a stalled path cannot know which channel will free space first.
+ * collected here and pumped by whichever channel notifies first: a
+ * stalled path cannot know which channel will free space first, and
+ * CoreMemPath::drainStalled() is a no-op when nothing is stalled, so
+ * a kick from the "wrong" channel is harmless. The router arms at
+ * most one one-shot pump per channel rather than copying every
+ * callback into every channel — a channel that never notifies (e.g.
+ * one whose drain is saturated) must not accumulate an unbounded
+ * backlog of stale registrations.
  */
 
 #ifndef CNVM_MEM_CHANNEL_ROUTER_HH
@@ -42,7 +46,13 @@ class ChannelRouter : public MemBackend
     std::vector<MemBackend *> channels;
     ChannelMap map;
 
+    /** Callbacks waiting for any channel to free queue space. */
+    std::vector<std::function<void()>> retryCbs;
+    /** Which channels currently hold an armed pump for @ref retryCbs. */
+    std::vector<bool> pumpArmed;
+
     MemBackend &channelFor(Addr addr) const;
+    void pumpRetries(std::size_t channel);
 };
 
 } // namespace cnvm

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <mutex>
 
 #include "common/logging.hh"
 #include "integrity/integrity_tree.hh"
@@ -14,23 +15,20 @@ namespace
 {
 
 /**
- * Stat-name prefix for a channel. Channel 0 keeps the legacy flat
- * names so single-channel stat dumps (and everything keyed on them)
- * are byte-identical to the pre-channel controller.
+ * Stat-name prefix for a channel. Every channel — including channel 0 —
+ * uses the canonical "memctl.chN." form, so bench/tool parsers handle
+ * all channels uniformly; the constructor registers the legacy flat
+ * "memctl." names as lookup aliases for channel 0.
  */
 std::string
 ctlStatPrefix(const MemCtlConfig &cfg)
 {
-    if (cfg.channelId == 0)
-        return "memctl.";
     return "memctl.ch" + std::to_string(cfg.channelId) + ".";
 }
 
 std::string
 ccStatPrefix(const MemCtlConfig &cfg)
 {
-    if (cfg.channelId == 0)
-        return "ctrcache.";
     return "ctrcache.ch" + std::to_string(cfg.channelId) + ".";
 }
 
@@ -122,6 +120,12 @@ MemController::MemController(EventQueue &eq, NvmDevice &nvm,
         registry->registerStat(treeCoalesces);
         registry->registerStat(treeNodeWrites);
         registry->registerStat(treeFlushes);
+        // Channel 0 historically dumped flat "memctl." / "ctrcache."
+        // names; keep them resolvable (find/lookup only, not dumped).
+        if (cfg.channelId == 0) {
+            registry->aliasPrefix("memctl.ch0.", "memctl.");
+            registry->aliasPrefix("ctrcache.ch0.", "ctrcache.");
+        }
     }
 }
 
@@ -339,7 +343,11 @@ MemController::verifyIndexes() const
 CounterLine
 MemController::memoryViewCounters(Addr ctr_addr) const
 {
-    CounterLine values = nvm.persistedCounters(ctr_addr);
+    CounterLine values;
+    {
+        std::lock_guard<std::mutex> lock(nvm.imageMutex());
+        values = nvm.persistedCounters(ctr_addr);
+    }
     // Pending counter-queue entries and not-yet-queued evictions are
     // newer than the image; counters only grow, so merging by max
     // yields the youngest value per slot (and makes the merge order
@@ -750,7 +758,7 @@ MemController::landDataWrite(const WriteReq &req, std::uint64_t counter,
     } else {
         dataQ.push_back(DataEntry{});
         entry = &dataQ.back();
-        entry->seq = sequencer->acquire();
+        entry->seq = sequencer->acquire(eventq.curTick());
         entry->addr = req.addr;
         entry->cipher = cipher;
         entry->counter = counter;
@@ -835,7 +843,7 @@ MemController::enqueueCtrValues(Addr ctr_addr, const CounterLine &values,
     }
 
     CtrEntry entry;
-    entry.seq = sequencer->acquire();
+    entry.seq = sequencer->acquire(eventq.curTick());
     entry.addr = ctr_addr;
     entry.values = values;
     entry.ready = true;
@@ -893,7 +901,10 @@ MemController::handleCcEviction(const CounterEviction &ev)
     switch (cfg.design) {
       case DesignPoint::Ideal:
         // Counter persistence is free in the ideal design.
-        nvm.drainCounters(ev.addr, ev.values);
+        {
+            std::lock_guard<std::mutex> lock(nvm.imageMutex());
+            nvm.drainCounters(ev.addr, ev.values);
+        }
         noteCounterPersist(ev.addr);
         return;
       case DesignPoint::ColocatedCC:
@@ -1005,7 +1016,10 @@ MemController::tryCtrWriteback(Addr data_line_addr,
       case DesignPoint::Ideal: {
         Addr ctr_addr = counterLineAddr(data_line_addr);
         if (CounterCacheLine *line = counterCache->peek(ctr_addr)) {
-            nvm.drainCounters(ctr_addr, line->values);
+            {
+                std::lock_guard<std::mutex> lock(nvm.imageMutex());
+                nvm.drainCounters(ctr_addr, line->values);
+            }
             noteCounterPersist(ctr_addr);
             line->dirty = false;
         }
@@ -1201,7 +1215,10 @@ MemController::issueOneWrite()
 void
 MemController::persistDataEntry(const DataEntry &entry)
 {
-    persistDataEntryTo(nvm.persistedState(), entry);
+    {
+        std::lock_guard<std::mutex> lock(nvm.imageMutex());
+        persistDataEntryTo(nvm.persistedState(), entry);
+    }
     // The co-located and ideal designs persist the covering counter
     // word inside the data drain itself; mirror that into the tree.
     switch (cfg.design) {
@@ -1366,7 +1383,13 @@ MemController::completeDataDrain(std::uint64_t seq)
     drainPendingCcEvictions();
     processLandings();
     notifyRetries();
-    kickDrain();
+    // Defer the next issue to the end of the tick (MaxPriority) so the
+    // retries notified above — same tick, DefaultPriority — run first.
+    // Kicking synchronously here would let a steady supply of ready
+    // counter writes re-issue the hot counter line before any blocked
+    // writer gets its re-attempt in, starving pair-blocked writes
+    // indefinitely under high core counts.
+    scheduleDrainKick();
 }
 
 void
@@ -1374,7 +1397,10 @@ MemController::completeCtrDrain(std::uint64_t seq)
 {
     CtrIter it = locateCtrEntry(seq);
     if (it != ctrQ.end()) {
-        nvm.drainCounters(it->addr, it->values);
+        {
+            std::lock_guard<std::mutex> lock(nvm.imageMutex());
+            nvm.drainCounters(it->addr, it->values);
+        }
         noteCounterPersist(it->addr);
         unindexCtrEntry(it);
         ctrQ.erase(it);
@@ -1386,7 +1412,10 @@ MemController::completeCtrDrain(std::uint64_t seq)
     drainPendingCcEvictions();
     processLandings();
     notifyRetries();
-    kickDrain();
+    // Same ordering contract as completeDataDrain: retries first, then
+    // the end-of-tick drain kick, so a completed counter-line write
+    // opens a real admission window for pair-blocked writers.
+    scheduleDrainKick();
 }
 
 void

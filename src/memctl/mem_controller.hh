@@ -90,9 +90,10 @@ struct MemCtlConfig
 
     /**
      * Multi-channel identity: how many channels shard the address
-     * space, and which shard this controller owns. Channel 0 keeps
-     * the legacy stat names ("memctl.*", "ctrcache.*"); higher
-     * channels register under "memctl.chN.*" / "ctrcache.chN.*".
+     * space, and which shard this controller owns. Every channel
+     * registers under the canonical "memctl.chN.*" / "ctrcache.chN.*"
+     * names; channel 0 additionally registers the legacy flat names
+     * ("memctl.*", "ctrcache.*") as lookup aliases.
      */
     unsigned numChannels = 1;
     unsigned channelId = 0;

@@ -26,6 +26,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -152,6 +153,17 @@ class NvmDevice
     /** Mutable persisted state (the drain paths and the crash path). */
     PersistImage &persistedState() { return persisted; }
 
+    /**
+     * Guards the persisted image under the partitioned kernel, where
+     * per-channel controller threads drain into the shared device
+     * concurrently. Lines interleave across channels at block
+     * granularity within the same unordered_map, so concurrent drains
+     * can rehash under each other — controllers take this lock around
+     * every runtime persisted-image access. The classic single-queue
+     * kernel takes it too (uncontended) rather than branch per access.
+     */
+    std::mutex &imageMutex() const { return imgMutex; }
+
     /** True if the bank serving @p addr can start a new access now. */
     bool
     bankFree(Addr addr, Tick now) const
@@ -204,8 +216,11 @@ class NvmDevice
     /** Next tick each channel's data bus is free. */
     std::vector<Tick> busFreeAt;
 
-    /** Whether each channel's last bus transfer was a write (tWTR). */
-    std::vector<bool> lastWasWrite;
+    /** Whether each channel's last bus transfer was a write (tWTR).
+     *  One byte per channel, not vector<bool>: per-channel worker
+     *  threads write their own element, and bit-packing would turn
+     *  those disjoint writes into a data race. */
+    std::vector<std::uint8_t> lastWasWrite;
 
     std::unordered_map<Addr, LineData> livePlain;
 
@@ -218,6 +233,9 @@ class NvmDevice
     stats::Scalar writesIssued;
 
     std::function<void(Addr, unsigned)> writeTraceHook;
+
+    /** See imageMutex(). */
+    mutable std::mutex imgMutex;
 
     unsigned bankOf(Addr addr) const;
 };

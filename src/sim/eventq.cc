@@ -159,6 +159,13 @@ EventQueue::step()
 }
 
 Tick
+EventQueue::nextEventTick()
+{
+    purgeStale();
+    return heap.empty() ? maxTick : heap.front().when;
+}
+
+Tick
 EventQueue::run(Tick limit)
 {
     stopRequested = false;

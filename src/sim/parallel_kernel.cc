@@ -1,0 +1,124 @@
+#include "sim/parallel_kernel.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "sim/one_shot.hh"
+
+namespace cnvm
+{
+
+ParallelKernel::ParallelKernel(Tick quantum, unsigned jobs)
+    : quantum(quantum), crew(jobs)
+{
+    cnvm_assert(quantum > 0);
+}
+
+std::size_t
+ParallelKernel::addDomain(EventQueue *q)
+{
+    cnvm_assert(!running);
+    domains.push_back(q);
+    boxes.clear();
+    boxes.resize(domains.size() * domains.size());
+    return domains.size() - 1;
+}
+
+void
+ParallelKernel::post(std::size_t from, std::size_t to, Tick due,
+                     int priority, std::function<void()> fn)
+{
+    cnvm_assert(from < domains.size() && to < domains.size());
+    // The conservative-lookahead contract: a message may never be due
+    // inside the window it was posted from — the receiver may already
+    // have simulated past that tick.
+    cnvm_assert(due >= windowEnd);
+    Mailbox &b = box(from, to);
+    b.msgs.push_back(Msg{due, priority, b.nextSeq++, std::move(fn)});
+}
+
+void
+ParallelKernel::drainMailboxes()
+{
+    struct Tagged
+    {
+        Tick due;
+        int prio;
+        std::size_t from;
+        std::uint64_t seq;
+        std::function<void()> *fn;
+        std::size_t to;
+    };
+
+    std::vector<Tagged> pending;
+    for (std::size_t from = 0; from < domains.size(); ++from) {
+        for (std::size_t to = 0; to < domains.size(); ++to) {
+            for (Msg &m : box(from, to).msgs)
+                pending.push_back(
+                    Tagged{m.due, m.prio, from, m.seq, &m.fn, to});
+        }
+    }
+    if (pending.empty())
+        return;
+
+    // The deterministic delivery order. Schedule order decides the
+    // target queue's insertion sequence — the tie-break among
+    // same-(tick, priority) events — so sorting here makes that
+    // sequence a pure function of simulated time and sender identity.
+    std::sort(pending.begin(), pending.end(),
+              [](const Tagged &a, const Tagged &b) {
+                  if (a.due != b.due)
+                      return a.due < b.due;
+                  if (a.prio != b.prio)
+                      return a.prio < b.prio;
+                  if (a.from != b.from)
+                      return a.from < b.from;
+                  return a.seq < b.seq;
+              });
+
+    for (Tagged &t : pending) {
+        scheduleAt(*domains[t.to], t.due, std::move(*t.fn), t.prio);
+        ++messages;
+    }
+    for (Mailbox &b : boxes)
+        b.msgs.clear();
+}
+
+Tick
+ParallelKernel::run()
+{
+    cnvm_assert(!domains.empty());
+    running = true;
+    stopFlag = false;
+
+    for (;;) {
+        Tick next = maxTick;
+        for (EventQueue *q : domains)
+            next = std::min(next, q->nextEventTick());
+        if (next == maxTick)
+            break; // every queue and mailbox is empty: quiescence
+
+        // Fixed-grid window covering the earliest pending event:
+        // windows always end on a quantum multiple, so the set of
+        // barriers — and everything captured at them — is independent
+        // of which domain happened to host that event.
+        windowEnd = (next / quantum + 1) * quantum;
+
+        crew.runRound(domains.size(), [&](std::size_t d) {
+            domains[d]->run(windowEnd - 1);
+        });
+
+        lastBarrier = windowEnd - 1;
+        ++barriers;
+        drainMailboxes();
+        if (barrierHook)
+            barrierHook(lastBarrier);
+        if (stopFlag)
+            break;
+    }
+
+    running = false;
+    return lastBarrier;
+}
+
+} // namespace cnvm

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Conservative parallel discrete-event kernel (the --sim-jobs engine).
+ *
+ * The simulation is partitioned into domains, each owning a private
+ * EventQueue: one domain per memory channel plus a coordinator domain
+ * for the CPU/cache/workload front end. Domains advance in lockstep
+ * windows of a fixed quantum Q on a fixed tick grid: within a window
+ * [W, W+Q) every domain processes its own events concurrently (one
+ * pinned host thread per crew slot), and all cross-domain traffic is
+ * posted into per-(sender, receiver) mailboxes instead of the target
+ * queue.
+ *
+ * Determinism is conservative-lookahead (Chandy–Misra–Bryant): every
+ * cross-domain hop carries at least Q of simulated latency, and every
+ * event processed inside the window has tick >= W (the window is
+ * chosen so its grid-aligned start is <= the globally earliest
+ * pending event), so every message posted during the window is due at
+ * tick >= W + Q — strictly after the window. No domain can ever
+ * receive a message for a tick it has already simulated, at any host
+ * thread count. At the window barrier the mailboxes are drained in
+ * deterministic (due tick, priority, sender domain, sequence) order
+ * into the target queues, so the insertion order — and therefore the
+ * tie-break order of same-(tick, priority) events — is a pure
+ * function of simulated time, never of host interleaving.
+ *
+ * Mailboxes are single-writer by construction: domain d is pinned to
+ * one host thread per round (PinnedCrew), and only code running as
+ * domain d posts with sender d. The crew's round-start/round-end
+ * synchronization publishes the boxes between worker threads and the
+ * barrier without per-message locking.
+ */
+
+#ifndef CNVM_SIM_PARALLEL_KERNEL_HH
+#define CNVM_SIM_PARALLEL_KERNEL_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.hh"
+#include "runner/runner.hh"
+#include "sim/eventq.hh"
+
+namespace cnvm
+{
+
+class ParallelKernel
+{
+  public:
+    /**
+     * @param quantum lookahead: the minimum simulated latency of any
+     *                cross-domain hop; every post() must be due at
+     *                least this far after the tick it was posted at
+     * @param jobs    host threads (including the caller); 1 is the
+     *                partitioned-serial reference — same windows, same
+     *                barriers, one thread
+     */
+    ParallelKernel(Tick quantum, unsigned jobs);
+
+    /** Registers a domain; returns its index. All domains must be
+     *  added before the first run(). */
+    std::size_t addDomain(EventQueue *q);
+
+    std::size_t numDomains() const { return domains.size(); }
+
+    EventQueue &domain(std::size_t d) { return *domains[d]; }
+
+    /**
+     * Posts a cross-domain message: @p fn runs as an event on domain
+     * @p to at tick @p due with event priority @p priority. Must be
+     * called from domain @p from's pinned thread during a window (or
+     * from the owner between windows); @p due must be >= the current
+     * window's end.
+     */
+    void post(std::size_t from, std::size_t to, Tick due, int priority,
+              std::function<void()> fn);
+
+    /**
+     * Hook invoked at every window barrier (all domains quiescent,
+     * mailboxes drained), with the barrier tick. Crash capture and
+     * fork capture run here.
+     */
+    void setBarrierHook(std::function<void(Tick)> hook)
+    {
+        barrierHook = std::move(hook);
+    }
+
+    /** Stops run() at the next barrier (checked after the hook). */
+    void requestStop() { stopFlag = true; }
+
+    /** Tick of the most recent window barrier. */
+    Tick barrierTick() const { return lastBarrier; }
+
+    /** Number of window barriers crossed since construction. */
+    std::uint64_t barrierCount() const { return barriers; }
+
+    /** Number of cross-domain messages delivered since construction. */
+    std::uint64_t messageCount() const { return messages; }
+
+    /**
+     * Runs windows until every domain queue and every mailbox is empty,
+     * or requestStop() was called. @return the last barrier tick.
+     */
+    Tick run();
+
+  private:
+    struct Msg
+    {
+        Tick due;
+        int prio;
+        std::uint64_t seq;
+        std::function<void()> fn;
+    };
+
+    /** One sender→receiver channel; written only by the sender's
+     *  pinned thread, drained only at barriers. */
+    struct Mailbox
+    {
+        std::vector<Msg> msgs;
+        std::uint64_t nextSeq = 0;
+    };
+
+    Mailbox &box(std::size_t from, std::size_t to)
+    {
+        return boxes[from * domains.size() + to];
+    }
+
+    /** Drains every mailbox into its target queue in deterministic
+     *  (due, priority, sender, seq) order. */
+    void drainMailboxes();
+
+    Tick quantum;
+    PinnedCrew crew;
+    std::vector<EventQueue *> domains;
+    std::vector<Mailbox> boxes; //!< indexed [from * N + to]
+    std::function<void(Tick)> barrierHook;
+    bool stopFlag = false;
+    bool running = false;
+    Tick windowEnd = 0;
+    Tick lastBarrier = 0;
+    std::uint64_t barriers = 0;
+    std::uint64_t messages = 0;
+};
+
+} // namespace cnvm
+
+#endif // CNVM_SIM_PARALLEL_KERNEL_HH

@@ -9,6 +9,7 @@
 #ifndef CNVM_STATS_STATS_HH
 #define CNVM_STATS_STATS_HH
 
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <functional>
@@ -61,13 +62,26 @@ class Stat
  * once it passes 2^53 — while fractional adds keep their historical
  * behavior. value() (and hence dump()) still reports the combined
  * double, so the text format is unchanged.
+ *
+ * The integer half is a relaxed atomic: the partitioned kernel
+ * (--sim-jobs) increments shared-device counters (e.g. the NVM byte
+ * totals) from per-channel worker threads. Integer addition commutes,
+ * so the final counts are independent of host interleaving — reads
+ * happen either single-threaded or at barriers where workers are
+ * quiescent. Fractional adds stay non-atomic; they only occur on
+ * coordinator-owned stats.
  */
 class Scalar : public Stat
 {
   public:
     using Stat::Stat;
 
-    Scalar &operator++() { ++whole; return *this; }
+    Scalar &
+    operator++()
+    {
+        whole.fetch_add(1, std::memory_order_relaxed);
+        return *this;
+    }
 
     Scalar &
     operator+=(double v)
@@ -77,7 +91,8 @@ class Scalar : public Stat
         // take without overflowing on its own.
         double ip;
         if (v >= 0 && std::modf(v, &ip) == 0.0 && ip < 18446744073709551616.0)
-            whole += static_cast<std::uint64_t>(ip);
+            whole.fetch_add(static_cast<std::uint64_t>(ip),
+                            std::memory_order_relaxed);
         else
             frac += v;
         return *this;
@@ -86,7 +101,7 @@ class Scalar : public Stat
     void
     set(double v)
     {
-        whole = 0;
+        whole.store(0, std::memory_order_relaxed);
         frac = 0;
         *this += v;
     }
@@ -94,7 +109,8 @@ class Scalar : public Stat
     double
     value() const override
     {
-        return static_cast<double>(whole) + frac;
+        return static_cast<double>(whole.load(std::memory_order_relaxed))
+               + frac;
     }
 
     /**
@@ -102,17 +118,21 @@ class Scalar : public Stat
      * ++ and whole-valued +=, this is the exact count even past 2^53,
      * where value()'s double correctly rounds.
      */
-    std::uint64_t exactCount() const { return whole; }
+    std::uint64_t
+    exactCount() const
+    {
+        return whole.load(std::memory_order_relaxed);
+    }
 
     void
     reset() override
     {
-        whole = 0;
+        whole.store(0, std::memory_order_relaxed);
         frac = 0;
     }
 
   private:
-    std::uint64_t whole = 0;
+    std::atomic<std::uint64_t> whole{0};
     double frac = 0;
 };
 
@@ -181,6 +201,24 @@ class StatRegistry
   public:
     /** Adds a stat; the name must be unique within the registry. */
     void registerStat(Stat &stat);
+
+    /**
+     * Registers @p alias as an alternate lookup name for an
+     * already-registered stat named @p target. Aliases resolve through
+     * find()/lookup() but never appear in dump() or all() — dumps show
+     * canonical names only.
+     */
+    void registerAlias(const std::string &alias, const std::string &target);
+
+    /**
+     * Registers a legacy-prefix alias for every stat whose canonical
+     * name starts with @p canonical_prefix: the prefix is rewritten to
+     * @p alias_prefix. Used to keep the historical flat channel-0 stat
+     * names (e.g. "memctl.data_inserts") resolvable now that dumps use
+     * the uniform "memctl.ch0." form.
+     */
+    void aliasPrefix(const std::string &canonical_prefix,
+                     const std::string &alias_prefix);
 
     /** Finds a stat by exact name; returns nullptr if absent. */
     const Stat *find(const std::string &name) const;

@@ -169,6 +169,24 @@ TEST(MultiChannel, RunsMatchSingleChannelTxnCount)
     EXPECT_FALSE(four.crashed);
 }
 
+TEST(MultiChannel, PairBlockedWritersAreNotStarved)
+{
+    // Regression: at high core counts a channel's hot counter line can
+    // have a new ready counter write on every drain completion. The
+    // completion must let pair-blocked writers re-attempt before the
+    // next issue (end-of-tick drain kick), or they starve behind the
+    // line forever — a livelock that also grew the router's retry
+    // backlog without bound. A memory-bound 8-core/8-channel run sat
+    // in exactly that state for minutes before the fix; now it
+    // finishes in well under the test timeout.
+    SystemConfig cfg = channelConfig(8, 8, 30);
+    cfg.wl.regionBytes = 2 << 20;
+    cfg.wl.computePerTxn = 0; // memory-bound: maximum pair contention
+    RunResult r = System(cfg).run();
+    EXPECT_EQ(r.txnsIssued, 8u * 30u);
+    EXPECT_FALSE(r.crashed);
+}
+
 TEST(MultiChannel, EveryCrashPointRecoversConsistently)
 {
     // The directed cross-channel ordering check: a commit record

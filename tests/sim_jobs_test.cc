@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Partitioned-kernel determinism tests: the full stats dump and the
+ * crash-sweep fingerprint must be byte-identical at any --sim-jobs
+ * value — the simulation's behavior is a pure function of simulated
+ * time, never of the host thread count. Also covers the satellite
+ * fixes that ride along: canonical `memctl.ch0.` stat names with the
+ * unsuffixed compat aliases, and crash capture at window barriers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/crash_sweep.hh"
+#include "core/system.hh"
+
+namespace cnvm
+{
+namespace
+{
+
+SystemConfig
+simJobsConfig(DesignPoint design, unsigned channels, unsigned sim_jobs,
+              unsigned txns = 15)
+{
+    SystemConfig cfg;
+    cfg.design = design;
+    cfg.workload = WorkloadKind::ArraySwap;
+    cfg.numCores = 1;
+    cfg.numChannels = channels;
+    cfg.simJobs = sim_jobs;
+    cfg.wl.regionBytes = 256 << 10;
+    cfg.wl.txnTarget = txns;
+    cfg.wl.computePerTxn = 100;
+    cfg.wl.recordDigests = true;
+    cfg.memctl.counterCacheBytes = 16 << 10;
+    return cfg;
+}
+
+/** Full stats dump plus the run result, as one comparable string. */
+std::string
+runDump(const SystemConfig &cfg)
+{
+    System sys(cfg);
+    RunResult result = sys.run();
+    std::ostringstream os;
+    sys.statsRegistry().dump(os);
+    os << "endTick=" << result.endTick << " txns=" << result.txnsIssued
+       << "\n";
+    return os.str();
+}
+
+/** Byte-identity of the full dump at sim-jobs 1/2/4, per channel
+ *  count. The partitioned-serial run at 1 is the reference. */
+void
+expectDumpIdentity(DesignPoint design)
+{
+    for (unsigned channels : {1u, 4u, 8u}) {
+        std::string ref = runDump(simJobsConfig(design, channels, 1));
+        EXPECT_FALSE(ref.empty());
+        for (unsigned jobs : {2u, 4u}) {
+            std::string dump =
+                runDump(simJobsConfig(design, channels, jobs));
+            EXPECT_EQ(ref, dump)
+                << designName(design) << " channels=" << channels
+                << " sim-jobs=" << jobs
+                << " diverged from the sim-jobs=1 reference";
+        }
+    }
+}
+
+TEST(SimJobsIdentity, StatsDumpSCA) { expectDumpIdentity(DesignPoint::SCA); }
+TEST(SimJobsIdentity, StatsDumpFCA) { expectDumpIdentity(DesignPoint::FCA); }
+
+TEST(SimJobsIdentity, StatsDumpColocatedCC)
+{
+    expectDumpIdentity(DesignPoint::ColocatedCC);
+}
+
+TEST(SimJobsIdentity, StatsDumpUnsafe)
+{
+    expectDumpIdentity(DesignPoint::Unsafe);
+}
+
+/** Sweep fingerprints across job counts and Replay/Fork modes: crash
+ *  capture at a window barrier commutes with both. */
+void
+expectSweepIdentity(DesignPoint design)
+{
+    SystemConfig cfg = simJobsConfig(design, 4, 1, 25);
+    SweepOptions opt;
+    opt.points = 8;
+
+    std::string ref = runSweep(cfg, opt).fingerprint();
+    ASSERT_FALSE(ref.empty());
+    for (unsigned jobs : {2u, 4u}) {
+        cfg.simJobs = jobs;
+        for (SweepMode mode : {SweepMode::Replay, SweepMode::Fork}) {
+            opt.mode = mode;
+            EXPECT_EQ(ref, runSweep(cfg, opt).fingerprint())
+                << designName(design) << " sim-jobs=" << jobs
+                << " mode=" << sweepModeName(mode);
+        }
+    }
+}
+
+TEST(SimJobsIdentity, SweepFingerprintSCA)
+{
+    expectSweepIdentity(DesignPoint::SCA);
+}
+
+TEST(SimJobsIdentity, SweepFingerprintUnsafe)
+{
+    expectSweepIdentity(DesignPoint::Unsafe);
+}
+
+// ----------------------------------------------------------------------
+// Partitioned crash + recovery
+// ----------------------------------------------------------------------
+
+TEST(SimJobsCrash, PartitionedCrashRecoversConsistently)
+{
+    // Probe for the total runtime, crash halfway, recover: the
+    // partitioned crash path (barrier-deferred fire, global ADR cut
+    // over every channel) must hand recovery a consistent image.
+    SystemConfig cfg = simJobsConfig(DesignPoint::SCA, 4, 2, 25);
+    Tick total = System(cfg).run().endTick;
+    ASSERT_GT(total, 0u);
+
+    System sys(cfg);
+    RunResult result = sys.runWithCrashAt(total / 2);
+    ASSERT_TRUE(result.crashed);
+    EXPECT_TRUE(sys.crashSnapshot().valid);
+    std::string why;
+    EXPECT_TRUE(sys.recoveredConsistently(&why)) << why;
+}
+
+TEST(SimJobsCrash, CrashTickIdenticalAcrossJobCounts)
+{
+    // The barrier a fire lands on is a function of simulated time
+    // only, so the captured crash tick cannot move with the host
+    // thread count.
+    SystemConfig cfg = simJobsConfig(DesignPoint::SCA, 4, 1, 25);
+    Tick total = System(cfg).run().endTick;
+
+    std::vector<Tick> ends;
+    for (unsigned jobs : {1u, 2u, 4u}) {
+        cfg.simJobs = jobs;
+        System sys(cfg);
+        RunResult result = sys.runWithCrashAt(total / 2);
+        ASSERT_TRUE(result.crashed) << "sim-jobs=" << jobs;
+        ends.push_back(result.endTick);
+    }
+    EXPECT_EQ(ends[0], ends[1]);
+    EXPECT_EQ(ends[0], ends[2]);
+}
+
+// ----------------------------------------------------------------------
+// Channel-0 stat naming: canonical prefix + compat alias
+// ----------------------------------------------------------------------
+
+TEST(ChannelStatNames, ChannelZeroIsCanonicalWithCompatAlias)
+{
+    // Channel 0 registers under `memctl.ch0.` like every other channel
+    // and keeps the historical unsuffixed names as lookup aliases; the
+    // dump shows only the canonical spelling.
+    SystemConfig cfg = simJobsConfig(DesignPoint::SCA, 1, 0);
+    System sys(cfg);
+    sys.run();
+
+    stats::StatRegistry &reg = sys.statsRegistry();
+    const stats::Stat *canonical = reg.find("memctl.ch0.data_inserts");
+    const stats::Stat *alias = reg.find("memctl.data_inserts");
+    ASSERT_NE(canonical, nullptr);
+    ASSERT_NE(alias, nullptr);
+    EXPECT_EQ(canonical, alias); // same stat, two names
+    EXPECT_EQ(reg.lookup("ctrcache.ch0.read_hits"),
+              reg.lookup("ctrcache.read_hits"));
+
+    std::ostringstream os;
+    reg.dump(os);
+    EXPECT_NE(os.str().find("memctl.ch0."), std::string::npos);
+    EXPECT_EQ(os.str().find("\nmemctl.data_inserts"),
+              std::string::npos)
+        << "aliases must not appear in the dump";
+}
+
+} // anonymous namespace
+} // namespace cnvm

@@ -72,6 +72,10 @@ options:
   --repeat N       repetitions per timed kernel, fastest kept (default 3)
   --jobs N         worker threads for the untimed checks and the fault
                    matrix (default: hardware concurrency)
+  --sim-jobs N     host threads of the partitioned simulation kernel in
+                   the sim_jobs_scaling section (max 64; default 2; the
+                   serial side is always the partitioned-serial
+                   reference at 1)
   --help           this text
 )");
     std::exit(code);
@@ -201,6 +205,75 @@ benchEventqDeschedule(unsigned iters)
     r.nsPerOp = r.hostMs * 1e6 / static_cast<double>(r.ops);
     if (processed != r.ops / 2)
         std::fprintf(stderr, "deschedule kernel miscounted!\n");
+    return r;
+}
+
+/**
+ * Single-queue baseline of the quantum ping-pong: one self-propagating
+ * event chain stepping `quantum` ticks per hop on one queue. Each op is
+ * one hop, so ns/op is the single-kernel cost of advancing a quantum.
+ */
+KernelResult
+benchEventqQuantumSingle(std::uint64_t hops)
+{
+    constexpr Tick quantum = 1000;
+    EventQueue eq;
+    std::uint64_t done = 0;
+    std::function<void()> hop = [&]() {
+        if (++done < hops)
+            scheduleAt(eq, eq.curTick() + quantum, hop);
+    };
+    auto start = Clock::now();
+    scheduleAt(eq, quantum / 2, hop);
+    eq.run();
+    KernelResult r;
+    r.name = "micro_eventq.quantum_hop_single";
+    r.hostMs = msSince(start);
+    r.ops = hops;
+    r.nsPerOp = r.hostMs * 1e6 / static_cast<double>(r.ops);
+    if (done != hops)
+        std::fprintf(stderr, "quantum-hop baseline lost hops!\n");
+    return r;
+}
+
+/**
+ * Partitioned twin of the quantum ping-pong: the chain hops between
+ * four domains of a ParallelKernel, so every hop crosses a mailbox and
+ * every quantum ends in a window barrier (one event, one message per
+ * window — the worst case for synchronization overhead). ns/op minus
+ * the single-queue baseline is the mailbox + barrier cost per quantum.
+ * Runs at jobs=1 deliberately: this measures the protocol, not host
+ * parallelism.
+ */
+KernelResult
+benchEventqQuantumBarrier(std::uint64_t hops)
+{
+    constexpr Tick quantum = 1000;
+    constexpr std::size_t ndomains = 4;
+    ParallelKernel pk(quantum, 1);
+    std::vector<std::unique_ptr<EventQueue>> queues;
+    for (std::size_t d = 0; d < ndomains; ++d) {
+        queues.push_back(std::make_unique<EventQueue>());
+        pk.addDomain(queues.back().get());
+    }
+    std::uint64_t done = 0;
+    std::function<void(std::size_t)> hop = [&](std::size_t d) {
+        if (++done >= hops)
+            return;
+        std::size_t to = (d + 1) % ndomains;
+        pk.post(d, to, pk.domain(d).curTick() + quantum,
+                Event::DefaultPriority, [&hop, to]() { hop(to); });
+    };
+    auto start = Clock::now();
+    scheduleAt(pk.domain(0), quantum / 2, [&hop]() { hop(0); });
+    pk.run();
+    KernelResult r;
+    r.name = "micro_eventq.quantum_hop_barrier";
+    r.hostMs = msSince(start);
+    r.ops = hops;
+    r.nsPerOp = r.hostMs * 1e6 / static_cast<double>(r.ops);
+    if (done != hops || pk.messageCount() + 1 != hops)
+        std::fprintf(stderr, "quantum-barrier kernel lost hops!\n");
     return r;
 }
 
@@ -472,6 +545,72 @@ runEquivalenceChecks(bool quick, WorkPool &pool)
         });
     }
 
+    // The partitioned-kernel gate: for a multi-channel system, the
+    // full stats dump — every counter on every channel — must be
+    // byte-identical at --sim-jobs 1/2/4. This is the tentpole
+    // invariant: simulated behavior is a pure function of simulated
+    // time, never of the host thread count.
+    for (DesignPoint d : {DesignPoint::SCA, DesignPoint::FCA}) {
+        probes.push_back([d, quick]() {
+            CheckResult c;
+            c.name = std::string("sim_jobs_identity.") + designName(d);
+            const unsigned jobs_of[3] = {1, 2, 4};
+            std::string dumps[3];
+            for (int pass = 0; pass < 3; ++pass) {
+                SystemConfig cfg = figConfig(quick ? 15 : 40);
+                cfg.design = d;
+                cfg.numCores = 2;
+                cfg.numChannels = 4;
+                cfg.simJobs = jobs_of[pass];
+                System sys(cfg);
+                RunResult result = sys.run();
+                std::ostringstream os;
+                sys.statsRegistry().dump(os);
+                os << "endTick=" << result.endTick
+                   << " txns=" << result.txnsIssued << "\n";
+                dumps[pass] = os.str();
+            }
+            c.ok = dumps[0] == dumps[1] && dumps[0] == dumps[2];
+            if (!c.ok)
+                std::fprintf(stderr,
+                             "CHECK FAILED: %s — stats dumps differ "
+                             "across --sim-jobs 1/2/4\n", c.name.c_str());
+            return c;
+        });
+    }
+
+    // And the partitioned sweep gate: crash-sweep fingerprints under
+    // the partitioned kernel must match across job counts and across
+    // the Replay/Fork Execute modes — crash capture at a window
+    // barrier commutes with both.
+    for (DesignPoint d : {DesignPoint::SCA, DesignPoint::Unsafe}) {
+        probes.push_back([d, quick]() {
+            CheckResult c;
+            c.name = std::string("sim_jobs_sweep_identity.")
+                + designName(d);
+            SystemConfig cfg = figConfig(quick ? 15 : 40);
+            cfg.design = d;
+            cfg.numChannels = 4;
+            SweepOptions opt;
+            opt.points = quick ? 6 : 12;
+            cfg.simJobs = 1;
+            std::string fp1 = runSweep(cfg, opt).fingerprint();
+            cfg.simJobs = 4;
+            std::string fp4 = runSweep(cfg, opt).fingerprint();
+            opt.mode = SweepMode::Fork;
+            std::string fpF = runSweep(cfg, opt).fingerprint();
+            c.ok = !fp1.empty() && fp1 == fp4 && fp1 == fpF;
+            if (!c.ok)
+                std::fprintf(stderr,
+                             "CHECK FAILED: %s — partitioned sweep "
+                             "fingerprints differ\n  sim-jobs=1: %s\n"
+                             "  sim-jobs=4: %s\n  fork:       %s\n",
+                             c.name.c_str(), fp1.c_str(), fp4.c_str(),
+                             fpF.c_str());
+            return c;
+        });
+    }
+
     for (DesignPoint d : {DesignPoint::SCA, DesignPoint::Unsafe}) {
         probes.push_back([d, quick]() {
             CheckResult c;
@@ -552,7 +691,72 @@ benchSweepScaling(bool quick, unsigned jobs)
 }
 
 // ----------------------------------------------------------------------
-// Channel scaling: simulated throughput, 1 vs 4 memory channels
+// Sim-jobs scaling: partitioned-kernel wall clock, serial vs threaded
+// ----------------------------------------------------------------------
+
+struct SimJobsScalingResult
+{
+    unsigned cores = 0;
+    unsigned channels = 0;
+    unsigned jobs = 0;            //!< the parallel side's --sim-jobs
+    unsigned hostConcurrency = 0;
+    std::uint64_t barriers = 0;   //!< window barriers of the run
+    std::uint64_t messages = 0;   //!< cross-domain mailbox messages
+    double serialMs = 0;          //!< partitioned-serial (sim-jobs 1)
+    double parallelMs = 0;        //!< sim-jobs = jobs
+    double speedup = 0;
+    bool identical = false;       //!< full stats dumps byte-identical
+};
+
+/**
+ * Times the same memory-bound multi-channel run under the partitioned
+ * kernel at sim-jobs 1 (the partitioned-serial reference) and at
+ * sim-jobs N, and requires the full stats dumps to be byte-identical.
+ * The identity is the gate; the wall-clock ratio is informational: on
+ * a host with a single hardware thread (host_concurrency 1) the
+ * threaded run only adds synchronization cost and the ratio is
+ * expected at or below 1.0.
+ */
+SimJobsScalingResult
+benchSimJobsScaling(bool quick, unsigned jobs)
+{
+    SimJobsScalingResult r;
+    r.cores = 4;
+    r.channels = 4;
+    r.jobs = jobs;
+    r.hostConcurrency = WorkPool::hardwareJobs();
+
+    SystemConfig cfg = figConfig(quick ? 30 : 120);
+    cfg.numCores = r.cores;
+    cfg.numChannels = r.channels;
+    cfg.wl.computePerTxn = 0; // memory-bound: channel work dominates
+
+    auto dumpOf = [&](unsigned sim_jobs, double &ms) {
+        SystemConfig c = cfg;
+        c.simJobs = sim_jobs;
+        auto t0 = Clock::now();
+        System sys(c);
+        RunResult result = sys.run();
+        ms = msSince(t0);
+        if (const ParallelKernel *pk = sys.parallelKernel()) {
+            r.barriers = pk->barrierCount();
+            r.messages = pk->messageCount();
+        }
+        std::ostringstream os;
+        sys.statsRegistry().dump(os);
+        os << "endTick=" << result.endTick
+           << " txns=" << result.txnsIssued << "\n";
+        return os.str();
+    };
+    std::string serial_dump = dumpOf(1, r.serialMs);
+    std::string parallel_dump = dumpOf(jobs, r.parallelMs);
+    r.speedup = r.parallelMs > 0 ? r.serialMs / r.parallelMs : 0;
+    r.identical = serial_dump == parallel_dump;
+    return r;
+}
+
+// ----------------------------------------------------------------------
+// Channel scaling: simulated throughput, 1 vs N memory channels
 // ----------------------------------------------------------------------
 
 struct ChannelScalingResult
@@ -570,30 +774,32 @@ struct ChannelScalingResult
 };
 
 /**
- * Runs a memory-bound contended multi-core SCA workload at 1 and at 4
- * channels and compares *simulated* transaction throughput — the
- * speedup is architectural (more banks and busses in flight), so
+ * Runs a memory-bound contended multi-core SCA workload at 1 and at
+ * @p channels channels and compares *simulated* transaction throughput
+ * — the speedup is architectural (more banks and busses in flight), so
  * unlike the host-side jobs-scaling ratios it is meaningful even on a
  * single-hardware-thread host. Two gates fold into checks_ok: the
  * multi-channel system must not be slower than the single-channel one
- * in simulated time, and a faulted channels=4 sweep must keep the
- * byte-identical fingerprint across Execute-phase jobs counts.
+ * in simulated time, and (when @p fingerprint_check) a faulted
+ * channels=N sweep must keep the byte-identical fingerprint across
+ * Execute-phase jobs counts.
  */
 ChannelScalingResult
-benchChannelScaling(bool quick)
+benchChannelScaling(bool quick, unsigned cores, unsigned channels,
+                    bool fingerprint_check)
 {
     ChannelScalingResult r;
-    r.cores = 4;
-    r.channels = 4;
+    r.cores = cores;
+    r.channels = channels;
 
     auto start = Clock::now();
     SystemConfig cfg = figConfig(quick ? 30 : 120);
     cfg.numCores = r.cores;
     cfg.wl.computePerTxn = 0; // memory-bound: contention is the point
 
-    auto txnRate = [&](unsigned channels) {
+    auto txnRate = [&](unsigned nch) {
         SystemConfig c = cfg;
-        c.numChannels = channels;
+        c.numChannels = nch;
         System sys(c);
         sys.run();
         return sys.throughputTxnPerSec();
@@ -603,16 +809,19 @@ benchChannelScaling(bool quick)
     r.speedup = r.txnPerSec1 > 0 ? r.txnPerSecN / r.txnPerSec1 : 0;
     r.scalesUp = r.txnPerSecN >= r.txnPerSec1;
 
-    SystemConfig sweep_cfg = figConfig(quick ? 15 : 40);
-    sweep_cfg.numChannels = r.channels;
-    SweepOptions opt;
-    opt.points = quick ? 8 : 16;
-    opt.faults = FaultSpec::allKinds(1);
-    opt.jobs = 1;
-    std::string fp1 = runSweep(sweep_cfg, opt).fingerprint();
-    opt.jobs = 4;
-    std::string fp4 = runSweep(sweep_cfg, opt).fingerprint();
-    r.identical = fp1 == fp4;
+    r.identical = true;
+    if (fingerprint_check) {
+        SystemConfig sweep_cfg = figConfig(quick ? 15 : 40);
+        sweep_cfg.numChannels = r.channels;
+        SweepOptions opt;
+        opt.points = quick ? 8 : 16;
+        opt.faults = FaultSpec::allKinds(1);
+        opt.jobs = 1;
+        std::string fp1 = runSweep(sweep_cfg, opt).fingerprint();
+        opt.jobs = 4;
+        std::string fp4 = runSweep(sweep_cfg, opt).fingerprint();
+        r.identical = fp1 == fp4;
+    }
 
     r.hostMs = msSince(start);
     return r;
@@ -1155,6 +1364,8 @@ emitJson(std::ostream &os, const std::vector<KernelResult> &kernels,
          const SweepScalingResult &scaling,
          const SweepForkSpeedupResult &fork_speedup,
          const ChannelScalingResult &chscaling,
+         const ChannelScalingResult &chscaling16,
+         const SimJobsScalingResult &sjscaling,
          const FaultMatrixResult &faults,
          const TreeMatrixResult &tree,
          const std::vector<TreeOverheadRow> &tree_overhead,
@@ -1329,6 +1540,31 @@ emitJson(std::ostream &os, const std::vector<KernelResult> &kernels,
                   chscaling.identical ? "true" : "false",
                   chscaling.hostMs);
     os << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  \"channel_scaling_16c\": {\"cores\": %u, "
+                  "\"channels\": %u, \"txn_per_sec_1ch\": %.0f, "
+                  "\"txn_per_sec_%uch\": %.0f, \"sim_speedup\": %.2f,\n"
+                  "    \"scales_up\": %s, \"host_ms\": %.2f},\n",
+                  chscaling16.cores, chscaling16.channels,
+                  chscaling16.txnPerSec1, chscaling16.channels,
+                  chscaling16.txnPerSecN, chscaling16.speedup,
+                  chscaling16.scalesUp ? "true" : "false",
+                  chscaling16.hostMs);
+    os << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  \"sim_jobs_scaling\": {\"cores\": %u, "
+                  "\"channels\": %u, \"jobs\": %u, "
+                  "\"host_concurrency\": %u,\n"
+                  "    \"serial_ms\": %.2f, \"parallel_ms\": %.2f, "
+                  "\"speedup\": %.2f, \"barriers\": %llu, "
+                  "\"messages\": %llu, \"stats_identical\": %s},\n",
+                  sjscaling.cores, sjscaling.channels, sjscaling.jobs,
+                  sjscaling.hostConcurrency, sjscaling.serialMs,
+                  sjscaling.parallelMs, sjscaling.speedup,
+                  static_cast<unsigned long long>(sjscaling.barriers),
+                  static_cast<unsigned long long>(sjscaling.messages),
+                  sjscaling.identical ? "true" : "false");
+    os << buf;
     os << "  \"checks\": {";
     for (std::size_t i = 0; i < checks.size(); ++i) {
         os << "\"" << checks[i].name << "\": "
@@ -1377,6 +1613,7 @@ main(int argc, char **argv)
     bool quick = false;
     unsigned repeat = 3;
     unsigned jobs = 0; // 0 = hardware concurrency
+    unsigned sim_jobs = 2; // partitioned-kernel threads, scaling section
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -1394,6 +1631,9 @@ main(int argc, char **argv)
                                             usage);
         } else if (arg == "--jobs") {
             jobs = toolargs::parsePositive("--jobs", need_value(), usage);
+        } else if (arg == "--sim-jobs") {
+            sim_jobs = toolargs::parseBounded("--sim-jobs", need_value(),
+                                              64, usage);
         } else if (arg == "--help" || arg == "-h") {
             usage(0);
         } else {
@@ -1433,6 +1673,10 @@ main(int argc, char **argv)
     kernels.push_back(bestKernel(repeat, [&]() {
         return benchEventqDeschedule(quick ? 200 : 2000); }));
     kernels.push_back(bestKernel(repeat, [&]() {
+        return benchEventqQuantumSingle(quick ? 20000 : 100000); }));
+    kernels.push_back(bestKernel(repeat, [&]() {
+        return benchEventqQuantumBarrier(quick ? 20000 : 100000); }));
+    kernels.push_back(bestKernel(repeat, [&]() {
         return benchMemctlWriteReadBurst(quick ? 100 : 1000); }));
 
     std::vector<SystemResult> systems;
@@ -1467,7 +1711,8 @@ main(int argc, char **argv)
                 fork_speedup.jobs, fork_speedup.hostConcurrency,
                 fork_speedup.identical ? "identical" : "DIFFER");
 
-    ChannelScalingResult chscaling = benchChannelScaling(quick);
+    ChannelScalingResult chscaling = benchChannelScaling(quick, 4, 4,
+                                                         true);
     checks_ok = checks_ok && chscaling.ok();
     std::printf("channel scaling: %u cores, %.0f txn/s at 1 channel, "
                 "%.0f txn/s at %u channels (%.2fx simulated, "
@@ -1476,6 +1721,28 @@ main(int argc, char **argv)
                 chscaling.txnPerSecN, chscaling.channels,
                 chscaling.speedup,
                 chscaling.identical ? "identical" : "DIFFER");
+
+    ChannelScalingResult chscaling16 = benchChannelScaling(quick, 16, 8,
+                                                           false);
+    checks_ok = checks_ok && chscaling16.ok();
+    std::printf("channel scaling: %u cores, %.0f txn/s at 1 channel, "
+                "%.0f txn/s at %u channels (%.2fx simulated)\n",
+                chscaling16.cores, chscaling16.txnPerSec1,
+                chscaling16.txnPerSecN, chscaling16.channels,
+                chscaling16.speedup);
+
+    SimJobsScalingResult sjscaling = benchSimJobsScaling(quick, sim_jobs);
+    checks_ok = checks_ok && sjscaling.identical;
+    std::printf("sim-jobs scaling: %u cores, %u channels, "
+                "serial %.1f ms, sim-jobs=%u %.1f ms (%.2fx, host "
+                "concurrency %u, %llu barriers, %llu messages, "
+                "stats %s)\n",
+                sjscaling.cores, sjscaling.channels, sjscaling.serialMs,
+                sjscaling.jobs, sjscaling.parallelMs, sjscaling.speedup,
+                sjscaling.hostConcurrency,
+                static_cast<unsigned long long>(sjscaling.barriers),
+                static_cast<unsigned long long>(sjscaling.messages),
+                sjscaling.identical ? "identical" : "DIFFER");
 
     RecoveryScalingResult rscaling = benchRecoveryScaling(quick, 4);
     checks_ok = checks_ok && rscaling.allIdentical();
@@ -1563,8 +1830,8 @@ main(int argc, char **argv)
     if (out_path.empty()) {
         emitJson(std::cout, kernels, systems, quick, baseline_json,
                  checks, checks_ok, scaling, fork_speedup, chscaling,
-                 fault_matrix, tree_matrix, tree_overhead, rscaling,
-                 recrash);
+                 chscaling16, sjscaling, fault_matrix, tree_matrix,
+                 tree_overhead, rscaling, recrash);
     } else {
         std::ofstream out(out_path);
         if (!out) {
@@ -1573,8 +1840,8 @@ main(int argc, char **argv)
         }
         emitJson(out, kernels, systems, quick, baseline_json, checks,
                  checks_ok, scaling, fork_speedup, chscaling,
-                 fault_matrix, tree_matrix, tree_overhead, rscaling,
-                 recrash);
+                 chscaling16, sjscaling, fault_matrix, tree_matrix,
+                 tree_overhead, rscaling, recrash);
         std::printf("wrote %s\n", out_path.c_str());
     }
     return checks_ok ? 0 : 1;

@@ -95,6 +95,23 @@ parsePowerOfTwo(const char *flag, const char *text, UsageFn &&usage)
     return static_cast<unsigned>(v);
 }
 
+/** @p text as a positive integer in [1, @p max_value]; for knobs like
+ *  --sim-jobs where an absurd value is a typo (or a fork bomb), not a
+ *  request — 0 and over-bound are usage errors. */
+template <typename UsageFn>
+unsigned
+parseBounded(const char *flag, const char *text, unsigned max_value,
+             UsageFn &&usage)
+{
+    std::uint64_t v = parseU64(flag, text, usage);
+    if (v == 0 || v > max_value) {
+        std::fprintf(stderr, "%s needs an integer in [1, %u], got '%s'\n",
+                     flag, max_value, text);
+        usage(2);
+    }
+    return static_cast<unsigned>(v);
+}
+
 /**
  * One cross-flag prerequisite: @p flag was given (set) but only makes
  * sense alongside @p needs (prereq). A flag that merely *tunes*
