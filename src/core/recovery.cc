@@ -228,6 +228,14 @@ RecoveredImage::line(Addr line_addr) const
     return cachedLine(lineAlign(line_addr));
 }
 
+std::vector<Addr>
+RecoveredImage::quarantinedLineAddrs() const
+{
+    std::vector<Addr> out(quarantine.begin(), quarantine.end());
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
 RecoveryEngine::RecoveryEngine(const PersistSource &src,
                                const MemController &ctl)
     : src(src), ctl(ctl)
@@ -329,6 +337,7 @@ RecoveryEngine::recover(const Workload &workload,
     report.unrecoverableLines = image.quarantinedCount();
     report.repairedLines = report.detectedCorruptions
         + report.replaysDetected - report.unrecoverableLines;
+    report.quarantinedLines = image.quarantinedLineAddrs();
     return report;
 }
 
@@ -425,19 +434,52 @@ RecoveryEngine::runRecovery(RecoveredImage &image,
 
     // --- Step 1b: quarantine gate --------------------------------------
     // Detected-but-unrepairable lines survive to here only if the
-    // rollback could not restore them. Degrade gracefully: report the
-    // loss precisely instead of validating a region known to hold
-    // zeroed-out garbage.
+    // rollback could not restore them. By default, degrade gracefully:
+    // report the loss precisely instead of validating a region known
+    // to hold zeroed-out garbage.
     if (image.quarantinedCount() > 0) {
-        return fail(RecoveryFailure::QuarantinedLines,
-                    std::to_string(image.quarantinedCount())
-                        + " unrepairable corrupt line(s) quarantined");
+        if (!opt.degraded) {
+            return fail(RecoveryFailure::QuarantinedLines,
+                        std::to_string(image.quarantinedCount())
+                            + " unrepairable corrupt line(s) "
+                              "quarantined");
+        }
+        // Degraded mode (the resume lifecycle): keep going with the
+        // quarantined lines reading as zeros, but first tombstone each
+        // of them in the write-back image — replace the stored MAC
+        // with a value derived from, but never equal to, the MAC of
+        // the stored triple. This is the in-model equivalent of a
+        // persistent bad-line marker: every later recovery of this
+        // image re-detects the line (the tombstone MAC verifies at no
+        // counter in the repair window) and re-quarantines it, so a
+        // quarantine can never silently evaporate between soak cycles.
+        // Without the tombstone, a *replayed* quarantined line would
+        // do exactly that: its stale triple is self-consistent, and
+        // once step 1c rebuilds the tree over the stored counters the
+        // replay evidence is gone — the next cycle would silently read
+        // stale plaintext. The write is deterministic for a fixed
+        // image, so interrupted attempts rewrite identical bytes.
+        if (opt.commitTo != nullptr && ctl.config().integrityMac) {
+            constexpr std::uint64_t kTombstone = 0x51A5'0BAD'51A5'0BADull;
+            for (Addr qa : image.quarantinedLineAddrs()) {
+                const LineData *cipher = src.persistedLine(qa);
+                if (cipher == nullptr)
+                    continue; // never-drained lines carry no MAC
+                std::uint64_t counter =
+                    src.persistedCounters(ctl.counterLineAddr(qa))
+                        [ctl.counterSlot(qa)];
+                opt.commitTo->drainMac(
+                    qa, ctl.engine().lineMac(qa, counter, *cipher)
+                            ^ kTombstone);
+            }
+        }
     }
 
     // --- Step 1c: integrity-tree reconstruction ------------------------
-    // Every line in the region now verifies (the gate above), so the
-    // persisted tree nodes backing the region can be rebuilt from the
-    // counter store — leaves for this region's counter lines only,
+    // Every line in the region now verifies (the gate above) or
+    // carries a tombstoned MAC (degraded mode), so the persisted tree
+    // nodes backing the region can be rebuilt from the counter store
+    // — leaves for this region's counter lines only,
     // interior levels from the *persisted* level-1 nodes, root last.
     // Regional scope matters in write-back mode: a global rebuild
     // would bless another, not-yet-recovered region's replayed slots
@@ -495,6 +537,8 @@ RecoveryEngine::runRecovery(RecoveredImage &image,
     }
 
     report.consistent = true;
+    report.degradedConsistent =
+        opt.degraded && image.quarantinedCount() > 0;
 }
 
 } // namespace cnvm

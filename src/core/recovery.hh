@@ -117,6 +117,10 @@ class RecoveredImage : public ByteReader
     bool isQuarantined(Addr line_addr) const
     { return quarantine.count(lineAlign(line_addr)) > 0; }
 
+    /** The quarantined line addresses, sorted — deterministic however
+     *  the pre-scan shards landed them. */
+    std::vector<Addr> quarantinedLineAddrs() const;
+
     /** Lifts a line's quarantine (rollback restored it from an intact
      *  backup). */
     void clearQuarantine(Addr line_addr)
@@ -240,6 +244,24 @@ struct RecoveryReport
     /** Detected lines nothing could restore: still quarantined when
      *  recovery finished (graceful degradation, never silent). */
     std::uint64_t unrecoverableLines = 0;
+
+    /**
+     * Line addresses still quarantined when recovery finished, sorted
+     * (the same population unrecoverableLines counts). The resume
+     * path needs the exact set to keep those lines reading as zeros
+     * in the resumed system, and the soak oracle needs it to assert
+     * the quarantine never silently shrinks across cycles.
+     */
+    std::vector<Addr> quarantinedLines;
+
+    /**
+     * True when recovery completed *despite* residual quarantined
+     * lines (degraded mode): structure validated and the digest
+     * matched a committed prefix with the quarantined lines reading
+     * as zeros — i.e. the lost lines were free space the committed
+     * state never reached. Always false outside degraded mode.
+     */
+    bool degradedConsistent = false;
 };
 
 /**
@@ -271,6 +293,24 @@ struct RecoveryOptions
     /** When non-null, observes each recovery step and may interrupt
      *  the attempt by throwing RecoveryInterrupted. */
     RecoveryCrashInjector *crash = nullptr;
+
+    /**
+     * Degraded-completion mode, for the resume-after-recovery
+     * lifecycle. By default residual quarantined lines fail recovery
+     * outright (RecoveryFailure::QuarantinedLines) — the safe answer
+     * for a one-shot examination, but it leaves the committed prefix
+     * unknown, so a soak chain could never resume past an
+     * unrecoverable fault. With degraded set, recovery keeps going:
+     * quarantined lines read as zeros, structure validation and the
+     * committed-prefix digest search run against that degraded view,
+     * and the report lists the surviving quarantine set
+     * (RecoveryReport::quarantinedLines) with degradedConsistent set
+     * when the digest still matches — meaning the lost lines were
+     * outside the committed state. Unrecoverable damage to committed
+     * state still fails (the digest matches no prefix), never
+     * silently.
+     */
+    bool degraded = false;
 };
 
 /** Runs recovery for workloads against one crashed system image. */

@@ -49,13 +49,23 @@ System::System(const SystemConfig &cfg_in)
       nvmDev(cfg_in.nvm, &registry, makeChannelMap(cfg_in))
 {
     cnvm_assert(cfg.numCores >= 1);
-    build();
+    build(nullptr);
+}
+
+System::System(const SystemConfig &cfg_in, const ResumeState &resume)
+    : cfg(cfg_in),
+      nvmDev(cfg_in.nvm, &registry, makeChannelMap(cfg_in))
+{
+    cnvm_assert(cfg.numCores >= 1);
+    cnvm_assert(resume.committedTxns.size() == cfg.numCores);
+    cnvm_assert(resume.quarantined.size() == cfg.numCores);
+    build(&resume);
 }
 
 System::~System() = default;
 
 void
-System::build()
+System::build(const ResumeState *resume)
 {
     if (cfg.simJobs > 0) {
         // Partitioned kernel: one domain per channel plus the
@@ -196,20 +206,95 @@ System::build()
         });
     }
 
-    // Install each workload's initial state consistently: live view,
-    // encrypted image and counters, as a freshly booted system. Setup
-    // routes each line to its owning channel so the per-channel
-    // counter engines see exactly their shard.
     const ChannelMap &map = nvmDev.channelMap();
-    for (auto &wl : workloads) {
-        wl->setup([this](Addr a, const void *d, unsigned s) {
-            nvmDev.livePlainStore(
-                a, s, static_cast<const std::uint8_t *>(d));
-        });
-        wl->shadowMem().forEachLine(
-            [this, &map](Addr addr, const LineData &data) {
-                memCtls[map.channelOf(addr)]->initLine(addr, data);
+    if (resume == nullptr) {
+        // Install each workload's initial state consistently: live
+        // view, encrypted image and counters, as a freshly booted
+        // system. Setup routes each line to its owning channel so the
+        // per-channel counter engines see exactly their shard.
+        for (auto &wl : workloads) {
+            wl->setup([this](Addr a, const void *d, unsigned s) {
+                nvmDev.livePlainStore(
+                    a, s, static_cast<const std::uint8_t *>(d));
             });
+            wl->shadowMem().forEachLine(
+                [this, &map](Addr addr, const LineData &data) {
+                    memCtls[map.channelOf(addr)]->initLine(addr, data);
+                });
+        }
+    } else {
+        // Resume-after-recovery: the recovered image is the persisted
+        // truth — nothing is re-initialized on media. Each workload
+        // replays its deterministic history host-side (setup with a
+        // no-op writer, then fast-forward to the committed count),
+        // which regenerates its shadow, RNG, allocator state and
+        // digest log byte-identically to the pre-crash run's — the
+        // digest log in particular must cover [0, K] so the *next*
+        // recovery can match any prefix.
+        nvmDev.installPersistedState(resume->image);
+        // Channel counter state rebuilds from the persisted store
+        // first, exactly as crash() leaves it — the re-seed
+        // equivalence argument of DESIGN.md section 4i. Order matters:
+        // a fresh-incarnation core below allocates new counters
+        // through initLine(), which must continue above every
+        // persisted value so no (address, counter) pair is reused.
+        for (auto &ctl : memCtls)
+            ctl->reseedFromPersistedImage();
+        for (unsigned i = 0; i < cfg.numCores; ++i) {
+            Workload &wl = *workloads[i];
+            if (i < resume->fresh.size() && resume->fresh[i]) {
+                // Unrecoverable core: restart its workload from
+                // scratch over the surviving media, as a first boot
+                // would. The old incarnation's untouched lines stay
+                // verifiable free space; its quarantined lines keep
+                // their tombstones until setup or the new run drains
+                // fresh triples over them.
+                wl.setup([this](Addr a, const void *d, unsigned s) {
+                    nvmDev.livePlainStore(
+                        a, s, static_cast<const std::uint8_t *>(d));
+                });
+                wl.shadowMem().forEachLine(
+                    [this, &map](Addr addr, const LineData &data) {
+                        memCtls[map.channelOf(addr)]->initLine(addr,
+                                                               data);
+                    });
+                continue;
+            }
+            wl.setup([](Addr, const void *, unsigned) {});
+            if (resume->committedTxns[i] >= cfg.wl.txnTarget) {
+                cnvm_fatal("resume: core %u committed %llu txns but "
+                           "txnTarget is %u — nothing left to run",
+                           i,
+                           static_cast<unsigned long long>(
+                               resume->committedTxns[i]),
+                           cfg.wl.txnTarget);
+            }
+            std::vector<Op> discard;
+            for (std::uint64_t k = 0; k < resume->committedTxns[i];
+                 ++k) {
+                discard.clear();
+                bool more = wl.next(discard);
+                cnvm_assert(more);
+            }
+            // Quarantined lines read as zeros everywhere the resumed
+            // machine can see them: shadow first (it is the
+            // program-order truth the digest log and validation walk),
+            // then the live view below inherits the zeros. The media
+            // keeps the tombstoned triple until a legitimate rewrite
+            // drains fresh (cipher, counter, MAC) over it.
+            LineData zeros{};
+            for (Addr qa : resume->quarantined[i])
+                wl.shadowMem().write(qa, zeros.data(), lineBytes);
+            // Live plaintext view := the fast-forwarded shadow. The
+            // shadow, not the decrypted image, is authoritative here:
+            // cache write-allocate fills merge live-view bytes into
+            // partially-stored lines, so the live view must equal the
+            // program-order content the shadow carries.
+            wl.shadowMem().forEachLine(
+                [this](Addr addr, const LineData &data) {
+                    nvmDev.livePlainStore(addr, lineBytes, data.data());
+                });
+        }
     }
     if (cfg.warmCounterCache) {
         // Separate pass: warming during installation would capture

@@ -52,10 +52,64 @@ struct RunResult
     std::uint64_t txnsIssued = 0;
 };
 
+/**
+ * Everything a live system needs to continue where a write-back
+ * recovery left off — the output side of one soak cycle and the input
+ * side of the next (see SoakDriver and DESIGN.md section 4i).
+ */
+struct ResumeState
+{
+    /** The write-back-committed recovered image: rolled-back lines
+     *  re-persisted at their stored counters, log invalidated,
+     *  integrity tree rebuilt, quarantined lines MAC-tombstoned. */
+    PersistImage image;
+
+    /** Per-core committed transaction counts the recovery matched
+     *  (RecoveryReport::committedTxns) — the exact point each
+     *  workload's deterministic replay fast-forwards to. */
+    std::vector<std::uint64_t> committedTxns;
+
+    /** Per-core quarantined line addresses (RecoveryReport::
+     *  quarantinedLines): these read as zeros in the resumed system
+     *  until the workload legitimately rewrites them. */
+    std::vector<std::vector<Addr>> quarantined;
+
+    /**
+     * Per-core fresh-incarnation flags (empty means every core
+     * resumes). A set flag marks a core whose committed state was
+     * unrecoverably damaged — its recovery failed even in degraded
+     * mode — so the core restarts its workload from scratch over the
+     * surviving media: setup re-initializes its region exactly as a
+     * first boot would, and its committedTxns/quarantined entries are
+     * ignored. Counter allocation continues above every persisted
+     * value (the channel re-seed runs first), so the fresh incarnation
+     * never reuses an (address, counter) pair and the old
+     * incarnation's residue is just dead-but-verifiable free space.
+     */
+    std::vector<std::uint8_t> fresh;
+};
+
 class System
 {
   public:
     explicit System(const SystemConfig &cfg);
+
+    /**
+     * Resume-after-recovery construction: builds the same machine as
+     * System(cfg), but instead of installing fresh initial state it
+     * re-seeds from @p resume — the recovered image becomes the
+     * persisted state, each workload deterministically fast-forwards
+     * to its committed transaction count (regenerating its digest log
+     * and shadow exactly as the pre-crash run produced them), the
+     * live plaintext view is rebuilt from the fast-forwarded shadows
+     * with quarantined lines reading as zeros, and every channel's
+     * controller rebuilds its counter state from the persisted store
+     * exactly as crash() does. Works under any numChannels/simJobs
+     * configuration. cfg.wl.txnTarget must exceed every core's
+     * committed count, or the resumed run has nothing left to do.
+     */
+    System(const SystemConfig &cfg, const ResumeState &resume);
+
     ~System();
 
     System(const System &) = delete;
@@ -258,7 +312,7 @@ class System
     /** The spec runWithCrash() armed — doCrash() reads its fault dose. */
     CrashSpec activeSpec;
 
-    void build();
+    void build(const ResumeState *resume);
     void doCrash();
     RunResult runInternal();
 

@@ -1533,12 +1533,23 @@ MemController::crashWithCut(const AdrCut &cut)
 
     // The encryption engine's counter registers are volatile and die
     // with the power failure; what survives is the persisted counter
-    // region. Model the recovery-time counter scan here: rebuild the
-    // per-line current counters from the persisted store and restart
-    // the global counter strictly above every persisted value, so a
-    // post-crash write can never re-pair a persisted counter with new
-    // ciphertext (see DESIGN.md, "Counter state across a power
-    // failure").
+    // region. Model the recovery-time counter scan here (shared with
+    // the resume-after-recovery path, which re-seeds a fresh system
+    // from a recovered image the same way).
+    reseedFromPersistedImage();
+
+    cnvm_assert(writesIdle());
+    cnvm_assert(outstandingReads == 0);
+}
+
+void
+MemController::reseedFromPersistedImage()
+{
+    // Rebuild the per-line current counters from the persisted store
+    // and restart the global counter strictly above every persisted
+    // value, so a post-crash (or post-resume) write can never re-pair
+    // a persisted counter with new ciphertext (see DESIGN.md,
+    // "Counter state across a power failure").
     currentCounter.clear();
     globalCounter = 0;
     for (const auto &[ctr_addr, values] : nvm.persistedCounterLines()) {
@@ -1563,9 +1574,6 @@ MemController::crashWithCut(const AdrCut &cut)
     drainKickPending = false;
     if (counterCache != nullptr)
         counterCache->reset();
-
-    cnvm_assert(writesIdle());
-    cnvm_assert(outstandingReads == 0);
 }
 
 } // namespace cnvm

@@ -266,6 +266,19 @@ class MemController : public MemBackend
     void captureCrashStateWithCut(PersistImage &img,
                                   const AdrCut &cut) const;
 
+    /**
+     * Rebuilds this channel's volatile counter state from the
+     * device's persisted counter store: per-line current counters,
+     * the global counter (restarted strictly above every persisted
+     * value), drain-kick flags, and a cold counter cache. This is the
+     * tail of crashWithCut(), exposed for the resume-after-recovery
+     * path — a fresh system re-seeded from a recovered image installs
+     * the image into the device and then calls this, making resumed
+     * controller state equivalent to post-crash() rebuilt state by
+     * construction (DESIGN.md section 4i).
+     */
+    void reseedFromPersistedImage();
+
     /** Sequence numbers of ready data entries, in queue (age) order —
      *  one channel's input to computeDrainKeeps(). */
     std::vector<std::uint64_t> readyDataSeqs() const;

@@ -154,6 +154,23 @@ class NvmDevice
     PersistImage &persistedState() { return persisted; }
 
     /**
+     * Replaces the functional state with a recovered image: the
+     * persisted half becomes @p image and the live plaintext view is
+     * cleared. The resume path reinstalls the live view from the
+     * fast-forwarded workload shadows afterwards — the decrypted image
+     * is not authoritative for it, because cache fills merge live-view
+     * bytes into partially-persisted lines. Timing state (bank/bus
+     * windows) is untouched: a resumed system starts at tick 0 with
+     * cold banks, exactly like a freshly built one.
+     */
+    void
+    installPersistedState(PersistImage image)
+    {
+        persisted = std::move(image);
+        livePlain.clear();
+    }
+
+    /**
      * Guards the persisted image under the partitioned kernel, where
      * per-channel controller threads drain into the shared device
      * concurrently. Lines interleave across channels at block

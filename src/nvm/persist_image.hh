@@ -231,6 +231,23 @@ class PersistImage final : public PersistSource
     std::size_t faultedLineCount() const { return faulted.size(); }
 
     /**
+     * Forgets the fault-injection ground truth (the faulted/replayed
+     * marks), keeping the stored bytes exactly as the faults left
+     * them. The soak driver calls this when a recovered image becomes
+     * the next cycle's resume state: each cycle's oracle verdict must
+     * attribute only that cycle's dose, not re-litigate corruption an
+     * earlier recovery already detected, repaired or tombstoned. The
+     * stale-triple attack surface is deliberately kept — replay
+     * attacks may span crash cycles.
+     */
+    void
+    clearFaultGroundTruth()
+    {
+        faulted.clear();
+        replayed.clear();
+    }
+
+    /**
      * Every persisted data-line address, sorted. The fault model draws
      * victims from this list — hash-map iteration order would make
      * fault placement differ between otherwise identical sweeps.

@@ -4,7 +4,8 @@
 # parallel Execute phase), fault-injection and replay-dosed
 # integrity-tree sweeps under the same sanitizers — single- and
 # multi-channel (--channels 4) — parallel-recovery and
-# crash-during-recovery sweeps, CLI usage-contract smokes, a
+# crash-during-recovery sweeps, crash-chain soak smokes in both gate
+# directions, CLI usage-contract smokes, a
 # ThreadSanitizer pass over the parallel sweep and recovery paths
 # (replay-dosed pre-scan and the 4-channel fork capture included), and
 # a Release bench smoke.
@@ -37,7 +38,7 @@ ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
 
 # CLI usage contract: every tool prints usage and exits 0 on --help,
 # and prints usage to stderr and exits 2 on an unknown flag.
-for tool in cnvm_sim cnvm_crash_sweep cnvm_bench; do
+for tool in cnvm_sim cnvm_crash_sweep cnvm_soak cnvm_bench; do
     "$build/tools/$tool" --help > /dev/null
     if "$build/tools/$tool" --no-such-flag > /dev/null 2>&1; then
         echo "FAIL: $tool accepted an unknown flag" >&2
@@ -77,6 +78,20 @@ done
     --design ColocatedCC --design FCA --design SCA --design Unsafe
 "$build/tools/cnvm_crash_sweep" --points 12 --jobs 4 --mode fork \
     --faults --replays --integrity \
+    --design ColocatedCC --design FCA --design SCA --design Unsafe
+
+# Crash-chain soak smoke under ASan+UBSan, both gate directions: an
+# armed (MAC + tree) fault- and replay-dosed chain of crash → recover
+# → resume cycles per design must stay consistent with zero silent
+# cycles; the same dose with the MAC disarmed must demonstrate at
+# least one silent cycle (both are part of the tool's exit status).
+# The resume constructor re-seeds live controllers from a recovered
+# image — exactly where a counter store aliased into the new System
+# instead of deep-copied, or a stale quarantine pointer, would hide.
+"$build/tools/cnvm_soak" --cycles 8 --chains 2 --jobs 2 \
+    --faults --replays --integrity-tree \
+    --design ColocatedCC --design FCA --design SCA --design Unsafe
+"$build/tools/cnvm_soak" --cycles 8 --faults \
     --design ColocatedCC --design FCA --design SCA --design Unsafe
 
 # The unified argument checker: a tuning flag without its prerequisite
@@ -181,6 +196,14 @@ cmake --build "$tsan" -j "$(nproc)" --target cnvm_sim_cli
     --channels 4 --sim-jobs 4 --crash-at-frac 0.5 --verify --quiet
 "$tsan/tools/cnvm_crash_sweep" --points 8 --channels 4 --sim-jobs 2 \
     --jobs 2 --faults --integrity-tree --design SCA --design Unsafe
+# Crash-chain soak under TSan: parallel chains run whole
+# crash → recover → resume lifecycles on worker threads, each chain
+# repeatedly tearing down a System and re-seeding the next incarnation
+# from the recovered image — any resume state aliased across chains
+# (or into the pool) races here.
+cmake --build "$tsan" -j "$(nproc)" --target cnvm_soak
+"$tsan/tools/cnvm_soak" --cycles 6 --chains 4 --jobs 4 \
+    --faults --replays --integrity-tree --design SCA --design Unsafe
 
 # Bench smoke in Release: cnvm_bench runs each kernel a few iterations
 # and, more importantly, exits non-zero if the indexed queue lookups

@@ -43,8 +43,10 @@
 #include <string>
 #include <vector>
 
+#include "common/hash.hh"
 #include "core/crash_sweep.hh"
 #include "core/recovery_crash.hh"
+#include "core/soak.hh"
 #include "core/system.hh"
 #include "memctl/mem_controller.hh"
 #include "runner/runner.hh"
@@ -1322,6 +1324,195 @@ runRecrashSweeps(bool quick, WorkPool &pool)
 }
 
 // ----------------------------------------------------------------------
+// Soak matrix: crash→recover→resume chains with cumulative dosing
+// ----------------------------------------------------------------------
+
+/** One design's fault-dosed soak chain (integrity tree armed). */
+struct SoakCell
+{
+    DesignPoint design = DesignPoint::SCA;
+    unsigned cycles = 0;   //!< executed cycles incl. final examination
+    unsigned crashed = 0;
+    unsigned dosed = 0;
+    unsigned resets = 0;
+    unsigned silent = 0;
+    std::uint64_t detected = 0;
+    std::uint64_t replaysDetected = 0;
+    std::uint64_t finalQuarantined = 0;
+    bool ok = false;
+    double hostMs = 0;
+};
+
+struct SoakMatrixResult
+{
+    std::vector<SoakCell> cells;
+    unsigned cyclesPerChain = 0;
+    unsigned totalCycles = 0;
+    unsigned totalSilent = 0;
+
+    /** The clean-chain identity control: a zero-fault SCA chain ends
+     *  at the committed count and recovered-content digest of an
+     *  uninterrupted run of the same target. */
+    bool cleanIdentity = false;
+
+    /** The headline soak gate: every fault-dosed chain completed with
+     *  every cumulative invariant held and zero silent cycles. */
+    bool
+    zeroSilentCumulative() const
+    {
+        bool good = !cells.empty() && totalSilent == 0;
+        for (const SoakCell &c : cells)
+            good = good && c.ok && c.dosed > 0;
+        return good;
+    }
+
+    bool ok() const { return zeroSilentCumulative() && cleanIdentity; }
+};
+
+/**
+ * Runs one fault-and-replay-dosed soak chain per crash-handling design
+ * with the full integrity stack armed — in the full run that is
+ * 4 designs x 27 cycles = 108 >= the 100 crash→recover→resume cycles
+ * the experiment plan calls for — and gates on zero silent cycles with
+ * every cumulative SoakOracle invariant held. A fifth, zero-fault SCA
+ * chain is the identity control: its final image must carry exactly
+ * the committed-transaction count and recovered-content digest of an
+ * uninterrupted run to the same target.
+ */
+SoakMatrixResult
+runSoakMatrix(bool quick, WorkPool &pool)
+{
+    SoakMatrixResult m;
+    m.cyclesPerChain = quick ? 6 : 26;
+
+    const DesignPoint designs[] = {DesignPoint::ColocatedCC,
+                                   DesignPoint::FCA, DesignPoint::SCA,
+                                   DesignPoint::Unsafe};
+    m.cells = pool.map<SoakCell>(4, [&](std::size_t i) {
+        auto start = Clock::now();
+        SystemConfig cfg = faultMatrixConfig(quick);
+        cfg.design = designs[i];
+        cfg.memctl.integrityMac = true;
+        cfg.memctl.integrityTree = true;
+
+        SoakOptions opt;
+        opt.cycles = m.cyclesPerChain;
+        opt.faults = FaultSpec::allKindsWithReplays(1);
+        SoakChainResult chain = runSoakChain(cfg, opt);
+
+        SoakCell c;
+        c.design = designs[i];
+        c.cycles = static_cast<unsigned>(chain.cycles.size());
+        c.crashed = chain.crashedCycles();
+        c.dosed = chain.dosedCycles();
+        c.resets = chain.totalResets();
+        c.silent = chain.silentCycles();
+        c.finalQuarantined = chain.finalQuarantined;
+        for (const SoakCycle &cy : chain.cycles) {
+            c.detected += cy.detectedCorruptions;
+            c.replaysDetected += cy.replaysDetected;
+        }
+        c.ok = chain.ok;
+        if (!chain.ok)
+            std::fprintf(stderr, "soak matrix %s FAILED: %s\n",
+                         designName(designs[i]), chain.failure.c_str());
+        c.hostMs = msSince(start);
+        return c;
+    });
+    for (const SoakCell &c : m.cells) {
+        m.totalCycles += c.cycles;
+        m.totalSilent += c.silent;
+    }
+
+    // The identity control (integrity MACs stay armed so the design
+    // set could include Unsafe; SCA keeps it cheap).
+    SystemConfig cfg = faultMatrixConfig(quick);
+    cfg.design = DesignPoint::SCA;
+    cfg.memctl.integrityMac = true;
+    SoakOptions clean;
+    clean.cycles = quick ? 3 : 6;
+    SoakChainResult chain = runSoakChain(cfg, clean);
+    m.cleanIdentity = chain.ok && chain.totalResets() == 0
+        && chain.finalQuarantined == 0;
+    if (m.cleanIdentity) {
+        cfg.wl.txnTarget = chain.finalTxnTarget;
+        System control(cfg);
+        control.run();
+        control.crashChannels();
+        std::vector<RecoveryReport> reports = control.recoverAll();
+        std::uint64_t digest = 0;
+        bool consistent = true;
+        for (std::size_t i = 0; i < reports.size(); ++i) {
+            consistent = consistent && reports[i].consistent
+                && reports[i].committedTxns == chain.finalTxnTarget;
+            digest = fnv1aU64(reports[i].recoveredDigest,
+                              i == 0 ? fnvOffsetBasis : digest);
+        }
+        m.cleanIdentity = consistent && digest == chain.finalDigest;
+    }
+    if (!m.cleanIdentity)
+        std::fprintf(stderr, "soak matrix clean-chain identity control "
+                             "FAILED\n");
+    return m;
+}
+
+// ----------------------------------------------------------------------
+// Soak scaling: chain fan-out wall clock, fingerprint identity gate
+// ----------------------------------------------------------------------
+
+struct SoakScalingResult
+{
+    unsigned chains = 0;
+    unsigned cycles = 0;
+    unsigned jobs = 0;
+    unsigned hostConcurrency = 0;
+    double serialMs = 0;
+    double parallelMs = 0;
+    double speedup = 0;
+    bool identical = false; //!< fleet fingerprints byte-identical
+};
+
+/**
+ * Times the same fault-dosed soak fleet at jobs=1 and jobs=N and
+ * requires the fleet fingerprint — every cycle's spec, classification
+ * and final digest of every chain — to be byte-identical. Chains are
+ * seed-deterministic and independent, so fan-out must not change a
+ * single verdict.
+ */
+SoakScalingResult
+benchSoakScaling(bool quick, unsigned jobs)
+{
+    SoakScalingResult r;
+    r.chains = 4;
+    r.cycles = quick ? 4 : 8;
+    r.jobs = jobs;
+    r.hostConcurrency = WorkPool::hardwareJobs();
+
+    SystemConfig cfg = faultMatrixConfig(quick);
+    cfg.design = DesignPoint::SCA;
+    cfg.memctl.integrityMac = true;
+
+    SoakOptions opt;
+    opt.cycles = r.cycles;
+    opt.chains = r.chains;
+    opt.faults = FaultSpec::allKinds(1);
+
+    opt.jobs = 1;
+    auto t0 = Clock::now();
+    std::string fp1 = runSoak(cfg, opt).fingerprint();
+    r.serialMs = msSince(t0);
+
+    opt.jobs = jobs;
+    auto t1 = Clock::now();
+    std::string fpN = runSoak(cfg, opt).fingerprint();
+    r.parallelMs = msSince(t1);
+
+    r.speedup = r.parallelMs > 0 ? r.serialMs / r.parallelMs : 0;
+    r.identical = !fp1.empty() && fp1 == fpN;
+    return r;
+}
+
+// ----------------------------------------------------------------------
 // Repetition: the host is shared and noisy, so each kernel runs
 // --repeat times and the fastest run is kept (noise only adds time).
 // ----------------------------------------------------------------------
@@ -1370,7 +1561,9 @@ emitJson(std::ostream &os, const std::vector<KernelResult> &kernels,
          const TreeMatrixResult &tree,
          const std::vector<TreeOverheadRow> &tree_overhead,
          const RecoveryScalingResult &rscaling,
-         const RecrashResult &recrash)
+         const RecrashResult &recrash,
+         const SoakMatrixResult &soak,
+         const SoakScalingResult &soak_scaling)
 {
     char buf[256];
     os << "{\n";
@@ -1507,6 +1700,47 @@ emitJson(std::ostream &os, const std::vector<KernelResult> &kernels,
         os << buf;
     }
     os << "    ]\n  },\n";
+    std::snprintf(buf, sizeof(buf),
+                  "  \"soak_matrix\": {\"cycles_per_chain\": %u, "
+                  "\"total_cycles\": %u, \"total_silent\": %u,\n"
+                  "    \"zero_silent_cumulative\": %s, "
+                  "\"clean_chain_identity\": %s,\n    \"cells\": [\n",
+                  soak.cyclesPerChain, soak.totalCycles,
+                  soak.totalSilent,
+                  soak.zeroSilentCumulative() ? "true" : "false",
+                  soak.cleanIdentity ? "true" : "false");
+    os << buf;
+    for (std::size_t i = 0; i < soak.cells.size(); ++i) {
+        const SoakCell &c = soak.cells[i];
+        std::snprintf(buf, sizeof(buf),
+                      "      {\"design\": \"%s\", \"cycles\": %u, "
+                      "\"crashed\": %u, \"dosed\": %u, \"resets\": %u, "
+                      "\"silent\": %u, \"detected\": %llu, "
+                      "\"replays_detected\": %llu, "
+                      "\"final_quarantined\": %llu, \"ok\": %s, "
+                      "\"host_ms\": %.2f}%s\n",
+                      designName(c.design), c.cycles, c.crashed,
+                      c.dosed, c.resets, c.silent,
+                      static_cast<unsigned long long>(c.detected),
+                      static_cast<unsigned long long>(c.replaysDetected),
+                      static_cast<unsigned long long>(
+                          c.finalQuarantined),
+                      c.ok ? "true" : "false", c.hostMs,
+                      i + 1 < soak.cells.size() ? "," : "");
+        os << buf;
+    }
+    os << "    ]\n  },\n";
+    std::snprintf(buf, sizeof(buf),
+                  "  \"soak_scaling\": {\"chains\": %u, \"cycles\": %u, "
+                  "\"jobs\": %u, \"host_concurrency\": %u, "
+                  "\"serial_ms\": %.2f, \"parallel_ms\": %.2f, "
+                  "\"speedup\": %.2f, \"fingerprints_identical\": %s},\n",
+                  soak_scaling.chains, soak_scaling.cycles,
+                  soak_scaling.jobs, soak_scaling.hostConcurrency,
+                  soak_scaling.serialMs, soak_scaling.parallelMs,
+                  soak_scaling.speedup,
+                  soak_scaling.identical ? "true" : "false");
+    os << buf;
     std::snprintf(buf, sizeof(buf),
                   "  \"sweep_scaling\": {\"points\": %u, \"jobs\": %u, "
                   "\"host_concurrency\": %u, \"serial_ms\": %.2f, "
@@ -1805,6 +2039,35 @@ main(int argc, char **argv)
                 tree_matrix.macOnlySilentReplays,
                 tree_matrix.replaysSlipWithoutTree ? "ok" : "FAILED");
 
+    SoakMatrixResult soak_matrix = runSoakMatrix(quick, pool);
+    checks_ok = checks_ok && soak_matrix.ok();
+    for (const SoakCell &c : soak_matrix.cells)
+        std::printf("soak matrix %-13s cycles=%u crashed=%u dosed=%u "
+                    "resets=%u silent=%u detected=%llu rp-det=%llu "
+                    "final-q=%llu (%.1f ms) %s\n",
+                    designName(c.design), c.cycles, c.crashed, c.dosed,
+                    c.resets, c.silent,
+                    static_cast<unsigned long long>(c.detected),
+                    static_cast<unsigned long long>(c.replaysDetected),
+                    static_cast<unsigned long long>(c.finalQuarantined),
+                    c.hostMs, c.ok ? "ok" : "FAILED");
+    std::printf("soak matrix: %u cycles total, silent: %u (%s), "
+                "clean-chain identity: %s\n",
+                soak_matrix.totalCycles, soak_matrix.totalSilent,
+                soak_matrix.zeroSilentCumulative() ? "ok" : "FAILED",
+                soak_matrix.cleanIdentity ? "ok" : "FAILED");
+
+    SoakScalingResult soak_scaling = benchSoakScaling(quick, 4);
+    checks_ok = checks_ok && soak_scaling.identical;
+    std::printf("soak scaling: %u chains x %u cycles, serial %.1f ms, "
+                "jobs=%u %.1f ms (%.2fx, host concurrency %u, "
+                "fingerprints %s)\n",
+                soak_scaling.chains, soak_scaling.cycles,
+                soak_scaling.serialMs, soak_scaling.jobs,
+                soak_scaling.parallelMs, soak_scaling.speedup,
+                soak_scaling.hostConcurrency,
+                soak_scaling.identical ? "identical" : "DIFFER");
+
     std::vector<TreeOverheadRow> tree_overhead = benchTreeOverhead(quick);
     for (const TreeOverheadRow &r : tree_overhead)
         std::printf("tree overhead %-13s ticks +%.2f%% writes +%.2f%% "
@@ -1831,7 +2094,8 @@ main(int argc, char **argv)
         emitJson(std::cout, kernels, systems, quick, baseline_json,
                  checks, checks_ok, scaling, fork_speedup, chscaling,
                  chscaling16, sjscaling, fault_matrix, tree_matrix,
-                 tree_overhead, rscaling, recrash);
+                 tree_overhead, rscaling, recrash, soak_matrix,
+                 soak_scaling);
     } else {
         std::ofstream out(out_path);
         if (!out) {
@@ -1841,7 +2105,8 @@ main(int argc, char **argv)
         emitJson(out, kernels, systems, quick, baseline_json, checks,
                  checks_ok, scaling, fork_speedup, chscaling,
                  chscaling16, sjscaling, fault_matrix, tree_matrix,
-                 tree_overhead, rscaling, recrash);
+                 tree_overhead, rscaling, recrash, soak_matrix,
+                 soak_scaling);
         std::printf("wrote %s\n", out_path.c_str());
     }
     return checks_ok ? 0 : 1;
